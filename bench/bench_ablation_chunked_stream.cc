@@ -1,0 +1,90 @@
+// Ablation of the "simple case" of §I: when the stream is chunked and
+// content-correlated (video segments), a plain exploration–exploitation
+// policy — run everything on the first frames of a chunk, then only the
+// models that paid off — should already perform near-optimally, no DRL
+// needed. This bench measures it against random and optimal on a chunked
+// stream.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "eval/world.h"
+#include "sched/basic_policies.h"
+#include "sched/explore_exploit.h"
+#include "sched/serial_runner.h"
+#include "util/table.h"
+#include "zoo/model_zoo.h"
+
+namespace {
+
+using namespace ams;
+
+void Run() {
+  const eval::WorldConfig world_config = eval::WorldConfig::FromEnv();
+  const zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
+  const int chunk_len = 25;
+  const int num_chunks =
+      std::max(4, world_config.items_per_dataset / chunk_len);
+  const data::Dataset dataset = data::Dataset::GenerateChunked(
+      data::DatasetProfile::MirFlickr25(), zoo.labels(), num_chunks, chunk_len,
+      world_config.seed);
+  const data::Oracle oracle(&zoo, &dataset);
+
+  bench::Banner("Ablation (SI) — explore-exploit on a chunked stream (" +
+                std::to_string(num_chunks) + " chunks x " +
+                std::to_string(chunk_len) + " frames)");
+
+  // Streams must be processed in order for the chunk knowledge to build up,
+  // so this runs single-threaded per policy.
+  auto run_policy = [&](sched::SchedulingPolicy* policy) {
+    double time_sum = 0.0, models_sum = 0.0, recall_sum = 0.0;
+    for (int item = 0; item < dataset.size(); ++item) {
+      sched::SerialRunConfig config;
+      config.recall_target = 1.0;
+      const auto run = sched::RunSerial(policy, oracle, item, config,
+                                        dataset.item(item).chunk_id);
+      time_sum += run.time_used;
+      models_sum += run.models_executed;
+      recall_sum += run.recall;
+    }
+    const double n = static_cast<double>(dataset.size());
+    return std::array<double, 3>{time_sum / n, models_sum / n,
+                                 recall_sum / n};
+  };
+
+  util::AsciiTable table;
+  table.SetHeader({"policy", "avg time/frame (s)", "avg models/frame",
+                   "avg recall"});
+  {
+    sched::ExploreExploitPolicy policy(/*explore_items=*/2);
+    const auto r = run_policy(&policy);
+    table.AddRow("explore_exploit", {r[0], r[1], r[2]});
+  }
+  {
+    sched::RandomPolicy policy(17);
+    const auto r = run_policy(&policy);
+    table.AddRow("random", {r[0], r[1], r[2]});
+  }
+  {
+    sched::OptimalPolicy policy;
+    const auto r = run_policy(&policy);
+    table.AddRow("optimal", {r[0], r[1], r[2]});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: explore-exploit pays full price on the "
+               "first ~2 frames of each chunk and near-optimal price "
+               "afterwards; its recall stays high because chunk content is "
+               "correlated (SI: 'a simple exploration-exploitation solution "
+               "works extremely well').\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Ablation of the reward smoothing (§IV-A): the paper uses
+// ln(theta*sum(conf)+1) to stop many-label models (e.g. the 70-keypoint face
+// landmark detector) from dominating the reward, and notes that average-
+// confidence smoothing works similarly while the raw sum is biased. This
+// bench trains DuelingDQN under the three shapings and measures (a) how
+// early the agent schedules the many-label landmark models and (b) the
+// resulting scheduling efficiency.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/agent_policies.h"
+#include "bench/bench_util.h"
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "eval/recall_curve.h"
+#include "eval/world.h"
+#include "rl/trainer.h"
+#include "sched/basic_policies.h"
+#include "sched/serial_runner.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "zoo/model_zoo.h"
+
+namespace {
+
+using namespace ams;
+
+const char* ShapingName(core::RewardShaping shaping) {
+  switch (shaping) {
+    case core::RewardShaping::kLogSum:
+      return "log_sum (Eq. 3)";
+    case core::RewardShaping::kAverage:
+      return "average_conf";
+    case core::RewardShaping::kRawSum:
+      return "raw_sum";
+  }
+  return "";
+}
+
+void Run() {
+  const eval::WorldConfig world_config = eval::WorldConfig::FromEnv();
+  const zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
+  const data::Dataset dataset = data::Dataset::Generate(
+      data::DatasetProfile::MirFlickr25(), zoo.labels(),
+      world_config.items_per_dataset, world_config.seed);
+  const data::Oracle oracle(&zoo, &dataset);
+  std::vector<int> items = dataset.test_indices();
+  items.resize(std::min<size_t>(items.size(),
+                                static_cast<size_t>(world_config.eval_items)));
+
+  // The many-label models whose reward the log smoothing tames.
+  std::vector<int> landmark_models;
+  for (int m : zoo.ModelsForTask(zoo::TaskKind::kFaceLandmark)) {
+    landmark_models.push_back(m);
+  }
+  for (int m : zoo.ModelsForTask(zoo::TaskKind::kHandLandmark)) {
+    landmark_models.push_back(m);
+  }
+
+  bench::Banner("Ablation (SIV-A) — reward smoothing variants, MirFlickr25");
+  util::AsciiTable table;
+  table.SetHeader({"shaping", "avg first-landmark position",
+                   "avg time to 0.8 recall (s)", "avg time to 1.0 recall (s)"});
+  for (const core::RewardShaping shaping :
+       {core::RewardShaping::kLogSum, core::RewardShaping::kAverage,
+        core::RewardShaping::kRawSum}) {
+    rl::TrainConfig config;
+    config.scheme = rl::DrlScheme::kDuelingDqn;
+    config.hidden_dim = world_config.hidden_dim;
+    config.episodes = world_config.train_episodes;
+    config.eps_decay_steps = world_config.train_episodes * 4;
+    config.shaping = shaping;
+    config.seed = world_config.seed;
+    rl::AgentTrainer trainer(&oracle, config);
+    std::unique_ptr<rl::Agent> agent = trainer.Train();
+
+    // Position at which the first landmark model appears in the sequence.
+    std::unique_ptr<rl::Agent> clone = agent->Clone();
+    sched::QGreedyPolicy policy(clone.get());
+    double pos_sum = 0.0;
+    for (int item : items) {
+      sched::SerialRunConfig run_config;
+      run_config.recall_target = 1.0;
+      const auto run = sched::RunSerial(&policy, oracle, item, run_config);
+      double position = static_cast<double>(zoo.num_models());
+      for (size_t k = 0; k < run.steps.size(); ++k) {
+        for (int lm : landmark_models) {
+          if (run.steps[k].model == lm) {
+            position = std::min(position, static_cast<double>(k + 1));
+          }
+        }
+      }
+      pos_sum += position;
+    }
+    const eval::RecallCurve curve = eval::ComputeRecallCurve(
+        bench::QGreedyFactory(agent.get()), oracle, items,
+        eval::DefaultThresholds());
+    table.AddRow({ShapingName(shaping),
+                  util::FormatDouble(pos_sum / items.size(), 1),
+                  util::FormatDouble(curve.avg_time_s[7], 3),
+                  util::FormatDouble(curve.avg_time_s[9], 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: raw_sum drags the many-label landmark "
+               "models to the front regardless of content; log_sum and "
+               "average_conf keep them in their rightful place and schedule "
+               "more efficiently (SIV-A).\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Fig. 11 (§VI-G): value recall under two-dimensional
+// deadline + GPU-memory constraints. As in the paper, the DuelingDQN agent
+// trained on Stanford40 (Agent1) is evaluated on the VOC 2012 test set
+// (Dataset2) — the worst case of their experiments — with Algorithm 2
+// against random packing and the relaxed optimal* bound, for 8 / 12 / 16 GB
+// of GPU memory.
+//
+// Paper reference points: at a 0.8 s deadline Algorithm 2 improves recall
+// over random by 106.9% / 52.8% / 19.5% under 8 / 12 / 16 GB; the ratio to
+// optimal* exceeds 1-1/e in most cases.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "eval/agent_cache.h"
+#include "eval/memory_sweep.h"
+#include "eval/world.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ams;
+
+void Run() {
+  eval::World world(eval::WorldConfig::FromEnv());
+  eval::AgentCache cache;
+
+  eval::AgentRequest request;
+  request.key = world.CacheKey("stanford40", "dueling");
+  request.oracle = &world.oracle(world.IndexOf("stanford40"));
+  request.config = world.BaseTrainConfig();
+  request.config.scheme = rl::DrlScheme::kDuelingDqn;
+  std::unique_ptr<rl::Agent> agent1 = cache.GetOrTrain(request);
+
+  const int d = world.IndexOf("voc2012");
+  const data::Oracle& oracle = world.oracle(d);
+  const std::vector<int> items = world.EvalItems(d);
+
+  const std::vector<double> deadlines = eval::DefaultMemoryDeadlines();
+  const double budgets_gb[] = {8.0, 12.0, 16.0};
+  const double paper_gain_at_08[] = {106.9, 52.8, 19.5};
+
+  std::vector<std::vector<double>> ratio_rows(deadlines.size());
+  for (size_t b = 0; b < std::size(budgets_gb); ++b) {
+    const double mem_mb = budgets_gb[b] * 1024.0;
+    const eval::MemorySweep alg2 = eval::ComputeMemorySweep(
+        agent1.get(), oracle, items, mem_mb, deadlines, /*seed=*/3);
+    const eval::MemorySweep random = eval::ComputeMemorySweep(
+        nullptr, oracle, items, mem_mb, deadlines, /*seed=*/3);
+    const eval::MemorySweep star = eval::ComputeOptimalStarMemorySweep(
+        oracle, items, mem_mb, deadlines);
+
+    bench::Banner("Fig. 11 — value recall, " +
+                  util::FormatDouble(budgets_gb[b], 0) +
+                  " GB GPU memory (Agent1 on Dataset2)");
+    util::AsciiTable table;
+    table.SetHeader({"deadline(s)", "algorithm2", "random", "optimal*"});
+    for (size_t k = 0; k < deadlines.size(); ++k) {
+      table.AddRow(util::FormatDouble(deadlines[k], 1),
+                   {alg2.avg_recall[k], random.avg_recall[k],
+                    star.avg_recall[k]});
+      ratio_rows[k].push_back(alg2.avg_recall[k] /
+                              std::max(1e-9, star.avg_recall[k]));
+    }
+    table.Print(std::cout);
+
+    const size_t at_08 = 3;  // deadlines[3] == 0.8
+    std::cout << "\nAlgorithm 2 vs random at 0.8 s: +"
+              << util::FormatDouble(
+                     100.0 * (alg2.avg_recall[at_08] /
+                                  std::max(1e-9, random.avg_recall[at_08]) -
+                              1.0),
+                     1)
+              << "% recall (paper: +" << paper_gain_at_08[b] << "%)\n";
+  }
+
+  bench::Banner(
+      "Fig. 11(d) — performance ratio of Algorithm 2 to optimal* "
+      "(1-1/e = 0.632)");
+  util::AsciiTable ratios;
+  ratios.SetHeader({"deadline(s)", "8GB", "12GB", "16GB", "1-1/e"});
+  for (size_t k = 0; k < deadlines.size(); ++k) {
+    std::vector<double> row = ratio_rows[k];
+    row.push_back(1.0 - 1.0 / std::exp(1.0));
+    ratios.AddRow(util::FormatDouble(deadlines[k], 1), row);
+  }
+  ratios.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces Table III (§VI-H): the scheduling overhead of the framework —
+// the DRL agent's per-decision latency and memory footprint vs the deep
+// learning models' execution costs.
+//
+// Paper reference points: agent decision 3-6 ms and ~100 MB CPU memory;
+// models 50-400 ms and 500-8000 MB GPU memory. (Our agent decision is a
+// plain CPU MLP forward pass; at the paper's 256-unit hidden layer the
+// latency lands well under their 3-6 ms, which included Python overhead.)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "nn/net.h"
+#include "rl/agent.h"
+#include "util/rng.h"
+#include "zoo/model_zoo.h"
+
+namespace {
+
+using namespace ams;
+
+std::unique_ptr<rl::Agent> MakeAgent(int hidden, bool dueling) {
+  nn::MlpConfig config;
+  config.input_dim = zoo::kTotalLabels;
+  config.hidden_dims = {hidden};
+  config.output_dim = 31;
+  if (dueling) {
+    return std::make_unique<rl::Agent>(
+        std::make_unique<nn::DuelingMlp>(config, 42), nn::NetKind::kDueling);
+  }
+  return std::make_unique<rl::Agent>(std::make_unique<nn::Mlp>(config, 42),
+                                     nn::NetKind::kMlp);
+}
+
+// Agent decision latency: one forward pass on a typical (sparse) state.
+void BM_AgentDecision(benchmark::State& state) {
+  const int hidden = static_cast<int>(state.range(0));
+  const bool dueling = state.range(1) != 0;
+  std::unique_ptr<rl::Agent> agent = MakeAgent(hidden, dueling);
+  std::vector<float> features(static_cast<size_t>(zoo::kTotalLabels), 0.0f);
+  util::Rng rng(7);
+  for (int i = 0; i < 40; ++i) {  // ~40 set labels, a mid-episode state
+    features[static_cast<size_t>(rng.UniformInt(0, zoo::kTotalLabels - 1))] =
+        1.0f;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent->PredictValues(features));
+  }
+  state.SetLabel((dueling ? "dueling_h" : "mlp_h") + std::to_string(hidden));
+}
+BENCHMARK(BM_AgentDecision)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+// Simulated model execution, for scale: replaying one stored inference.
+void BM_ModelExecute(benchmark::State& state) {
+  const zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
+  zoo::LatentScene scene;
+  scene.item_seed = 99;
+  scene.scene_id = 3;
+  scene.persons.push_back({true, 0.8, 3, 0, true, 0.9});
+  scene.objects = {0, 19, 31};
+  scene.object_visibility = {0.9, 0.7, 0.8};
+  const int model = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zoo.Execute(model, scene));
+  }
+}
+BENCHMARK(BM_ModelExecute)->Arg(0)->Arg(13)->Arg(29)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Memory side of Table III, from first principles.
+  std::printf("\nTable III — computing cost of the DRL agent vs the models\n");
+  for (const int hidden : {128, 256}) {
+    std::unique_ptr<rl::Agent> agent = MakeAgent(hidden, /*dueling=*/true);
+    const size_t params = agent->net()->NumParams();
+    // Params + Adam moments (2x) + target net during training.
+    const double train_mb =
+        static_cast<double>(params) * 4.0 * 4.0 / (1024.0 * 1024.0);
+    std::printf(
+        "  dueling agent h=%d: %zu params, ~%.1f MB inference, ~%.1f MB "
+        "training state (paper: ~100 MB CPU)\n",
+        hidden, params,
+        static_cast<double>(params) * 4.0 / (1024.0 * 1024.0), train_mb);
+  }
+  const zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
+  double min_t = 1e9, max_t = 0, min_m = 1e12, max_m = 0;
+  for (const auto& spec : zoo.models()) {
+    min_t = std::min(min_t, spec.time_s);
+    max_t = std::max(max_t, spec.time_s);
+    min_m = std::min(min_m, spec.mem_mb);
+    max_m = std::max(max_m, spec.mem_mb);
+  }
+  std::printf(
+      "  deep models: %.0f-%.0f ms execution (paper: 50-400 ms), %.0f-%.0f "
+      "MB GPU memory (paper: 500-8000 MB)\n",
+      min_t * 1000.0, max_t * 1000.0, min_m, max_m);
+  return 0;
+}

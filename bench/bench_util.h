@@ -1,0 +1,46 @@
+#ifndef AMS_BENCH_BENCH_UTIL_H_
+#define AMS_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace ams::bench {
+
+/// Prints a section banner so bench output reads like the paper's figures.
+inline void Banner(const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << title << "\n"
+            << "================================================================\n";
+}
+
+/// Prints an empirical CDF as rows "x  P(X<=x)" on a fixed grid.
+inline void PrintCdf(const std::string& name, std::vector<double> values,
+                     const std::vector<double>& grid) {
+  std::sort(values.begin(), values.end());
+  util::AsciiTable table;
+  table.SetHeader({name, "P(X<=x)"});
+  for (double x : grid) {
+    table.AddRow(util::FormatDouble(x, 2),
+                 {util::CdfAt(values, x)});
+  }
+  table.Print(std::cout);
+}
+
+/// Evenly spaced grid [lo, hi] with n points.
+inline std::vector<double> Grid(double lo, double hi, int n) {
+  std::vector<double> grid;
+  grid.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    grid.push_back(lo + (hi - lo) * i / (n - 1));
+  }
+  return grid;
+}
+
+}  // namespace ams::bench
+
+#endif  // AMS_BENCH_BENCH_UTIL_H_

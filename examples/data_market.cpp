@@ -1,0 +1,67 @@
+// Data-market scenario (§I: "the richer the label of a data set, the higher
+// the price"): batch-enrich a corpus on a shared GPU box using Algorithm 2
+// (parallel scheduling under deadline + memory), and report the label value
+// harvested per GPU-second for different memory budgets.
+//
+//   ./build/examples/data_market
+
+#include <cstdio>
+#include <memory>
+
+#include "core/scheduler_api.h"
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "rl/trainer.h"
+#include "util/stats.h"
+#include "zoo/model_zoo.h"
+
+using namespace ams;
+
+int main() {
+  const zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
+  const data::Dataset dataset = data::Dataset::Generate(
+      data::DatasetProfile::Voc2012(), zoo.labels(), 800, /*seed=*/29);
+  const data::Oracle oracle(&zoo, &dataset);
+
+  rl::TrainConfig config;
+  config.scheme = rl::DrlScheme::kDuelingDqn;
+  config.hidden_dim = 64;
+  config.episodes = 600;
+  config.eps_decay_steps = 3000;
+  std::printf("training the enrichment agent...\n");
+  std::unique_ptr<rl::Agent> agent = rl::AgentTrainer(&oracle, config).Train();
+  core::AdaptiveModelScheduler scheduler(&zoo, agent.get());
+
+  std::printf(
+      "\nenriching 150 items, 1.0 s wall budget per item (Algorithm 2):\n");
+  std::printf("%8s  %14s  %12s  %14s\n", "GPU mem", "labels/item",
+              "value/item", "value/GPU-sec");
+  for (const double mem_gb : {8.0, 12.0, 16.0}) {
+    core::ScheduleConstraints constraints;
+    constraints.time_budget_s = 1.0;
+    constraints.memory_budget_mb = mem_gb * 1024.0;
+    util::RunningStat labels, value, gpu_seconds;
+    for (int i = 0; i < 150; ++i) {
+      const auto& item = dataset.item(dataset.test_indices()[i]);
+      const core::ScheduleResult result =
+          scheduler.LabelItemParallel(item.scene, constraints);
+      labels.Add(static_cast<double>(result.recalled_labels.size()));
+      value.Add(result.value);
+      double busy = 0.0;  // GPU-seconds actually consumed
+      for (const auto& record : result.executions) {
+        busy += record.finish_s - record.start_s;
+      }
+      gpu_seconds.Add(busy);
+    }
+    std::printf("%6.0fGB  %14.1f  %12.2f  %14.2f\n", mem_gb, labels.mean(),
+                value.mean(),
+                gpu_seconds.mean() > 0 ? value.mean() / gpu_seconds.mean()
+                                       : 0.0);
+  }
+  std::printf(
+      "\nLarger memory packs more models into the same wall-clock budget, so\n"
+      "each item ships with richer labels; value per GPU-second stays flat\n"
+      "because the agent only schedules models it expects to pay off.\n");
+  return 0;
+}

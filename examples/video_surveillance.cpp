@@ -1,0 +1,116 @@
+// Video-surveillance scenario (§I, §VI-E): a chunked, content-correlated
+// stream (camera segments) processed two ways —
+//   1. the explore–exploit policy of §I, which fully labels the first frames
+//      of each segment and then runs only the models that paid off;
+//   2. a DRL agent whose face-detector priority θ is boosted (Eq. 3), so the
+//      security-critical "face" label arrives within a tight deadline.
+//
+//   ./build/examples/video_surveillance
+
+#include <cstdio>
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "rl/trainer.h"
+#include "sched/basic_policies.h"
+#include "sched/cost_q_greedy.h"
+#include "sched/explore_exploit.h"
+#include "sched/serial_runner.h"
+#include "util/stats.h"
+#include "zoo/model_zoo.h"
+
+using namespace ams;
+
+int main() {
+  // Part 1 — correlated segments: explore-exploit needs no learning at all.
+  {
+    const zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
+    const data::Dataset stream = data::Dataset::GenerateChunked(
+        data::DatasetProfile::MirFlickr25(), zoo.labels(), /*num_chunks=*/12,
+        /*chunk_len=*/25, /*seed=*/21);
+    const data::Oracle oracle(&zoo, &stream);
+    sched::ExploreExploitPolicy explore(/*explore_items=*/2);
+    sched::RandomPolicy random(5);
+    util::RunningStat explore_time, random_time, explore_recall;
+    sched::SerialRunConfig config;
+    config.recall_target = 1.0;
+    for (int item = 0; item < stream.size(); ++item) {
+      const int chunk = stream.item(item).chunk_id;
+      const auto run_e =
+          sched::RunSerial(&explore, oracle, item, config, chunk);
+      explore_time.Add(run_e.time_used);
+      explore_recall.Add(run_e.recall);
+      random_time.Add(
+          sched::RunSerial(&random, oracle, item, config, chunk).time_used);
+    }
+    std::printf(
+        "segmented stream (%d segments x 25 frames):\n"
+        "  explore-exploit: %.2f s/frame at %.1f%% recall\n"
+        "  random:          %.2f s/frame\n"
+        "  -> correlated content needs no DRL: explore the segment head, "
+        "exploit the rest (SI)\n\n",
+        stream.num_chunks(), explore_time.mean(),
+        100.0 * explore_recall.mean(), random_time.mean());
+  }
+
+  // Part 2 — priority scheduling: boost the face detector's theta so faces
+  // are labeled first under a tight deadline (SVI-E's practical utility).
+  {
+    zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
+    const int face_model = zoo.ModelsForTask(zoo::TaskKind::kFaceDetection)[1];
+    zoo.SetTheta(face_model, 10.0);
+    const data::Dataset dataset = data::Dataset::Generate(
+        data::DatasetProfile::Stanford40(), zoo.labels(), 800, /*seed=*/8);
+    const data::Oracle oracle(&zoo, &dataset);
+
+    rl::TrainConfig config;
+    config.scheme = rl::DrlScheme::kDuelingDqn;
+    config.hidden_dim = 64;
+    config.episodes = 600;
+    config.eps_decay_steps = 3000;
+    std::printf("training the theta-boosted surveillance agent...\n");
+    std::unique_ptr<rl::Agent> agent =
+        rl::AgentTrainer(&oracle, config).Train();
+
+    sched::CostQGreedyPolicy policy(agent.get());  // Algorithm 1
+    sched::SerialRunConfig run_config;
+    run_config.time_budget = 0.5;  // respond within half a second
+    const int face_label = zoo.labels().LabelId(zoo::TaskKind::kFaceDetection, 0);
+    int frames = 0, face_frames = 0, face_found = 0;
+    util::RunningStat face_position;
+    for (int i = 0; i < 200; ++i) {
+      const int item = dataset.test_indices()[static_cast<size_t>(i)];
+      ++frames;
+      // Ground truth: does any model emit the face label valuably?
+      if (oracle.LabelProfit(item, face_label) <= 0.0) continue;
+      ++face_frames;
+      const auto run = sched::RunSerial(&policy, oracle, item, run_config);
+      for (size_t k = 0; k < run.steps.size(); ++k) {
+        if (run.steps[k].model == face_model) {
+          face_position.Add(static_cast<double>(k + 1));
+        }
+      }
+      core::ValueAccumulator probe(&oracle, item);
+      for (const auto& step : run.steps) probe.AddModel(step.model);
+      // Face recalled within the 0.5 s budget?
+      bool recalled = false;
+      for (const auto& step : run.steps) {
+        for (const auto& out : oracle.ValuableOutput(item, step.model)) {
+          if (out.label_id == face_label) recalled = true;
+        }
+      }
+      if (recalled) ++face_found;
+    }
+    std::printf(
+        "theta=10 face priority, 0.5 s deadline over %d frames:\n"
+        "  frames with a detectable face: %d; face recalled in-budget: %d "
+        "(%.1f%%)\n"
+        "  boosted face detector runs at avg position %.1f of the schedule\n",
+        frames, face_frames, face_found,
+        face_frames > 0 ? 100.0 * face_found / face_frames : 0.0,
+        face_position.count() > 0 ? face_position.mean() : -1.0);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/env.h"
+
+#include "util/check.h"
+
+namespace ams::core {
+
+SchedulingEnv::SchedulingEnv(const data::Oracle* oracle, const EnvConfig& config)
+    : oracle_(oracle),
+      config_(config),
+      state_(oracle->zoo().labels().total_labels(), oracle->num_models()),
+      value_(oracle, 0) {
+  AMS_CHECK(oracle != nullptr);
+}
+
+void SchedulingEnv::Reset(int item) {
+  AMS_CHECK(item >= 0 && item < oracle_->num_items());
+  item_ = item;
+  state_.Reset();
+  value_ = ValueAccumulator(oracle_, item);
+  done_ = false;
+  time_spent_ = 0.0;
+}
+
+bool SchedulingEnv::ActionValid(int action) const {
+  if (done_) return false;
+  if (action == end_action()) return config_.enable_end_action;
+  return action >= 0 && action < num_models() && !state_.model_executed(action);
+}
+
+std::vector<int> SchedulingEnv::ValidActions() const {
+  std::vector<int> valid;
+  if (done_) return valid;
+  for (int m = 0; m < num_models(); ++m) {
+    if (!state_.model_executed(m)) valid.push_back(m);
+  }
+  if (config_.enable_end_action) valid.push_back(end_action());
+  return valid;
+}
+
+StepResult SchedulingEnv::Step(int action) {
+  AMS_CHECK(!done_, "step after episode end");
+  StepResult result;
+  if (action == end_action()) {
+    AMS_CHECK(config_.enable_end_action, "END action disabled");
+    result.reward = kEndActionReward;
+    result.done = true;
+    done_ = true;
+    return result;
+  }
+  AMS_CHECK(ActionValid(action), "invalid action");
+  result.fresh = state_.Apply(action, oracle_->Output(item_, action));
+  value_.AddModel(action);
+  time_spent_ += oracle_->ExecutionTime(item_, action);
+  result.reward = ModelReward(result.fresh,
+                              oracle_->zoo().model(action).theta,
+                              config_.shaping);
+  if (state_.num_executed() == num_models()) {
+    result.done = true;
+    done_ = true;
+  }
+  return result;
+}
+
+}  // namespace ams::core

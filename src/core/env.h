@@ -1,0 +1,84 @@
+#ifndef AMS_CORE_ENV_H_
+#define AMS_CORE_ENV_H_
+
+#include <vector>
+
+#include "core/labeling_state.h"
+#include "core/reward.h"
+#include "core/value.h"
+#include "data/oracle.h"
+
+namespace ams::core {
+
+/// Configuration of the scheduling MDP.
+struct EnvConfig {
+  RewardShaping shaping = RewardShaping::kLogSum;
+  /// Whether selecting the END action is allowed (it is during training,
+  /// §IV-B; scheduling-time stop conditions are resource budgets instead).
+  bool enable_end_action = true;
+};
+
+/// Result of one environment step.
+struct StepResult {
+  double reward = 0.0;
+  bool done = false;
+  /// Newly emitted valuable labels (empty for END or duplicate output).
+  std::vector<zoo::LabelOutput> fresh;
+};
+
+/// The "prediction–scheduling–execution" loop's environment (§III-B):
+/// an episode labels one data item; actions are model executions (replayed
+/// from the oracle) plus the END action; observations are the binary
+/// labeling state.
+class SchedulingEnv {
+ public:
+  SchedulingEnv(const data::Oracle* oracle, const EnvConfig& config);
+
+  /// Starts an episode on `item`; returns the initial (all-zero) state.
+  void Reset(int item);
+
+  /// Number of model actions (END is action index num_models()).
+  int num_models() const { return oracle_->num_models(); }
+  int end_action() const { return oracle_->num_models(); }
+  int num_actions() const { return oracle_->num_models() + 1; }
+  int feature_dim() const {
+    return oracle_->zoo().labels().total_labels();
+  }
+
+  /// Executes an action. `action` must be a not-yet-executed model or END.
+  StepResult Step(int action);
+
+  bool done() const { return done_; }
+  int item() const { return item_; }
+  const LabelingState& state() const { return state_; }
+  const std::vector<float>& Features() const { return state_.Features(); }
+
+  /// True if `action` may be selected now (unexecuted model, or END when
+  /// enabled and the episode is live).
+  bool ActionValid(int action) const;
+
+  /// Actions currently selectable (used by epsilon-greedy exploration).
+  std::vector<int> ValidActions() const;
+
+  /// Value recall accumulated so far in this episode.
+  double Recall() const { return value_.Recall(); }
+  double Value() const { return value_.Value(); }
+
+  /// Simulated execution time spent on models so far in this episode.
+  double TimeSpent() const { return time_spent_; }
+
+  const data::Oracle& oracle() const { return *oracle_; }
+
+ private:
+  const data::Oracle* oracle_;
+  EnvConfig config_;
+  LabelingState state_;
+  ValueAccumulator value_;
+  int item_ = -1;
+  bool done_ = true;
+  double time_spent_ = 0.0;
+};
+
+}  // namespace ams::core
+
+#endif  // AMS_CORE_ENV_H_

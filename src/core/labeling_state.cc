@@ -1,0 +1,42 @@
+#include "core/labeling_state.h"
+
+#include "util/check.h"
+
+namespace ams::core {
+
+LabelingState::LabelingState(int num_labels, int num_models)
+    : labels_(static_cast<size_t>(num_labels), 0.0f),
+      executed_(static_cast<size_t>(num_models), false) {
+  AMS_CHECK(num_labels > 0 && num_models > 0);
+}
+
+void LabelingState::Reset() {
+  std::fill(labels_.begin(), labels_.end(), 0.0f);
+  std::fill(executed_.begin(), executed_.end(), false);
+  order_.clear();
+  num_executed_ = 0;
+  num_labels_set_ = 0;
+}
+
+std::vector<zoo::LabelOutput> LabelingState::Apply(
+    int model_id, const std::vector<zoo::LabelOutput>& outputs) {
+  AMS_CHECK(model_id >= 0 && model_id < num_models());
+  AMS_CHECK(!executed_[static_cast<size_t>(model_id)],
+            "model executed twice on one item");
+  executed_[static_cast<size_t>(model_id)] = true;
+  order_.push_back(model_id);
+  ++num_executed_;
+  std::vector<zoo::LabelOutput> fresh;
+  for (const auto& out : outputs) {
+    if (out.confidence < zoo::kValuableConfidence) continue;
+    float& bit = labels_[static_cast<size_t>(out.label_id)];
+    if (bit == 0.0f) {
+      bit = 1.0f;
+      ++num_labels_set_;
+      fresh.push_back(out);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace ams::core

@@ -1,0 +1,58 @@
+#ifndef AMS_CORE_LABELING_STATE_H_
+#define AMS_CORE_LABELING_STATE_H_
+
+#include <vector>
+
+#include "zoo/model_zoo.h"
+
+namespace ams::core {
+
+/// The DRL environment observation of §IV: an n-dimensional binary vector
+/// over the label space, where bit i says whether label i has been emitted
+/// (valuably) by any executed model, plus bookkeeping of which models ran.
+///
+/// Design decision: only valuable outputs (conf >= kValuableConfidence) set
+/// state bits and count as "new labels" for O'(m, d). Low-confidence outputs
+/// are treated as waste, consistent with Fig. 1 grouping "no output" and
+/// "low-confidence output" together as useless executions.
+class LabelingState {
+ public:
+  LabelingState(int num_labels, int num_models);
+
+  /// Clears all bits and the executed-model set.
+  void Reset();
+
+  /// Registers the execution of `model_id` with the given raw outputs.
+  /// Returns O'(m, d): the valuable outputs whose labels were not yet set.
+  /// Marks the model executed even if nothing new is produced.
+  std::vector<zoo::LabelOutput> Apply(int model_id,
+                                      const std::vector<zoo::LabelOutput>& outputs);
+
+  bool label_set(int label_id) const {
+    return labels_[static_cast<size_t>(label_id)] != 0.0f;
+  }
+  bool model_executed(int model_id) const {
+    return executed_[static_cast<size_t>(model_id)];
+  }
+  int num_executed() const { return num_executed_; }
+  int num_labels_set() const { return num_labels_set_; }
+  int num_labels() const { return static_cast<int>(labels_.size()); }
+  int num_models() const { return static_cast<int>(executed_.size()); }
+
+  /// The binary feature vector fed to the Q-network (size = num_labels).
+  const std::vector<float>& Features() const { return labels_; }
+
+  /// Model ids in execution order.
+  const std::vector<int>& execution_order() const { return order_; }
+
+ private:
+  std::vector<float> labels_;   // 0/1 floats: directly usable as NN input
+  std::vector<bool> executed_;
+  std::vector<int> order_;
+  int num_executed_ = 0;
+  int num_labels_set_ = 0;
+};
+
+}  // namespace ams::core
+
+#endif  // AMS_CORE_LABELING_STATE_H_

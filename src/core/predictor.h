@@ -1,0 +1,50 @@
+#ifndef AMS_CORE_PREDICTOR_H_
+#define AMS_CORE_PREDICTOR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ams::core {
+
+/// Maps a predicted Q value to the positive profit used in the cost ratios
+/// of Algorithms 1 and 2 (Q/time, Q/mem, Q/(time*mem)).
+///
+/// Two corrections are folded into one strictly increasing transform:
+///  1. Positivity. Trained Q values are legitimately negative for models
+///     expected to yield nothing (the Eq. 3 punishment). A raw negative
+///     numerator would *favour* expensive models (negative over a big cost
+///     is "less bad"), and a hard floor would erase the ordering among
+///     negative predictions. softplus(3q)/3 is positive and order-preserving.
+///  2. Decompression. The Eq. 3 reward is ln(sum_conf + 1), so Q estimates
+///     live on a log scale; a ratio of log-values under-weights expensive
+///     many-label models exactly where the value concentrates (keypoint
+///     tasks). expm1 inverts the log so the ratio compares (approximately)
+///     confidence mass per unit cost, which is what the knapsack greedy of
+///     Algorithm 1/2 assumes.
+inline double SchedulingProfit(double q) {
+  const double x = 3.0 * std::min(q, 10.0);
+  const double softplus = std::log1p(std::exp(x)) / 3.0;
+  return std::expm1(softplus);
+}
+
+/// Interface of the model-value prediction component (§IV): maps the binary
+/// labeling state to the predicted value (Q-value) of every action.
+///
+/// Implementations return `num_models + 1` entries; the last entry is the
+/// END action's value. The DRL agent in src/rl implements this; tests use
+/// deterministic fakes.
+class ModelValuePredictor {
+ public:
+  virtual ~ModelValuePredictor() = default;
+
+  /// Predicted action values given state features (size = label count).
+  virtual std::vector<double> PredictValues(
+      const std::vector<float>& state_features) = 0;
+
+  virtual int num_actions() const = 0;
+};
+
+}  // namespace ams::core
+
+#endif  // AMS_CORE_PREDICTOR_H_

@@ -1,0 +1,27 @@
+#include "core/reward.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ams::core {
+
+double ModelReward(const std::vector<zoo::LabelOutput>& fresh_outputs,
+                   double theta, RewardShaping shaping) {
+  AMS_DCHECK(theta > 0.0);
+  if (fresh_outputs.empty()) return kNoOutputPunishment;
+  double sum = 0.0;
+  for (const auto& out : fresh_outputs) sum += out.confidence;
+  switch (shaping) {
+    case RewardShaping::kLogSum:
+      return std::log(theta * sum + 1.0);
+    case RewardShaping::kAverage:
+      return theta * sum / static_cast<double>(fresh_outputs.size());
+    case RewardShaping::kRawSum:
+      return theta * sum;
+  }
+  AMS_CHECK(false, "invalid shaping");
+  return 0.0;
+}
+
+}  // namespace ams::core

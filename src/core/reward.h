@@ -1,0 +1,33 @@
+#ifndef AMS_CORE_REWARD_H_
+#define AMS_CORE_REWARD_H_
+
+#include <vector>
+
+#include "zoo/model_zoo.h"
+
+namespace ams::core {
+
+/// Reward-shaping variants. The paper's reward (Eq. 3) uses the log
+/// smoothing; the alternatives exist for the §IV-A ablation ("other
+/// smoothing functions such as the average confidence ... achieve a similar
+/// effect"), and the raw sum demonstrates the label-count bias the log fixes.
+enum class RewardShaping {
+  kLogSum,   // ln(theta * sum conf + 1)      — Eq. (3), the default
+  kAverage,  // theta * mean(conf)            — alternative smoothing
+  kRawSum,   // theta * sum conf              — biased toward many-label models
+};
+
+/// Reward received when the "END" action is selected (§IV-B).
+inline constexpr double kEndActionReward = 0.0;
+
+/// Punishment when a model emits nothing new (O' empty), Eq. (3).
+inline constexpr double kNoOutputPunishment = -1.0;
+
+/// Computes the reward of Eq. (3) for executing a model that produced the
+/// new-label set `fresh_outputs` (= O'(m, d)), with priority theta.
+double ModelReward(const std::vector<zoo::LabelOutput>& fresh_outputs,
+                   double theta, RewardShaping shaping = RewardShaping::kLogSum);
+
+}  // namespace ams::core
+
+#endif  // AMS_CORE_REWARD_H_

@@ -1,0 +1,89 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "data/scene_sampler.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ams::data {
+
+Dataset Dataset::Generate(const DatasetProfile& profile,
+                          const zoo::LabelSpace& labels, int num_items,
+                          uint64_t seed) {
+  AMS_CHECK(num_items > 0);
+  Dataset ds;
+  ds.profile_ = profile;
+  SceneSampler sampler(profile, &labels);
+  util::Rng rng(util::HashCombine(seed, profile.profile_seed));
+  ds.items_.reserve(static_cast<size_t>(num_items));
+  for (int i = 0; i < num_items; ++i) {
+    DataItem item;
+    item.id = i;
+    item.scene = sampler.Sample(&rng, util::HashCombine(seed, 0x17EAu + i));
+    ds.items_.push_back(std::move(item));
+  }
+  ds.Split(/*train_fraction=*/0.2, seed);  // paper: 1:4 train:test
+  return ds;
+}
+
+Dataset Dataset::GenerateChunked(const DatasetProfile& profile,
+                                 const zoo::LabelSpace& labels, int num_chunks,
+                                 int chunk_len, uint64_t seed) {
+  AMS_CHECK(num_chunks > 0 && chunk_len > 0);
+  Dataset ds;
+  ds.profile_ = profile;
+  ds.chunked_ = true;
+  ds.num_chunks_ = num_chunks;
+  SceneSampler sampler(profile, &labels);
+  util::Rng rng(util::HashCombine(seed, profile.profile_seed ^ 0xC4u));
+  int id = 0;
+  for (int c = 0; c < num_chunks; ++c) {
+    // Chunk base content; frames jitter around it.
+    zoo::LatentScene base =
+        sampler.Sample(&rng, util::HashCombine(seed, 0xBA5Eu + c));
+    for (int f = 0; f < chunk_len; ++f) {
+      DataItem item;
+      item.id = id;
+      item.chunk_id = c;
+      zoo::LatentScene frame = base;
+      frame.item_seed = util::HashCombine(seed, 0xF0A0u + id);
+      // Per-frame jitter: visibilities wobble, rare content churn.
+      frame.scene_clarity =
+          std::clamp(base.scene_clarity + rng.Normal(0.0, 0.05), 0.05, 1.0);
+      for (auto& p : frame.persons) {
+        p.pose_visibility =
+            std::clamp(p.pose_visibility + rng.Normal(0.0, 0.05), 0.05, 1.0);
+        if (p.face_visible) {
+          p.face_quality =
+              std::clamp(p.face_quality + rng.Normal(0.0, 0.05), 0.05, 1.0);
+        }
+      }
+      for (auto& v : frame.object_visibility) {
+        v = std::clamp(v + rng.Normal(0.0, 0.05), 0.05, 1.0);
+      }
+      if (!frame.persons.empty() && rng.Bernoulli(0.03)) {
+        frame.persons.pop_back();  // somebody walks out of frame
+      }
+      ds.items_.push_back({id, std::move(frame), c});
+      ++id;
+    }
+  }
+  ds.Split(/*train_fraction=*/0.2, seed);
+  return ds;
+}
+
+void Dataset::Split(double train_fraction, uint64_t seed) {
+  const int n = size();
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  util::Rng rng(util::HashCombine(seed, 0x5917u));
+  rng.Shuffle(&order);
+  const int train_count = std::max(1, static_cast<int>(n * train_fraction));
+  train_.assign(order.begin(), order.begin() + train_count);
+  test_.assign(order.begin() + train_count, order.end());
+  std::sort(train_.begin(), train_.end());
+  std::sort(test_.begin(), test_.end());
+}
+
+}  // namespace ams::data

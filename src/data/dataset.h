@@ -1,0 +1,63 @@
+#ifndef AMS_DATA_DATASET_H_
+#define AMS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset_profile.h"
+#include "zoo/label_space.h"
+#include "zoo/latent_scene.h"
+
+namespace ams::data {
+
+/// One generated data item ("image").
+struct DataItem {
+  int id = 0;
+  zoo::LatentScene scene;
+  /// Chunk id for correlated (video-like) datasets; -1 for i.i.d. data.
+  int chunk_id = -1;
+};
+
+/// A generated corpus plus its deterministic train/test split.
+class Dataset {
+ public:
+  /// Generates `num_items` i.i.d. items from the profile's generative model.
+  static Dataset Generate(const DatasetProfile& profile,
+                          const zoo::LabelSpace& labels, int num_items,
+                          uint64_t seed);
+
+  /// Generates a chunked, content-correlated stream (video-segment-like):
+  /// `num_chunks` chunks of `chunk_len` items; items within a chunk share the
+  /// base scene with per-frame jitter. Used by the §I explore–exploit case.
+  static Dataset GenerateChunked(const DatasetProfile& profile,
+                                 const zoo::LabelSpace& labels, int num_chunks,
+                                 int chunk_len, uint64_t seed);
+
+  const std::vector<DataItem>& items() const { return items_; }
+  int size() const { return static_cast<int>(items_.size()); }
+  const DataItem& item(int i) const { return items_[static_cast<size_t>(i)]; }
+  const DatasetProfile& profile() const { return profile_; }
+
+  /// Deterministic split (paper §VI-A uses train:test = 1:4).
+  /// Every item lands in exactly one of the two index sets.
+  const std::vector<int>& train_indices() const { return train_; }
+  const std::vector<int>& test_indices() const { return test_; }
+
+  bool chunked() const { return chunked_; }
+  int num_chunks() const { return num_chunks_; }
+
+ private:
+  Dataset() = default;
+  void Split(double train_fraction, uint64_t seed);
+
+  DatasetProfile profile_;
+  std::vector<DataItem> items_;
+  std::vector<int> train_;
+  std::vector<int> test_;
+  bool chunked_ = false;
+  int num_chunks_ = 0;
+};
+
+}  // namespace ams::data
+
+#endif  // AMS_DATA_DATASET_H_

@@ -1,0 +1,122 @@
+#include "data/dataset_profile.h"
+
+namespace ams::data {
+
+DatasetProfile DatasetProfile::MsCoco() {
+  DatasetProfile p;
+  p.name = "mscoco";
+  p.p_person = 0.55;
+  p.extra_person_rate = 0.5;
+  p.p_face_given_person = 0.6;
+  p.p_hands_given_person = 0.3;
+  p.p_action_given_person = 0.7;
+  p.p_dog = 0.14;
+  p.object_rate = 3.2;
+  p.scene_zipf_s = 0.7;
+  p.indoor_bias = 0.5;
+  p.profile_seed = 101;
+  return p;
+}
+
+DatasetProfile DatasetProfile::Places365() {
+  DatasetProfile p;
+  p.name = "places365";
+  p.p_person = 0.35;
+  p.extra_person_rate = 0.3;
+  p.p_face_given_person = 0.5;
+  p.p_hands_given_person = 0.2;
+  p.p_action_given_person = 0.55;
+  p.p_dog = 0.06;
+  p.object_rate = 1.8;
+  p.scene_zipf_s = 0.35;  // broad scene coverage: near-uniform categories
+  p.indoor_bias = 0.5;
+  p.clarity_lo = 0.45;    // scene-centric photos are clearer scenes
+  p.profile_seed = 202;
+  return p;
+}
+
+DatasetProfile DatasetProfile::MirFlickr25() {
+  DatasetProfile p;
+  p.name = "mirflickr25";
+  p.p_person = 0.62;
+  p.extra_person_rate = 0.6;
+  p.p_face_given_person = 0.8;   // social photos: faces front and centre
+  p.p_hands_given_person = 0.35;
+  p.p_action_given_person = 0.65;
+  p.p_dog = 0.12;
+  p.object_rate = 2.4;
+  p.scene_zipf_s = 0.9;
+  p.indoor_bias = 0.55;
+  p.profile_seed = 303;
+  return p;
+}
+
+DatasetProfile DatasetProfile::Stanford40() {
+  DatasetProfile p;
+  p.name = "stanford40";
+  p.p_person = 0.97;             // action-recognition corpus
+  p.extra_person_rate = 0.4;
+  p.p_face_given_person = 0.65;
+  p.p_hands_given_person = 0.55;  // many manipulation actions
+  p.p_action_given_person = 0.95;
+  p.p_dog = 0.08;
+  p.object_rate = 1.9;
+  p.scene_zipf_s = 0.9;
+  p.indoor_bias = 0.45;
+  p.vis_lo = 0.45;               // people are the subject: well visible
+  p.profile_seed = 404;
+  return p;
+}
+
+DatasetProfile DatasetProfile::Voc2012() {
+  DatasetProfile p;
+  p.name = "voc2012";
+  p.p_person = 0.45;
+  p.extra_person_rate = 0.35;
+  p.p_face_given_person = 0.55;
+  p.p_hands_given_person = 0.25;
+  p.p_action_given_person = 0.6;
+  p.p_dog = 0.18;                // animals prominent in VOC
+  p.object_rate = 3.0;
+  p.scene_zipf_s = 0.75;
+  p.indoor_bias = 0.4;           // slightly outdoor-leaning
+  p.profile_seed = 505;
+  return p;
+}
+
+std::vector<DatasetProfile> DatasetProfile::AllProfiles() {
+  return {MsCoco(), Places365(), MirFlickr25(), Stanford40(), Voc2012()};
+}
+
+DatasetProfile DatasetProfile::DogsOnly() {
+  DatasetProfile p;
+  p.name = "dogs_only";
+  p.p_person = 0.02;
+  p.p_face_given_person = 0.3;
+  p.p_hands_given_person = 0.1;
+  p.p_action_given_person = 0.2;
+  p.p_dog = 1.0;
+  p.object_rate = 1.2;
+  p.scene_zipf_s = 1.0;
+  p.indoor_bias = 0.25;
+  p.profile_seed = 606;
+  return p;
+}
+
+DatasetProfile DatasetProfile::ActionsOnly() {
+  DatasetProfile p;
+  p.name = "actions_only";
+  p.p_person = 1.0;
+  p.extra_person_rate = 0.5;
+  p.p_face_given_person = 0.7;
+  p.p_hands_given_person = 0.6;
+  p.p_action_given_person = 1.0;
+  p.p_dog = 0.0;
+  p.object_rate = 1.5;
+  p.scene_zipf_s = 1.0;
+  p.indoor_bias = 0.5;
+  p.profile_seed = 707;
+  return p;
+}
+
+}  // namespace ams::data

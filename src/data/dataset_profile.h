@@ -1,0 +1,68 @@
+#ifndef AMS_DATA_DATASET_PROFILE_H_
+#define AMS_DATA_DATASET_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ams::data {
+
+/// Parameters of the latent-scene generative model for one synthetic corpus.
+///
+/// The five factory profiles stand in for the paper's five public datasets;
+/// each skews the latent distributions the way the real corpora differ so
+/// that content distribution shift (and thus the transfer experiments of
+/// §VI-D) is reproduced.
+struct DatasetProfile {
+  std::string name;
+
+  /// Probability that the scene contains at least one person.
+  double p_person = 0.5;
+  /// Geometric-tail parameter for additional persons (expected extras).
+  double extra_person_rate = 0.4;
+  double p_face_given_person = 0.7;
+  double p_hands_given_person = 0.35;
+  double p_action_given_person = 0.8;
+  double p_dog = 0.12;
+  /// Expected number of non-person, non-dog objects in the scene.
+  double object_rate = 2.2;
+  /// Zipf exponent for the scene-category distribution (higher = narrower).
+  double scene_zipf_s = 0.8;
+  /// Probability mass forced onto indoor scenes (0.5 = unbiased).
+  double indoor_bias = 0.5;
+  /// Base visibility range for persons/objects (uniform draw).
+  double vis_lo = 0.35;
+  double vis_hi = 1.0;
+  /// Scene-clarity range; low clarity yields low-confidence place outputs.
+  double clarity_lo = 0.2;
+  double clarity_hi = 1.0;
+  /// Seed permuting the profile's scene/action/breed preference tables so
+  /// different corpora favour different categories.
+  uint64_t profile_seed = 1;
+
+  // ---- Factory profiles for the paper's five datasets (§VI-A) ----
+
+  /// MSCOCO 2017: object-rich everyday scenes, persons common.
+  static DatasetProfile MsCoco();
+  /// Places365: scene-centric, fewer persons/objects, broad scene coverage.
+  static DatasetProfile Places365();
+  /// MirFlickr25: social photography — faces and people dominate.
+  static DatasetProfile MirFlickr25();
+  /// Stanford40: human-action photographs — persons ~always present.
+  static DatasetProfile Stanford40();
+  /// PASCAL VOC 2012: broad object categories incl. animals/vehicles.
+  static DatasetProfile Voc2012();
+
+  /// All five factory profiles in a fixed order.
+  static std::vector<DatasetProfile> AllProfiles();
+
+  /// An intentionally degenerate profile (only dog photos, no persons) used
+  /// by the transfer-limits ablation (§VI-D "extreme cases").
+  static DatasetProfile DogsOnly();
+  /// The opposite extreme: only human-action photos, no dogs.
+  static DatasetProfile ActionsOnly();
+};
+
+}  // namespace ams::data
+
+#endif  // AMS_DATA_DATASET_PROFILE_H_

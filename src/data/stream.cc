@@ -1,0 +1,25 @@
+#include "data/stream.h"
+
+#include "util/check.h"
+
+namespace ams::data {
+
+DataStream::DataStream(const Dataset* dataset, std::vector<int> indices,
+                       bool shuffle, uint64_t seed)
+    : dataset_(dataset), order_(std::move(indices)) {
+  AMS_CHECK(dataset != nullptr);
+  AMS_CHECK(!order_.empty());
+  if (shuffle) {
+    util::Rng rng(util::HashCombine(seed, 0x57124Du));
+    rng.Shuffle(&order_);
+  }
+}
+
+int DataStream::Next() {
+  AMS_CHECK(!Done(), "stream exhausted");
+  const int item = order_[static_cast<size_t>(pos_++)];
+  current_chunk_ = dataset_->item(item).chunk_id;
+  return item;
+}
+
+}  // namespace ams::data

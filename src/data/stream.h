@@ -1,0 +1,47 @@
+#ifndef AMS_DATA_STREAM_H_
+#define AMS_DATA_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace ams::data {
+
+/// Iterates item indices of a dataset as an online stream. Supports the two
+/// regimes of §I: uncorrelated (shuffled i.i.d. items) and chunked
+/// (video-like segments arriving in order).
+class DataStream {
+ public:
+  /// Streams `indices` (e.g. a dataset's test split). If `shuffle`, the order
+  /// is randomized once with `seed`; chunked datasets should not shuffle so
+  /// that chunk locality is preserved.
+  DataStream(const Dataset* dataset, std::vector<int> indices, bool shuffle,
+             uint64_t seed);
+
+  bool Done() const { return pos_ >= static_cast<int>(order_.size()); }
+
+  /// Returns the next item index and advances.
+  int Next();
+
+  /// Chunk id of the item most recently returned (-1 for i.i.d. data).
+  int current_chunk() const { return current_chunk_; }
+
+  void Reset() {
+    pos_ = 0;
+    current_chunk_ = -1;
+  }
+
+  int size() const { return static_cast<int>(order_.size()); }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<int> order_;
+  int pos_ = 0;
+  int current_chunk_ = -1;
+};
+
+}  // namespace ams::data
+
+#endif  // AMS_DATA_STREAM_H_

@@ -1,0 +1,80 @@
+#include "eval/agent_cache.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ams::eval {
+
+namespace {
+
+void EnsureDir(const std::string& path) {
+  // Create each component of the path (mkdir -p).
+  std::string prefix;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!prefix.empty()) {
+        ::mkdir(prefix.c_str(), 0755);  // EEXIST is fine
+      }
+      if (i < path.size()) prefix += '/';
+    } else {
+      prefix += path[i];
+    }
+  }
+}
+
+}  // namespace
+
+AgentCache::AgentCache(std::string dir) : dir_(std::move(dir)) {
+  AMS_CHECK(!dir_.empty());
+  EnsureDir(dir_);
+}
+
+std::string AgentCache::PathForKey(const std::string& key) const {
+  std::string sanitized = key;
+  for (char& c : sanitized) {
+    if (!isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_' &&
+        c != '.') {
+      c = '_';
+    }
+  }
+  return dir_ + "/" + sanitized + ".agent";
+}
+
+std::unique_ptr<rl::Agent> AgentCache::GetOrTrain(const AgentRequest& request) {
+  AMS_CHECK(request.oracle != nullptr);
+  const std::string path = PathForKey(request.key);
+  if (std::unique_ptr<rl::Agent> cached = rl::Agent::Load(path)) {
+    return cached;
+  }
+  rl::AgentTrainer trainer(request.oracle, request.config);
+  std::unique_ptr<rl::Agent> agent = trainer.Train();
+  agent->Save(path);
+  return agent;
+}
+
+std::vector<std::unique_ptr<rl::Agent>> AgentCache::GetOrTrainAll(
+    const std::vector<AgentRequest>& requests) {
+  std::vector<std::unique_ptr<rl::Agent>> agents(requests.size());
+  // Load hits inline; train misses concurrently.
+  std::vector<size_t> misses;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::string path = PathForKey(requests[i].key);
+    agents[i] = rl::Agent::Load(path);
+    if (agents[i] == nullptr) misses.push_back(i);
+  }
+  if (misses.empty()) return agents;
+  const int workers = std::min<int>(util::ThreadPool::DefaultThreads(),
+                                    static_cast<int>(misses.size()));
+  util::ParallelFor(0, static_cast<int>(misses.size()), workers, [&](int k) {
+    const size_t i = misses[static_cast<size_t>(k)];
+    agents[i] = GetOrTrain(requests[i]);
+  });
+  return agents;
+}
+
+}  // namespace ams::eval

@@ -1,0 +1,50 @@
+#ifndef AMS_EVAL_AGENT_CACHE_H_
+#define AMS_EVAL_AGENT_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/oracle.h"
+#include "rl/agent.h"
+#include "rl/trainer.h"
+
+namespace ams::eval {
+
+/// Request to train (or load from cache) one agent.
+struct AgentRequest {
+  /// Cache key component; include everything that affects the result
+  /// (dataset name, scheme, theta, ...).
+  std::string key;
+  const data::Oracle* oracle = nullptr;
+  rl::TrainConfig config;
+};
+
+/// Disk-backed cache of trained agents so every benchmark binary can be run
+/// standalone: the first run trains (in parallel across requests), later
+/// runs load checkpoints in milliseconds.
+class AgentCache {
+ public:
+  /// `dir` is created if missing (default: artifacts/agents under the
+  /// current working directory).
+  explicit AgentCache(std::string dir = "artifacts/agents");
+
+  /// Returns the cached agent for `request.key`, training and persisting it
+  /// on a miss.
+  std::unique_ptr<rl::Agent> GetOrTrain(const AgentRequest& request);
+
+  /// Resolves a batch of requests, training all misses concurrently (one
+  /// thread each, bounded by hardware concurrency). Result order matches
+  /// request order.
+  std::vector<std::unique_ptr<rl::Agent>> GetOrTrainAll(
+      const std::vector<AgentRequest>& requests);
+
+  std::string PathForKey(const std::string& key) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ams::eval
+
+#endif  // AMS_EVAL_AGENT_CACHE_H_

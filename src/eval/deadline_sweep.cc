@@ -1,0 +1,104 @@
+#include "eval/deadline_sweep.h"
+
+#include <thread>
+
+#include "sched/optimal_star.h"
+#include "sched/serial_runner.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ams::eval {
+
+std::vector<double> DefaultDeadlines() {
+  return {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0};
+}
+
+DeadlineSweep ComputeDeadlineSweep(const PolicyFactory& factory,
+                                   const data::Oracle& oracle,
+                                   const std::vector<int>& items,
+                                   const std::vector<double>& deadlines,
+                                   int num_threads) {
+  AMS_CHECK(!items.empty() && !deadlines.empty());
+  if (num_threads <= 0) num_threads = util::ThreadPool::DefaultThreads();
+  DeadlineSweep sweep;
+  {
+    std::unique_ptr<sched::SchedulingPolicy> probe = factory();
+    sweep.policy_name = probe->name();
+  }
+  sweep.deadlines_s = deadlines;
+  sweep.avg_recall.assign(deadlines.size(), 0.0);
+
+  const int n = static_cast<int>(items.size());
+  const int chunk = (n + num_threads - 1) / num_threads;
+  std::vector<std::vector<double>> partial(
+      static_cast<size_t>(num_threads),
+      std::vector<double>(deadlines.size(), 0.0));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const int lo = t * chunk;
+    const int hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&, t, lo, hi] {
+      std::unique_ptr<sched::SchedulingPolicy> policy = factory();
+      for (int i = lo; i < hi; ++i) {
+        for (size_t d = 0; d < deadlines.size(); ++d) {
+          sched::SerialRunConfig config;
+          config.time_budget = deadlines[d];
+          const auto run = sched::RunSerial(policy.get(), oracle,
+                                            items[static_cast<size_t>(i)],
+                                            config);
+          partial[static_cast<size_t>(t)][d] += run.recall;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& p : partial) {
+    for (size_t d = 0; d < deadlines.size(); ++d) sweep.avg_recall[d] += p[d];
+  }
+  for (double& r : sweep.avg_recall) r /= static_cast<double>(n);
+  return sweep;
+}
+
+DeadlineSweep ComputeOptimalStarSweep(const data::Oracle& oracle,
+                                      const std::vector<int>& items,
+                                      const std::vector<double>& deadlines,
+                                      int num_threads) {
+  AMS_CHECK(!items.empty() && !deadlines.empty());
+  if (num_threads <= 0) num_threads = util::ThreadPool::DefaultThreads();
+  DeadlineSweep sweep;
+  sweep.policy_name = "optimal_star";
+  sweep.deadlines_s = deadlines;
+  sweep.avg_recall.assign(deadlines.size(), 0.0);
+  std::vector<std::vector<double>> recall_sum(
+      static_cast<size_t>(num_threads),
+      std::vector<double>(deadlines.size(), 0.0));
+  const int n = static_cast<int>(items.size());
+  const int chunk = (n + num_threads - 1) / num_threads;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const int lo = t * chunk;
+    const int hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&, t, lo, hi] {
+      for (int i = lo; i < hi; ++i) {
+        const int item = items[static_cast<size_t>(i)];
+        const double total = oracle.TrueTotalValue(item);
+        for (size_t d = 0; d < deadlines.size(); ++d) {
+          const double value =
+              sched::OptimalStarValueDeadline(oracle, item, deadlines[d]);
+          recall_sum[static_cast<size_t>(t)][d] +=
+              total > 0.0 ? value / total : 1.0;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& p : recall_sum) {
+    for (size_t d = 0; d < deadlines.size(); ++d) sweep.avg_recall[d] += p[d];
+  }
+  for (double& r : sweep.avg_recall) r /= static_cast<double>(n);
+  return sweep;
+}
+
+}  // namespace ams::eval

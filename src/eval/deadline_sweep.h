@@ -1,0 +1,37 @@
+#ifndef AMS_EVAL_DEADLINE_SWEEP_H_
+#define AMS_EVAL_DEADLINE_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "data/oracle.h"
+#include "eval/recall_curve.h"
+
+namespace ams::eval {
+
+/// Average value recall achieved under each deadline (Fig. 10 / Fig. 12).
+struct DeadlineSweep {
+  std::string policy_name;
+  std::vector<double> deadlines_s;
+  std::vector<double> avg_recall;
+};
+
+/// Default deadline grid 0.25 .. 5.0 s.
+std::vector<double> DefaultDeadlines();
+
+/// Runs the policy on every item for every deadline and averages the recall.
+DeadlineSweep ComputeDeadlineSweep(const PolicyFactory& factory,
+                                   const data::Oracle& oracle,
+                                   const std::vector<int>& items,
+                                   const std::vector<double>& deadlines,
+                                   int num_threads = 0);
+
+/// The optimal* upper bound's average recall per deadline (§V-C).
+DeadlineSweep ComputeOptimalStarSweep(const data::Oracle& oracle,
+                                      const std::vector<int>& items,
+                                      const std::vector<double>& deadlines,
+                                      int num_threads = 0);
+
+}  // namespace ams::eval
+
+#endif  // AMS_EVAL_DEADLINE_SWEEP_H_

@@ -1,0 +1,107 @@
+#include "eval/memory_sweep.h"
+
+#include <thread>
+
+#include "sched/optimal_star.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ams::eval {
+
+std::vector<double> DefaultMemoryDeadlines() {
+  return {0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0};
+}
+
+MemorySweep ComputeMemorySweep(rl::Agent* agent, const data::Oracle& oracle,
+                               const std::vector<int>& items,
+                               double mem_budget_mb,
+                               const std::vector<double>& deadlines,
+                               uint64_t seed, int num_threads) {
+  AMS_CHECK(!items.empty() && !deadlines.empty());
+  if (num_threads <= 0) num_threads = util::ThreadPool::DefaultThreads();
+  MemorySweep sweep;
+  sweep.policy_name = agent != nullptr ? "algorithm2" : "random";
+  sweep.mem_budget_mb = mem_budget_mb;
+  sweep.deadlines_s = deadlines;
+  sweep.avg_recall.assign(deadlines.size(), 0.0);
+
+  const int n = static_cast<int>(items.size());
+  const int chunk = (n + num_threads - 1) / num_threads;
+  std::vector<std::vector<double>> partial(
+      static_cast<size_t>(num_threads),
+      std::vector<double>(deadlines.size(), 0.0));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const int lo = t * chunk;
+    const int hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&, t, lo, hi] {
+      std::unique_ptr<rl::Agent> local_agent =
+          agent != nullptr ? agent->Clone() : nullptr;
+      for (int i = lo; i < hi; ++i) {
+        for (size_t d = 0; d < deadlines.size(); ++d) {
+          sched::ParallelRunConfig config;
+          config.time_budget = deadlines[d];
+          config.mem_budget_mb = mem_budget_mb;
+          config.seed = util::HashCombine(seed, static_cast<uint64_t>(d));
+          const auto run = sched::RunParallel(
+              local_agent != nullptr ? sched::ParallelPolicyKind::kAlgorithm2
+                                     : sched::ParallelPolicyKind::kRandom,
+              local_agent.get(), oracle, items[static_cast<size_t>(i)], config);
+          partial[static_cast<size_t>(t)][d] += run.recall;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& p : partial) {
+    for (size_t d = 0; d < deadlines.size(); ++d) sweep.avg_recall[d] += p[d];
+  }
+  for (double& r : sweep.avg_recall) r /= static_cast<double>(n);
+  return sweep;
+}
+
+MemorySweep ComputeOptimalStarMemorySweep(const data::Oracle& oracle,
+                                          const std::vector<int>& items,
+                                          double mem_budget_mb,
+                                          const std::vector<double>& deadlines,
+                                          int num_threads) {
+  AMS_CHECK(!items.empty() && !deadlines.empty());
+  if (num_threads <= 0) num_threads = util::ThreadPool::DefaultThreads();
+  MemorySweep sweep;
+  sweep.policy_name = "optimal_star";
+  sweep.mem_budget_mb = mem_budget_mb;
+  sweep.deadlines_s = deadlines;
+  sweep.avg_recall.assign(deadlines.size(), 0.0);
+  const int n = static_cast<int>(items.size());
+  const int chunk = (n + num_threads - 1) / num_threads;
+  std::vector<std::vector<double>> partial(
+      static_cast<size_t>(num_threads),
+      std::vector<double>(deadlines.size(), 0.0));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const int lo = t * chunk;
+    const int hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&, t, lo, hi] {
+      for (int i = lo; i < hi; ++i) {
+        const int item = items[static_cast<size_t>(i)];
+        const double total = oracle.TrueTotalValue(item);
+        for (size_t d = 0; d < deadlines.size(); ++d) {
+          const double value = sched::OptimalStarValueDeadlineMemory(
+              oracle, item, deadlines[d], mem_budget_mb);
+          partial[static_cast<size_t>(t)][d] +=
+              total > 0.0 ? std::min(1.0, value / total) : 1.0;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& p : partial) {
+    for (size_t d = 0; d < deadlines.size(); ++d) sweep.avg_recall[d] += p[d];
+  }
+  for (double& r : sweep.avg_recall) r /= static_cast<double>(n);
+  return sweep;
+}
+
+}  // namespace ams::eval

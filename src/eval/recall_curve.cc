@@ -1,0 +1,118 @@
+#include "eval/recall_curve.h"
+
+#include <atomic>
+
+#include "sched/serial_runner.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ams::eval {
+
+std::vector<double> DefaultThresholds() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+namespace {
+
+// Runs the policy to full recall on every item and returns trajectories.
+// One policy instance per worker thread.
+std::vector<sched::SerialRunResult> RunAll(const PolicyFactory& factory,
+                                           const data::Oracle& oracle,
+                                           const std::vector<int>& items,
+                                           int num_threads) {
+  if (num_threads <= 0) num_threads = util::ThreadPool::DefaultThreads();
+  std::vector<sched::SerialRunResult> results(items.size());
+  const int n = static_cast<int>(items.size());
+  const int chunk = (n + num_threads - 1) / num_threads;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const int lo = t * chunk;
+    const int hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&, lo, hi] {
+      std::unique_ptr<sched::SchedulingPolicy> policy = factory();
+      sched::SerialRunConfig config;
+      config.recall_target = 1.0;
+      for (int i = lo; i < hi; ++i) {
+        results[static_cast<size_t>(i)] =
+            sched::RunSerial(policy.get(), oracle, items[static_cast<size_t>(i)],
+                             config);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+}  // namespace
+
+RecallCurve ComputeRecallCurve(const PolicyFactory& factory,
+                               const data::Oracle& oracle,
+                               const std::vector<int>& items,
+                               const std::vector<double>& thresholds,
+                               int num_threads) {
+  AMS_CHECK(!items.empty());
+  AMS_CHECK(!thresholds.empty());
+  const std::vector<sched::SerialRunResult> runs =
+      RunAll(factory, oracle, items, num_threads);
+
+  RecallCurve curve;
+  {
+    std::unique_ptr<sched::SchedulingPolicy> probe = factory();
+    curve.policy_name = probe->name();
+  }
+  curve.thresholds = thresholds;
+  curve.avg_models.assign(thresholds.size(), 0.0);
+  curve.avg_time_s.assign(thresholds.size(), 0.0);
+  for (const auto& run : runs) {
+    for (size_t k = 0; k < thresholds.size(); ++k) {
+      // Cost at the first step where recall >= threshold; if the run never
+      // reaches it (cannot happen for full-recall runs, but guard anyway),
+      // charge the whole run.
+      double models = static_cast<double>(run.steps.size());
+      double time_s = run.time_used;
+      for (const auto& step : run.steps) {
+        if (step.recall_after >= thresholds[k] - 1e-12) {
+          models = static_cast<double>(&step - run.steps.data() + 1);
+          time_s = step.time_after;
+          break;
+        }
+      }
+      curve.avg_models[k] += models;
+      curve.avg_time_s[k] += time_s;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(runs.size());
+  for (size_t k = 0; k < thresholds.size(); ++k) {
+    curve.avg_models[k] *= inv;
+    curve.avg_time_s[k] *= inv;
+  }
+  return curve;
+}
+
+FullRecallCosts ComputeFullRecallCosts(const PolicyFactory& factory,
+                                       const data::Oracle& oracle,
+                                       const std::vector<int>& items,
+                                       double recall_target, int num_threads) {
+  const std::vector<sched::SerialRunResult> runs =
+      RunAll(factory, oracle, items, num_threads);
+  FullRecallCosts costs;
+  costs.time_s.reserve(runs.size());
+  costs.models.reserve(runs.size());
+  for (const auto& run : runs) {
+    double models = static_cast<double>(run.steps.size());
+    double time_s = run.time_used;
+    for (const auto& step : run.steps) {
+      if (step.recall_after >= recall_target - 1e-12) {
+        models = static_cast<double>(&step - run.steps.data() + 1);
+        time_s = step.time_after;
+        break;
+      }
+    }
+    costs.time_s.push_back(time_s);
+    costs.models.push_back(models);
+  }
+  return costs;
+}
+
+}  // namespace ams::eval

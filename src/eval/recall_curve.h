@@ -1,0 +1,55 @@
+#ifndef AMS_EVAL_RECALL_CURVE_H_
+#define AMS_EVAL_RECALL_CURVE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/oracle.h"
+#include "sched/policy.h"
+
+namespace ams::eval {
+
+/// Creates a fresh policy instance; called once per evaluation thread so
+/// stateful policies never share state across threads.
+using PolicyFactory = std::function<std::unique_ptr<sched::SchedulingPolicy>()>;
+
+/// Per-threshold statistics of the "cost to reach a required value recall"
+/// experiments (Figs. 4-6): for each threshold, the average number of
+/// executed models and the average execution time over the item set.
+struct RecallCurve {
+  std::string policy_name;
+  std::vector<double> thresholds;
+  std::vector<double> avg_models;
+  std::vector<double> avg_time_s;
+};
+
+/// Default threshold grid 0.1, 0.2, ..., 1.0.
+std::vector<double> DefaultThresholds();
+
+/// Runs `factory`'s policy on every item until full recall, then derives the
+/// per-threshold averages from the trajectories. `num_threads` <= 0 uses all
+/// cores.
+RecallCurve ComputeRecallCurve(const PolicyFactory& factory,
+                               const data::Oracle& oracle,
+                               const std::vector<int>& items,
+                               const std::vector<double>& thresholds,
+                               int num_threads = 0);
+
+/// Per-item cost of reaching one recall target (used for Fig 2 / Fig 8 CDFs
+/// and averages): execution time and model count at first threshold hit.
+struct FullRecallCosts {
+  std::vector<double> time_s;   // per item
+  std::vector<double> models;   // per item
+};
+
+FullRecallCosts ComputeFullRecallCosts(const PolicyFactory& factory,
+                                       const data::Oracle& oracle,
+                                       const std::vector<int>& items,
+                                       double recall_target = 1.0,
+                                       int num_threads = 0);
+
+}  // namespace ams::eval
+
+#endif  // AMS_EVAL_RECALL_CURVE_H_

@@ -1,0 +1,81 @@
+#include "eval/world.h"
+
+#include <cstdlib>
+
+#include "data/dataset_profile.h"
+#include "util/check.h"
+
+namespace ams::eval {
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+}  // namespace
+
+WorldConfig WorldConfig::FromEnv() {
+  WorldConfig config;
+  config.items_per_dataset = EnvInt("AMS_ITEMS", config.items_per_dataset);
+  config.train_episodes = EnvInt("AMS_EPISODES", config.train_episodes);
+  config.hidden_dim = EnvInt("AMS_HIDDEN", config.hidden_dim);
+  config.eval_items = EnvInt("AMS_EVAL_ITEMS", config.eval_items);
+  AMS_CHECK(config.items_per_dataset > 10);
+  AMS_CHECK(config.train_episodes > 0);
+  AMS_CHECK(config.hidden_dim > 0);
+  AMS_CHECK(config.eval_items > 0);
+  return config;
+}
+
+World::World(const WorldConfig& config) : config_(config) {
+  zoo_ = std::make_unique<zoo::ModelZoo>(zoo::ModelZoo::CreateDefault());
+  for (const data::DatasetProfile& profile : data::DatasetProfile::AllProfiles()) {
+    names_.push_back(profile.name);
+    datasets_.push_back(std::make_unique<data::Dataset>(data::Dataset::Generate(
+        profile, zoo_->labels(), config.items_per_dataset, config.seed)));
+    oracles_.push_back(
+        std::make_unique<data::Oracle>(zoo_.get(), datasets_.back().get()));
+  }
+}
+
+int World::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  AMS_CHECK(false, "unknown dataset: " + name);
+  return -1;
+}
+
+std::vector<int> World::EvalItems(int dataset_index) const {
+  const std::vector<int>& test = dataset(dataset_index).test_indices();
+  const size_t n = std::min<size_t>(test.size(),
+                                    static_cast<size_t>(config_.eval_items));
+  return std::vector<int>(test.begin(), test.begin() + n);
+}
+
+rl::TrainConfig World::BaseTrainConfig() const {
+  rl::TrainConfig config;
+  config.hidden_dim = config_.hidden_dim;
+  config.episodes = config_.train_episodes;
+  // Explore for roughly the first half of training (~8 steps per episode).
+  config.eps_decay_steps = config_.train_episodes * 4;
+  config.seed = config_.seed;
+  return config;
+}
+
+std::string World::CacheKey(const std::string& dataset,
+                            const std::string& scheme,
+                            const std::string& extra) const {
+  std::string key = dataset + "_" + scheme + "_i" +
+                    std::to_string(config_.items_per_dataset) + "_e" +
+                    std::to_string(config_.train_episodes) + "_h" +
+                    std::to_string(config_.hidden_dim) + "_s" +
+                    std::to_string(config_.seed);
+  if (!extra.empty()) key += "_" + extra;
+  return key;
+}
+
+}  // namespace ams::eval

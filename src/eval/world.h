@@ -1,0 +1,70 @@
+#ifndef AMS_EVAL_WORLD_H_
+#define AMS_EVAL_WORLD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/oracle.h"
+#include "rl/trainer.h"
+#include "zoo/model_zoo.h"
+
+namespace ams::eval {
+
+/// Scale knobs shared by the benchmark binaries. Environment variables
+/// override the defaults so the whole suite scales up without recompiling:
+///   AMS_ITEMS     items per dataset        (default 1500; paper: ~80k/set)
+///   AMS_EPISODES  DRL training episodes    (default 1200)
+///   AMS_HIDDEN    Q-network hidden width   (default 128; paper: 256)
+///   AMS_EVAL_ITEMS max test items evaluated per series (default 600)
+struct WorldConfig {
+  int items_per_dataset = 1500;
+  int train_episodes = 1200;
+  int hidden_dim = 128;
+  int eval_items = 600;
+  uint64_t seed = 7;
+
+  /// Reads the environment overrides.
+  static WorldConfig FromEnv();
+};
+
+/// The shared experimental universe of the benches: the 30-model zoo plus
+/// the five generated datasets with their oracles (stored full-execution
+/// results, §VI-A).
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+  const zoo::ModelZoo& zoo() const { return *zoo_; }
+
+  int num_datasets() const { return static_cast<int>(datasets_.size()); }
+  const data::Dataset& dataset(int i) const { return *datasets_[i]; }
+  const data::Oracle& oracle(int i) const { return *oracles_[i]; }
+  const std::string& name(int i) const { return names_[i]; }
+
+  /// Index of a dataset by profile name ("mscoco", ...); crashes if unknown.
+  int IndexOf(const std::string& name) const;
+
+  /// Test-split items truncated to config.eval_items (deterministic prefix).
+  std::vector<int> EvalItems(int dataset_index) const;
+
+  /// Baseline train config (scheme/seed filled by caller as needed).
+  rl::TrainConfig BaseTrainConfig() const;
+
+  /// Cache key prefix including every scale knob that affects training.
+  std::string CacheKey(const std::string& dataset, const std::string& scheme,
+                       const std::string& extra = "") const;
+
+ private:
+  WorldConfig config_;
+  std::unique_ptr<zoo::ModelZoo> zoo_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<data::Dataset>> datasets_;
+  std::vector<std::unique_ptr<data::Oracle>> oracles_;
+};
+
+}  // namespace ams::eval
+
+#endif  // AMS_EVAL_WORLD_H_

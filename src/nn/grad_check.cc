@@ -1,0 +1,59 @@
+#include "nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nn/loss.h"
+#include "util/check.h"
+
+namespace ams::nn {
+
+GradCheckResult CheckGradients(QValueNet* net, const Matrix& x,
+                               const Matrix& target, float epsilon,
+                               size_t stride) {
+  AMS_CHECK(stride >= 1);
+  Matrix q, grad;
+  net->Forward(x, &q);
+  MseLoss(q, target, &grad);
+  net->Backward(grad);
+
+  // Snapshot analytic gradients before probing perturbs any state.
+  std::vector<ParamGrad> params;
+  net->CollectParams(&params);
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(params.size());
+  for (const auto& p : params) {
+    analytic.emplace_back(p.grad, p.grad + p.size);
+  }
+
+  auto loss_at = [&]() {
+    Matrix qq, gg;
+    net->Forward(x, &qq);
+    return MseLoss(qq, target, &gg);
+  };
+
+  GradCheckResult result;
+  for (size_t t = 0; t < params.size(); ++t) {
+    const ParamGrad& p = params[t];
+    for (size_t i = 0; i < p.size; i += stride) {
+      const float original = p.param[i];
+      p.param[i] = original + epsilon;
+      const double loss_plus = loss_at();
+      p.param[i] = original - epsilon;
+      const double loss_minus = loss_at();
+      p.param[i] = original;
+      const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+      const double diff = std::fabs(numeric - analytic[t][i]);
+      const double scale =
+          std::max({1e-8, std::fabs(numeric), std::fabs(static_cast<double>(
+                                                  analytic[t][i]))});
+      result.max_abs_diff = std::max(result.max_abs_diff, diff);
+      result.max_rel_diff = std::max(result.max_rel_diff, diff / scale);
+      ++result.params_checked;
+    }
+  }
+  return result;
+}
+
+}  // namespace ams::nn

@@ -1,0 +1,25 @@
+#ifndef AMS_NN_GRAD_CHECK_H_
+#define AMS_NN_GRAD_CHECK_H_
+
+#include "nn/matrix.h"
+#include "nn/net.h"
+
+namespace ams::nn {
+
+/// Result of comparing analytic vs. central-difference gradients.
+struct GradCheckResult {
+  double max_abs_diff = 0.0;
+  double max_rel_diff = 0.0;
+  size_t params_checked = 0;
+};
+
+/// Verifies net.Backward against numerical differentiation of an MSE loss on
+/// (x, target). Checks every `stride`-th parameter to bound runtime.
+/// The net's weights are restored on exit.
+GradCheckResult CheckGradients(QValueNet* net, const Matrix& x,
+                               const Matrix& target, float epsilon = 1e-3f,
+                               size_t stride = 1);
+
+}  // namespace ams::nn
+
+#endif  // AMS_NN_GRAD_CHECK_H_

@@ -1,0 +1,57 @@
+#ifndef AMS_NN_LAYER_H_
+#define AMS_NN_LAYER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace ams::nn {
+
+/// View over one parameter tensor and its gradient, consumed by optimizers.
+struct ParamGrad {
+  float* param;
+  float* grad;
+  size_t size;
+};
+
+/// Fully connected layer y = x*W + b with cached gradients.
+///
+/// Backward() overwrites dW/db for the most recent Forward() batch; the
+/// trainer calls optimizer.Step() before the next Backward().
+class DenseLayer {
+ public:
+  /// He-normal initialization: W ~ N(0, 2/in_dim), b = 0.
+  DenseLayer(int in_dim, int out_dim, util::Rng* rng);
+
+  /// y = x*W + b. x is [batch, in_dim]; y becomes [batch, out_dim].
+  void Forward(const Matrix& x, Matrix* y) const;
+
+  /// Given the input batch `x` used in Forward and dL/dy, computes dW, db and
+  /// (if grad_x != nullptr) dL/dx.
+  void Backward(const Matrix& x, const Matrix& grad_y, Matrix* grad_x);
+
+  void CollectParams(std::vector<ParamGrad>* out);
+
+  void Save(util::BinaryWriter* w) const;
+  /// Returns false on malformed input.
+  bool Load(util::BinaryReader* r);
+
+  int in_dim() const { return w_.rows(); }
+  int out_dim() const { return w_.cols(); }
+
+  Matrix& weights() { return w_; }
+  std::vector<float>& bias() { return b_; }
+
+ private:
+  Matrix w_;   // [in_dim, out_dim]
+  Matrix dw_;  // same shape
+  std::vector<float> b_;
+  std::vector<float> db_;
+};
+
+}  // namespace ams::nn
+
+#endif  // AMS_NN_LAYER_H_

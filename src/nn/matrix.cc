@@ -1,0 +1,128 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace ams::nn {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {
+  AMS_CHECK(rows >= 0 && cols >= 0);
+}
+
+Matrix Matrix::RandomNormal(int rows, int cols, float stddev, util::Rng* rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return m;
+}
+
+Matrix Matrix::FromRowVector(const std::vector<float>& v) {
+  Matrix m(1, static_cast<int>(v.size()));
+  std::copy(v.begin(), v.end(), m.data_.begin());
+  return m;
+}
+
+void Matrix::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::Resize(int rows, int cols) {
+  AMS_CHECK(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
+}
+
+void Matrix::CopyRowFrom(const Matrix& src, int src_row, int dst_row) {
+  AMS_DCHECK(src.cols() == cols_);
+  std::memcpy(Row(dst_row), src.Row(src_row), sizeof(float) * cols_);
+}
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
+  AMS_CHECK(a.cols() == b.rows(), "gemm shape mismatch");
+  out->Resize(a.rows(), b.cols());
+  out->Fill(0.0f);
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    float* out_row = out->Row(i);
+    const float* a_row = a.Row(i);
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = a_row[kk];
+      if (aik == 0.0f) continue;  // label states are sparse binary vectors
+      const float* b_row = b.Row(kk);
+      for (int j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  AMS_CHECK(a.rows() == b.rows(), "gemmTA shape mismatch");
+  out->Resize(a.cols(), b.cols());
+  out->Fill(0.0f);
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int r = 0; r < m; ++r) {
+    const float* a_row = a.Row(r);
+    const float* b_row = b.Row(r);
+    for (int i = 0; i < k; ++i) {
+      const float ari = a_row[i];
+      if (ari == 0.0f) continue;
+      float* out_row = out->Row(i);
+      for (int j = 0; j < n; ++j) out_row[j] += ari * b_row[j];
+    }
+  }
+}
+
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  AMS_CHECK(a.cols() == b.cols(), "gemmTB shape mismatch");
+  out->Resize(a.rows(), b.rows());
+  const int m = a.rows(), n = a.cols(), p = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out->Row(i);
+    for (int j = 0; j < p; ++j) {
+      const float* b_row = b.Row(j);
+      float acc = 0.0f;
+      for (int c = 0; c < n; ++c) acc += a_row[c] * b_row[c];
+      out_row[j] = acc;
+    }
+  }
+}
+
+void AddRowVector(Matrix* m, const std::vector<float>& bias) {
+  AMS_CHECK(static_cast<int>(bias.size()) == m->cols());
+  for (int i = 0; i < m->rows(); ++i) {
+    float* row = m->Row(i);
+    for (int j = 0; j < m->cols(); ++j) row[j] += bias[j];
+  }
+}
+
+void ReluForward(const Matrix& in, Matrix* out) {
+  out->Resize(in.rows(), in.cols());
+  const float* src = in.data();
+  float* dst = out->data();
+  const int n = in.size();
+  for (int i = 0; i < n; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+void ReluBackward(const Matrix& pre_act, const Matrix& grad_out, Matrix* grad_in) {
+  AMS_CHECK(pre_act.rows() == grad_out.rows() && pre_act.cols() == grad_out.cols());
+  grad_in->Resize(pre_act.rows(), pre_act.cols());
+  const float* pre = pre_act.data();
+  const float* go = grad_out.data();
+  float* gi = grad_in->data();
+  const int n = pre_act.size();
+  for (int i = 0; i < n; ++i) gi[i] = pre[i] > 0.0f ? go[i] : 0.0f;
+}
+
+void ColumnSums(const Matrix& m, std::vector<float>* out) {
+  out->assign(static_cast<size_t>(m.cols()), 0.0f);
+  for (int i = 0; i < m.rows(); ++i) {
+    const float* row = m.Row(i);
+    for (int j = 0; j < m.cols(); ++j) (*out)[j] += row[j];
+  }
+}
+
+}  // namespace ams::nn

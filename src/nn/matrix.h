@@ -1,0 +1,79 @@
+#ifndef AMS_NN_MATRIX_H_
+#define AMS_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ams::nn {
+
+/// Dense row-major float32 matrix. The only tensor type the NN substrate
+/// needs: batches are rows, features are columns.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+
+  /// Matrix with entries drawn i.i.d. from N(0, stddev^2).
+  static Matrix RandomNormal(int rows, int cols, float stddev, util::Rng* rng);
+
+  /// Builds a 1 x n matrix from a vector (copies).
+  static Matrix FromRowVector(const std::vector<float>& v);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+
+  float& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  float At(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  float* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* Row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every entry to v.
+  void Fill(float v);
+
+  /// Resizes (contents unspecified afterwards unless dims unchanged).
+  void Resize(int rows, int cols);
+
+  /// Copies row r of `src` into row r of this matrix (same column count).
+  void CopyRowFrom(const Matrix& src, int src_row, int dst_row);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes: a[m,k], b[k,n], out[m,n]. out may not alias inputs.
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a^T * b. Shapes: a[m,k], b[m,n], out[k,n].
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b^T. Shapes: a[m,n], b[p,n], out[m,p].
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Adds bias vector (size = m->cols()) to every row of m.
+void AddRowVector(Matrix* m, const std::vector<float>& bias);
+
+/// out = max(in, 0). Shapes must match.
+void ReluForward(const Matrix& in, Matrix* out);
+
+/// grad_in = grad_out where pre_act > 0, else 0.
+void ReluBackward(const Matrix& pre_act, const Matrix& grad_out, Matrix* grad_in);
+
+/// Column-sum of m into out (size m.cols()); used for bias gradients.
+void ColumnSums(const Matrix& m, std::vector<float>* out);
+
+}  // namespace ams::nn
+
+#endif  // AMS_NN_MATRIX_H_

@@ -1,0 +1,281 @@
+#include "nn/net.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ams::nn {
+
+void QValueNet::CopyWeightsFrom(QValueNet* src) {
+  std::vector<ParamGrad> dst_params, src_params;
+  CollectParams(&dst_params);
+  src->CollectParams(&src_params);
+  AMS_CHECK(dst_params.size() == src_params.size(), "architecture mismatch");
+  for (size_t i = 0; i < dst_params.size(); ++i) {
+    AMS_CHECK(dst_params[i].size == src_params[i].size, "tensor size mismatch");
+    std::copy(src_params[i].param, src_params[i].param + src_params[i].size,
+              dst_params[i].param);
+  }
+}
+
+std::vector<float> QValueNet::Predict1(const std::vector<float>& x) {
+  AMS_CHECK(static_cast<int>(x.size()) == input_dim());
+  Matrix in = Matrix::FromRowVector(x);
+  Matrix q;
+  Forward(in, &q);
+  return std::vector<float>(q.Row(0), q.Row(0) + q.cols());
+}
+
+size_t QValueNet::NumParams() {
+  std::vector<ParamGrad> params;
+  CollectParams(&params);
+  size_t n = 0;
+  for (const auto& p : params) n += p.size;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Mlp
+
+Mlp::Mlp(const MlpConfig& config, uint64_t seed) : config_(config) {
+  AMS_CHECK(config.input_dim > 0 && config.output_dim > 0);
+  util::Rng rng(seed);
+  int prev = config.input_dim;
+  for (int h : config.hidden_dims) {
+    AMS_CHECK(h > 0);
+    layers_.emplace_back(prev, h, &rng);
+    prev = h;
+  }
+  layers_.emplace_back(prev, config.output_dim, &rng);
+  pre_act_.resize(layers_.size());
+  post_act_.resize(layers_.size());
+  grad_post_.resize(layers_.size());
+  grad_pre_.resize(layers_.size());
+}
+
+void Mlp::Forward(const Matrix& x, Matrix* q) {
+  input_ = x;
+  const Matrix* cur = &input_;
+  const size_t n = layers_.size();
+  for (size_t i = 0; i < n; ++i) {
+    layers_[i].Forward(*cur, &pre_act_[i]);
+    if (i + 1 < n) {
+      ReluForward(pre_act_[i], &post_act_[i]);
+      cur = &post_act_[i];
+    }
+  }
+  *q = pre_act_.back();  // linear output layer
+}
+
+void Mlp::Backward(const Matrix& grad_q) {
+  const int n = static_cast<int>(layers_.size());
+  const Matrix* grad = &grad_q;
+  for (int i = n - 1; i >= 0; --i) {
+    const Matrix& layer_input = (i == 0) ? input_ : post_act_[i - 1];
+    Matrix* grad_x = (i == 0) ? nullptr : &grad_post_[i - 1];
+    layers_[i].Backward(layer_input, *grad, grad_x);
+    if (i > 0) {
+      // Route through the ReLU that produced this layer's input.
+      ReluBackward(pre_act_[i - 1], grad_post_[i - 1], &grad_pre_[i - 1]);
+      grad = &grad_pre_[i - 1];
+    }
+  }
+}
+
+void Mlp::CollectParams(std::vector<ParamGrad>* out) {
+  for (auto& layer : layers_) layer.CollectParams(out);
+}
+
+void Mlp::Save(util::BinaryWriter* w) const {
+  w->WriteI32(config_.input_dim);
+  w->WriteI32(static_cast<int32_t>(config_.hidden_dims.size()));
+  for (int h : config_.hidden_dims) w->WriteI32(h);
+  w->WriteI32(config_.output_dim);
+  for (const auto& layer : layers_) layer.Save(w);
+}
+
+bool Mlp::Load(util::BinaryReader* r) {
+  MlpConfig cfg;
+  cfg.input_dim = r->ReadI32();
+  const int num_hidden = r->ReadI32();
+  if (!r->ok() || num_hidden < 0 || num_hidden > 64) return false;
+  for (int i = 0; i < num_hidden; ++i) cfg.hidden_dims.push_back(r->ReadI32());
+  cfg.output_dim = r->ReadI32();
+  if (!r->ok() || cfg.input_dim <= 0 || cfg.output_dim <= 0) return false;
+  *this = Mlp(cfg, /*seed=*/0);
+  for (auto& layer : layers_) {
+    if (!layer.Load(r)) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<QValueNet> Mlp::Clone() const {
+  auto clone = std::make_unique<Mlp>(config_, /*seed=*/0);
+  std::stringstream buf;
+  util::BinaryWriter w(&buf);
+  Save(&w);
+  util::BinaryReader r(&buf);
+  AMS_CHECK(clone->Load(&r), "clone round-trip failed");
+  return clone;
+}
+
+// ---------------------------------------------------------------------------
+// DuelingMlp
+
+DuelingMlp::DuelingMlp(const MlpConfig& config, uint64_t seed) : config_(config) {
+  AMS_CHECK(config.input_dim > 0 && config.output_dim > 0);
+  AMS_CHECK(!config.hidden_dims.empty(), "dueling net needs a trunk");
+  util::Rng rng(seed);
+  int prev = config.input_dim;
+  for (int h : config.hidden_dims) {
+    AMS_CHECK(h > 0);
+    trunk_.emplace_back(prev, h, &rng);
+    prev = h;
+  }
+  value_head_ = std::make_unique<DenseLayer>(prev, 1, &rng);
+  advantage_head_ = std::make_unique<DenseLayer>(prev, config.output_dim, &rng);
+  pre_act_.resize(trunk_.size());
+  post_act_.resize(trunk_.size());
+  grad_post_.resize(trunk_.size());
+  grad_pre_.resize(trunk_.size());
+}
+
+void DuelingMlp::Forward(const Matrix& x, Matrix* q) {
+  input_ = x;
+  const Matrix* cur = &input_;
+  for (size_t i = 0; i < trunk_.size(); ++i) {
+    trunk_[i].Forward(*cur, &pre_act_[i]);
+    ReluForward(pre_act_[i], &post_act_[i]);
+    cur = &post_act_[i];
+  }
+  value_head_->Forward(*cur, &value_out_);
+  advantage_head_->Forward(*cur, &advantage_out_);
+  const int batch = x.rows();
+  const int out = config_.output_dim;
+  q->Resize(batch, out);
+  for (int b = 0; b < batch; ++b) {
+    const float* adv = advantage_out_.Row(b);
+    float mean_adv = 0.0f;
+    for (int j = 0; j < out; ++j) mean_adv += adv[j];
+    mean_adv /= static_cast<float>(out);
+    const float v = value_out_.At(b, 0);
+    float* q_row = q->Row(b);
+    for (int j = 0; j < out; ++j) q_row[j] = v + adv[j] - mean_adv;
+  }
+}
+
+void DuelingMlp::Backward(const Matrix& grad_q) {
+  const int batch = grad_q.rows();
+  const int out = config_.output_dim;
+  AMS_CHECK(grad_q.cols() == out);
+  // Q_j = V + A_j - mean(A)  =>  dL/dV = sum_j dL/dQ_j,
+  // dL/dA_i = dL/dQ_i - mean_j(dL/dQ_j).
+  grad_value_.Resize(batch, 1);
+  grad_advantage_.Resize(batch, out);
+  for (int b = 0; b < batch; ++b) {
+    const float* gq = grad_q.Row(b);
+    float total = 0.0f;
+    for (int j = 0; j < out; ++j) total += gq[j];
+    grad_value_.At(b, 0) = total;
+    const float mean = total / static_cast<float>(out);
+    float* ga = grad_advantage_.Row(b);
+    for (int j = 0; j < out; ++j) ga[j] = gq[j] - mean;
+  }
+  const Matrix& trunk_out = post_act_.back();
+  value_head_->Backward(trunk_out, grad_value_, &grad_trunk_v_);
+  advantage_head_->Backward(trunk_out, grad_advantage_, &grad_trunk_a_);
+  // Sum head gradients flowing into the trunk output.
+  Matrix grad_trunk = grad_trunk_v_;
+  {
+    float* dst = grad_trunk.data();
+    const float* src = grad_trunk_a_.data();
+    const int n = grad_trunk.size();
+    for (int i = 0; i < n; ++i) dst[i] += src[i];
+  }
+  const int nt = static_cast<int>(trunk_.size());
+  Matrix relu_grad;
+  ReluBackward(pre_act_[nt - 1], grad_trunk, &relu_grad);
+  const Matrix* grad = &relu_grad;
+  for (int i = nt - 1; i >= 0; --i) {
+    const Matrix& layer_input = (i == 0) ? input_ : post_act_[i - 1];
+    Matrix* grad_x = (i == 0) ? nullptr : &grad_post_[i - 1];
+    trunk_[i].Backward(layer_input, *grad, grad_x);
+    if (i > 0) {
+      ReluBackward(pre_act_[i - 1], grad_post_[i - 1], &grad_pre_[i - 1]);
+      grad = &grad_pre_[i - 1];
+    }
+  }
+}
+
+void DuelingMlp::CollectParams(std::vector<ParamGrad>* out) {
+  for (auto& layer : trunk_) layer.CollectParams(out);
+  value_head_->CollectParams(out);
+  advantage_head_->CollectParams(out);
+}
+
+void DuelingMlp::Save(util::BinaryWriter* w) const {
+  w->WriteI32(config_.input_dim);
+  w->WriteI32(static_cast<int32_t>(config_.hidden_dims.size()));
+  for (int h : config_.hidden_dims) w->WriteI32(h);
+  w->WriteI32(config_.output_dim);
+  for (const auto& layer : trunk_) layer.Save(w);
+  value_head_->Save(w);
+  advantage_head_->Save(w);
+}
+
+bool DuelingMlp::Load(util::BinaryReader* r) {
+  MlpConfig cfg;
+  cfg.input_dim = r->ReadI32();
+  const int num_hidden = r->ReadI32();
+  if (!r->ok() || num_hidden <= 0 || num_hidden > 64) return false;
+  for (int i = 0; i < num_hidden; ++i) cfg.hidden_dims.push_back(r->ReadI32());
+  cfg.output_dim = r->ReadI32();
+  if (!r->ok() || cfg.input_dim <= 0 || cfg.output_dim <= 0) return false;
+  *this = DuelingMlp(cfg, /*seed=*/0);
+  for (auto& layer : trunk_) {
+    if (!layer.Load(r)) return false;
+  }
+  if (!value_head_->Load(r)) return false;
+  if (!advantage_head_->Load(r)) return false;
+  return true;
+}
+
+std::unique_ptr<QValueNet> DuelingMlp::Clone() const {
+  auto clone = std::make_unique<DuelingMlp>(config_, /*seed=*/0);
+  std::stringstream buf;
+  util::BinaryWriter w(&buf);
+  Save(&w);
+  util::BinaryReader r(&buf);
+  AMS_CHECK(clone->Load(&r), "clone round-trip failed");
+  return clone;
+}
+
+// ---------------------------------------------------------------------------
+
+void SaveNet(const QValueNet& net, NetKind kind, util::BinaryWriter* w) {
+  w->WriteI32(static_cast<int32_t>(kind));
+  net.Save(w);
+}
+
+std::unique_ptr<QValueNet> LoadNet(util::BinaryReader* r, NetKind* kind_out) {
+  const int32_t kind = r->ReadI32();
+  if (!r->ok()) return nullptr;
+  std::unique_ptr<QValueNet> net;
+  if (kind == static_cast<int32_t>(NetKind::kMlp)) {
+    MlpConfig placeholder{1, {}, 1};
+    auto mlp = std::make_unique<Mlp>(placeholder, 0);
+    if (!mlp->Load(r)) return nullptr;
+    net = std::move(mlp);
+  } else if (kind == static_cast<int32_t>(NetKind::kDueling)) {
+    MlpConfig placeholder{1, {1}, 1};
+    auto dueling = std::make_unique<DuelingMlp>(placeholder, 0);
+    if (!dueling->Load(r)) return nullptr;
+    net = std::move(dueling);
+  } else {
+    return nullptr;
+  }
+  if (kind_out != nullptr) *kind_out = static_cast<NetKind>(kind);
+  return net;
+}
+
+}  // namespace ams::nn

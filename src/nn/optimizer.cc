@@ -1,0 +1,97 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ams::nn {
+
+namespace {
+
+// Lazily sizes `state` to mirror `params` (all zeros) on first use.
+void EnsureState(std::vector<std::vector<float>>* state,
+                 const std::vector<ParamGrad>& params) {
+  if (!state->empty()) {
+    AMS_CHECK(state->size() == params.size(),
+              "optimizer reused with different parameter set");
+    return;
+  }
+  state->reserve(params.size());
+  for (const auto& p : params) state->emplace_back(p.size, 0.0f);
+}
+
+}  // namespace
+
+Sgd::Sgd(float lr, float momentum) : lr_(lr), momentum_(momentum) {
+  AMS_CHECK(lr > 0.0f);
+  AMS_CHECK(momentum >= 0.0f && momentum < 1.0f);
+}
+
+void Sgd::Step(const std::vector<ParamGrad>& params) {
+  EnsureState(&velocity_, params);
+  for (size_t t = 0; t < params.size(); ++t) {
+    const ParamGrad& p = params[t];
+    AMS_DCHECK(velocity_[t].size() == p.size);
+    float* v = velocity_[t].data();
+    for (size_t i = 0; i < p.size; ++i) {
+      v[i] = momentum_ * v[i] - lr_ * p.grad[i];
+      p.param[i] += v[i];
+    }
+  }
+}
+
+RmsProp::RmsProp(float lr, float rho, float eps) : lr_(lr), rho_(rho), eps_(eps) {
+  AMS_CHECK(lr > 0.0f);
+  AMS_CHECK(rho > 0.0f && rho < 1.0f);
+}
+
+void RmsProp::Step(const std::vector<ParamGrad>& params) {
+  EnsureState(&sq_avg_, params);
+  for (size_t t = 0; t < params.size(); ++t) {
+    const ParamGrad& p = params[t];
+    float* s = sq_avg_[t].data();
+    for (size_t i = 0; i < p.size; ++i) {
+      const float g = p.grad[i];
+      s[i] = rho_ * s[i] + (1.0f - rho_) * g * g;
+      p.param[i] -= lr_ * g / (std::sqrt(s[i]) + eps_);
+    }
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  AMS_CHECK(lr > 0.0f);
+  AMS_CHECK(beta1 >= 0.0f && beta1 < 1.0f);
+  AMS_CHECK(beta2 >= 0.0f && beta2 < 1.0f);
+}
+
+void Adam::Step(const std::vector<ParamGrad>& params) {
+  EnsureState(&m_, params);
+  EnsureState(&v_, params);
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t t = 0; t < params.size(); ++t) {
+    const ParamGrad& p = params[t];
+    float* m = m_[t].data();
+    float* v = v_[t].data();
+    for (size_t i = 0; i < p.size; ++i) {
+      const float g = p.grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      p.param[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name, float lr) {
+  if (name == "sgd") return std::make_unique<Sgd>(lr, 0.9f);
+  if (name == "rmsprop") return std::make_unique<RmsProp>(lr);
+  if (name == "adam") return std::make_unique<Adam>(lr);
+  AMS_CHECK(false, "unknown optimizer: " + name);
+  return nullptr;
+}
+
+}  // namespace ams::nn

@@ -1,0 +1,49 @@
+#include "rl/agent.h"
+
+#include <fstream>
+
+#include "util/check.h"
+#include "util/serialize.h"
+
+namespace ams::rl {
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x414D5331;  // "AMS1"
+}  // namespace
+
+Agent::Agent(std::unique_ptr<nn::QValueNet> net, nn::NetKind kind)
+    : net_(std::move(net)), kind_(kind) {
+  AMS_CHECK(net_ != nullptr);
+}
+
+std::vector<double> Agent::PredictValues(
+    const std::vector<float>& state_features) {
+  const std::vector<float> q = net_->Predict1(state_features);
+  return std::vector<double>(q.begin(), q.end());
+}
+
+void Agent::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  AMS_CHECK(out.good(), "cannot open checkpoint for writing: " + path);
+  util::BinaryWriter w(&out);
+  w.WriteU32(kCheckpointMagic);
+  nn::SaveNet(*net_, kind_, &w);
+  AMS_CHECK(w.ok(), "checkpoint write failed: " + path);
+}
+
+std::unique_ptr<Agent> Agent::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return nullptr;
+  util::BinaryReader r(&in);
+  if (r.ReadU32() != kCheckpointMagic) return nullptr;
+  nn::NetKind kind;
+  std::unique_ptr<nn::QValueNet> net = nn::LoadNet(&r, &kind);
+  if (net == nullptr || !r.ok()) return nullptr;
+  return std::make_unique<Agent>(std::move(net), kind);
+}
+
+std::unique_ptr<Agent> Agent::Clone() const {
+  return std::make_unique<Agent>(net_->Clone(), kind_);
+}
+
+}  // namespace ams::rl

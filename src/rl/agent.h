@@ -1,0 +1,44 @@
+#ifndef AMS_RL_AGENT_H_
+#define AMS_RL_AGENT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/predictor.h"
+#include "nn/net.h"
+
+namespace ams::rl {
+
+/// A trained DRL agent: a Q-value network plus checkpoint I/O. Implements
+/// the framework's ModelValuePredictor interface (§IV).
+///
+/// Not thread-safe (the net caches activations); Clone() per thread.
+class Agent : public core::ModelValuePredictor {
+ public:
+  Agent(std::unique_ptr<nn::QValueNet> net, nn::NetKind kind);
+
+  std::vector<double> PredictValues(
+      const std::vector<float>& state_features) override;
+
+  int num_actions() const override { return net_->output_dim(); }
+  int feature_dim() const { return net_->input_dim(); }
+
+  nn::QValueNet* net() { return net_.get(); }
+  nn::NetKind kind() const { return kind_; }
+
+  /// Writes a checkpoint; crashes on I/O failure.
+  void Save(const std::string& path) const;
+
+  /// Loads a checkpoint written by Save(); nullptr if missing/corrupt.
+  static std::unique_ptr<Agent> Load(const std::string& path);
+
+  std::unique_ptr<Agent> Clone() const;
+
+ private:
+  std::unique_ptr<nn::QValueNet> net_;
+  nn::NetKind kind_;
+};
+
+}  // namespace ams::rl
+
+#endif  // AMS_RL_AGENT_H_

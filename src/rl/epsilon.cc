@@ -1,0 +1,20 @@
+#include "rl/epsilon.h"
+
+#include "util/check.h"
+
+namespace ams::rl {
+
+EpsilonSchedule::EpsilonSchedule(double start, double end, int decay_steps)
+    : start_(start), end_(end), decay_steps_(decay_steps) {
+  AMS_CHECK(start >= end, "epsilon must decay");
+  AMS_CHECK(decay_steps > 0);
+}
+
+double EpsilonSchedule::Value(int step) const {
+  if (step <= 0) return start_;
+  if (step >= decay_steps_) return end_;
+  const double frac = static_cast<double>(step) / decay_steps_;
+  return start_ + (end_ - start_) * frac;
+}
+
+}  // namespace ams::rl

@@ -1,0 +1,24 @@
+#ifndef AMS_RL_EPSILON_H_
+#define AMS_RL_EPSILON_H_
+
+namespace ams::rl {
+
+/// Linearly decaying exploration rate for epsilon-greedy action selection.
+class EpsilonSchedule {
+ public:
+  /// Decays from `start` to `end` over `decay_steps` environment steps, then
+  /// stays at `end`.
+  EpsilonSchedule(double start, double end, int decay_steps);
+
+  /// Epsilon at a given global step (step 0 = start value).
+  double Value(int step) const;
+
+ private:
+  double start_;
+  double end_;
+  int decay_steps_;
+};
+
+}  // namespace ams::rl
+
+#endif  // AMS_RL_EPSILON_H_

@@ -1,0 +1,37 @@
+#include "rl/replay_buffer.h"
+
+#include "util/check.h"
+
+namespace ams::rl {
+
+ReplayBuffer::ReplayBuffer(size_t capacity) : capacity_(capacity) {
+  AMS_CHECK(capacity > 0);
+  items_.reserve(capacity);
+}
+
+void ReplayBuffer::Add(Transition t) {
+  if (items_.size() < capacity_) {
+    items_.push_back(std::move(t));
+  } else {
+    items_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::SampleBatch(size_t n,
+                                                         util::Rng* rng) const {
+  AMS_CHECK(!items_.empty(), "sampling from empty buffer");
+  std::vector<const Transition*> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int idx = rng->UniformInt(0, static_cast<int>(items_.size()) - 1);
+    batch.push_back(&items_[static_cast<size_t>(idx)]);
+  }
+  return batch;
+}
+
+void ScatterLabels(const std::vector<int32_t>& labels, float* row) {
+  for (int32_t id : labels) row[id] = 1.0f;
+}
+
+}  // namespace ams::rl

@@ -1,0 +1,56 @@
+#ifndef AMS_RL_REPLAY_BUFFER_H_
+#define AMS_RL_REPLAY_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ams::rl {
+
+/// One stored transition. States are sparse binary label vectors, so only
+/// the set label ids are kept (a state rarely has more than ~60 set bits out
+/// of 1104); batches are densified at sampling time.
+struct Transition {
+  std::vector<int32_t> state_labels;      // sorted set-bit indices of s
+  std::vector<int32_t> next_state_labels; // set-bit indices of s'
+  int32_t action = 0;
+  float reward = 0.0f;
+  bool done = false;
+  /// Bitmask of models already executed in s' (bit m set = model m invalid);
+  /// used to mask the max/argmax in bootstrapped targets.
+  uint32_t next_executed_mask = 0;
+  /// Action actually taken at s' by the behaviour policy (Deep SARSA target);
+  /// -1 when unknown/terminal.
+  int32_t next_action = -1;
+};
+
+/// Fixed-capacity ring buffer with uniform sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(size_t capacity);
+
+  void Add(Transition t);
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Uniformly samples `n` transitions (with replacement).
+  std::vector<const Transition*> SampleBatch(size_t n, util::Rng* rng) const;
+
+  const Transition& at(size_t i) const { return items_[i]; }
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;  // ring insertion point once full
+  std::vector<Transition> items_;
+};
+
+/// Densifies sparse label indices into a row of a batch matrix (the row must
+/// already be zeroed).
+void ScatterLabels(const std::vector<int32_t>& labels, float* row);
+
+}  // namespace ams::rl
+
+#endif  // AMS_RL_REPLAY_BUFFER_H_

@@ -1,0 +1,89 @@
+#include "sched/basic_policies.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ams::sched {
+
+RandomPolicy::RandomPolicy(uint64_t seed) : rng_(seed) {}
+
+void RandomPolicy::BeginItem(const ItemContext& ctx) {
+  ctx_ = ctx;
+  order_.resize(static_cast<size_t>(ctx.oracle->num_models()));
+  for (int m = 0; m < ctx.oracle->num_models(); ++m) {
+    order_[static_cast<size_t>(m)] = m;
+  }
+  rng_.Shuffle(&order_);
+  pos_ = 0;
+}
+
+int RandomPolicy::NextModel(const core::LabelingState& state,
+                            double remaining_time) {
+  // Walk the permutation; skip models that no longer fit.
+  for (size_t i = pos_; i < order_.size(); ++i) {
+    const int m = order_[i];
+    if (state.model_executed(m)) continue;
+    if (Fits(ctx_, state, m, remaining_time)) {
+      if (i == pos_) ++pos_;
+      return m;
+    }
+  }
+  return -1;
+}
+
+int NoPolicy::NextModel(const core::LabelingState& state,
+                        double remaining_time) {
+  for (int m = 0; m < ctx_.oracle->num_models(); ++m) {
+    if (Fits(ctx_, state, m, remaining_time)) return m;
+  }
+  return -1;
+}
+
+void OptimalPolicy::BeginItem(const ItemContext& ctx) {
+  ctx_ = ctx;
+  order_.clear();
+  for (int m = 0; m < ctx.oracle->num_models(); ++m) {
+    if (ctx.oracle->ModelSoloValue(ctx.item, m) > 0.0) order_.push_back(m);
+  }
+  std::sort(order_.begin(), order_.end(), [&](int a, int b) {
+    return ctx.oracle->ModelSoloValue(ctx.item, a) >
+           ctx.oracle->ModelSoloValue(ctx.item, b);
+  });
+  pos_ = 0;
+}
+
+int OptimalPolicy::NextModel(const core::LabelingState& state,
+                             double remaining_time) {
+  for (size_t i = pos_; i < order_.size(); ++i) {
+    const int m = order_[i];
+    if (state.model_executed(m)) continue;
+    if (Fits(ctx_, state, m, remaining_time)) {
+      if (i == pos_) ++pos_;
+      return m;
+    }
+  }
+  return -1;
+}
+
+QGreedyPolicy::QGreedyPolicy(core::ModelValuePredictor* predictor)
+    : predictor_(predictor) {
+  AMS_CHECK(predictor != nullptr);
+}
+
+int QGreedyPolicy::NextModel(const core::LabelingState& state,
+                             double remaining_time) {
+  const std::vector<double> q = predictor_->PredictValues(state.Features());
+  int best = -1;
+  double best_q = 0.0;
+  for (int m = 0; m < ctx_.oracle->num_models(); ++m) {
+    if (!Fits(ctx_, state, m, remaining_time)) continue;
+    if (best == -1 || q[static_cast<size_t>(m)] > best_q) {
+      best = m;
+      best_q = q[static_cast<size_t>(m)];
+    }
+  }
+  return best;
+}
+
+}  // namespace ams::sched

@@ -1,0 +1,33 @@
+#include "sched/cost_q_greedy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ams::sched {
+
+CostQGreedyPolicy::CostQGreedyPolicy(core::ModelValuePredictor* predictor)
+    : predictor_(predictor) {
+  AMS_CHECK(predictor != nullptr);
+}
+
+int CostQGreedyPolicy::NextModel(const core::LabelingState& state,
+                                 double remaining_time) {
+  const std::vector<double> q = predictor_->PredictValues(state.Features());
+  int best = -1;
+  double best_ratio = 0.0;
+  for (int m = 0; m < ctx_.oracle->num_models(); ++m) {
+    if (!Fits(ctx_, state, m, remaining_time)) continue;  // Alg. 1, line 3
+    // Q mapped through the order-preserving positive profit transform; see
+    // core::SchedulingProfit for why raw Q must not enter the ratio.
+    const double ratio = core::SchedulingProfit(q[static_cast<size_t>(m)]) /
+                         ctx_.oracle->zoo().model(m).time_s;
+    if (best == -1 || ratio > best_ratio) {  // Alg. 1, line 4
+      best = m;
+      best_ratio = ratio;
+    }
+  }
+  return best;
+}
+
+}  // namespace ams::sched

@@ -1,0 +1,31 @@
+#ifndef AMS_SCHED_COST_Q_GREEDY_H_
+#define AMS_SCHED_COST_Q_GREEDY_H_
+
+#include "core/predictor.h"
+#include "sched/policy.h"
+
+namespace ams::sched {
+
+/// Algorithm 1: model scheduling under a deadline constraint.
+///
+/// At each iteration, among the unexecuted models that still fit the
+/// remaining budget, executes the one maximizing Q(m, d) / m.time — the
+/// cost-profit greedy with the DRL agent's Q value standing in for the
+/// unknown true profit (§V-A).
+class CostQGreedyPolicy : public SchedulingPolicy {
+ public:
+  /// The predictor must outlive the policy.
+  explicit CostQGreedyPolicy(core::ModelValuePredictor* predictor);
+
+  std::string name() const override { return "cost_q_greedy"; }
+  void BeginItem(const ItemContext& ctx) override { ctx_ = ctx; }
+  int NextModel(const core::LabelingState& state, double remaining_time) override;
+
+ private:
+  core::ModelValuePredictor* predictor_;
+  ItemContext ctx_;
+};
+
+}  // namespace ams::sched
+
+#endif  // AMS_SCHED_COST_Q_GREEDY_H_

@@ -1,0 +1,90 @@
+#include "sched/optimal_star.h"
+
+#include <algorithm>
+
+#include "core/value.h"
+#include "util/check.h"
+
+namespace ams::sched {
+
+namespace {
+
+// Shared greedy: cost(m) is the resource consumption of model m; `budget` the
+// total resource. Marginal gains are re-evaluated after every committed model
+// (f is submodular, so stale gains would overestimate). When `by_ratio` the
+// candidate order is gain/cost, otherwise pure gain.
+template <typename CostFn>
+double RelaxedGreedy(const data::Oracle& oracle, int item, double budget,
+                     CostFn cost, bool by_ratio) {
+  core::ValueAccumulator acc(&oracle, item);
+  const int num_models = oracle.num_models();
+  std::vector<bool> used(static_cast<size_t>(num_models), false);
+  double value = 0.0;
+  for (;;) {
+    int best = -1;
+    double best_score = 0.0;
+    double best_gain = 0.0;
+    for (int m = 0; m < num_models; ++m) {
+      if (used[static_cast<size_t>(m)]) continue;
+      const double gain = acc.MarginalGain(m);
+      if (gain <= 0.0) continue;
+      const double score = by_ratio ? gain / cost(m) : gain;
+      if (best == -1 || score > best_score) {
+        best = m;
+        best_score = score;
+        best_gain = gain;
+      }
+    }
+    if (best == -1) break;  // no remaining model adds value
+    const double c = cost(best);
+    if (c <= budget) {
+      acc.AddModel(best);
+      value += best_gain;
+      budget -= c;
+      used[static_cast<size_t>(best)] = true;
+    } else {
+      // Relaxation: the overflowing model contributes proportionally.
+      value += best_gain * (budget / c);
+      break;
+    }
+    if (budget <= 0.0) break;
+  }
+  return value;
+}
+
+// The reference bound takes the better of the two greedy orders: the
+// cost-profit ratio greedy (the classic knapsack move) and the pure-gain
+// greedy (which catches the "one expensive model dominates" cases the ratio
+// order can miss under tiny budgets).
+template <typename CostFn>
+double RelaxedGreedyBest(const data::Oracle& oracle, int item, double budget,
+                         CostFn cost) {
+  return std::max(RelaxedGreedy(oracle, item, budget, cost, /*by_ratio=*/true),
+                  RelaxedGreedy(oracle, item, budget, cost, /*by_ratio=*/false));
+}
+
+}  // namespace
+
+double OptimalStarValueDeadline(const data::Oracle& oracle, int item,
+                                double time_budget) {
+  AMS_CHECK(time_budget >= 0.0);
+  return RelaxedGreedyBest(oracle, item, time_budget, [&](int m) {
+    return oracle.ExecutionTime(item, m);
+  });
+}
+
+double OptimalStarValueDeadlineMemory(const data::Oracle& oracle, int item,
+                                      double time_budget, double mem_budget) {
+  AMS_CHECK(time_budget >= 0.0 && mem_budget > 0.0);
+  // Normalize memory by the budget so the area is measured in
+  // "seconds x budget-fractions": a model using the whole memory for its
+  // entire runtime consumes exactly its runtime of the area, and the total
+  // area equals the time budget.
+  return RelaxedGreedyBest(oracle, item, time_budget, [&](int m) {
+    const double mem_fraction =
+        std::min(1.0, oracle.zoo().model(m).mem_mb / mem_budget);
+    return oracle.ExecutionTime(item, m) * mem_fraction;
+  });
+}
+
+}  // namespace ams::sched

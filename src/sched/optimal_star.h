@@ -1,0 +1,30 @@
+#ifndef AMS_SCHED_OPTIMAL_STAR_H_
+#define AMS_SCHED_OPTIMAL_STAR_H_
+
+#include "data/oracle.h"
+
+namespace ams::sched {
+
+/// The relaxed upper bounds of §V-C ("optimal* policy").
+///
+/// The exact optimum is infeasible to enumerate (O(|M|!)), so the paper
+/// relaxes the problem: a model whose remaining resources do not suffice may
+/// still be selected and contributes the corresponding *fraction* of its
+/// value. The relaxed optimum is then obtained greedily with true marginal
+/// gains, and upper-bounds the exact optimum of the original problem.
+
+/// Deadline-only bound: greedily adds the model maximizing
+/// (f(S ∪ {m}) − f(S)) / m.time; the first model that no longer fits
+/// contributes proportionally. Returns the achieved value f*(d).
+double OptimalStarValueDeadline(const data::Oracle& oracle, int item,
+                                double time_budget);
+
+/// Deadline-memory bound: resources form a time x memory area (Eq. 5's two
+/// knapsack dimensions); each model consumes time*mem of it. Greedy by
+/// (f gain) / (time * mem) with a fractional last model.
+double OptimalStarValueDeadlineMemory(const data::Oracle& oracle, int item,
+                                      double time_budget, double mem_budget);
+
+}  // namespace ams::sched
+
+#endif  // AMS_SCHED_OPTIMAL_STAR_H_

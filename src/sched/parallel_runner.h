@@ -1,0 +1,61 @@
+#ifndef AMS_SCHED_PARALLEL_RUNNER_H_
+#define AMS_SCHED_PARALLEL_RUNNER_H_
+
+#include <cstdint>
+
+#include "core/predictor.h"
+#include "data/oracle.h"
+
+namespace ams::sched {
+
+/// Policies available under the two-dimensional (deadline x memory)
+/// constraint of §V-B / §VI-G.
+enum class ParallelPolicyKind {
+  /// Algorithm 2: Q-driven anchor + fill heuristic.
+  kAlgorithm2,
+  /// Random feasible packing until the deadline.
+  kRandom,
+};
+
+struct ParallelRunConfig {
+  double time_budget = 1.0;    // seconds
+  double mem_budget_mb = 8000;  // GPU memory
+  uint64_t seed = 1;            // randomness for kRandom
+};
+
+/// One finished model execution in a parallel run.
+struct ParallelStep {
+  int model = -1;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct ParallelRunResult {
+  std::vector<ParallelStep> steps;
+  double makespan = 0.0;
+  double value = 0.0;
+  double recall = 0.0;
+  int models_executed = 0;
+  /// Peak simultaneous memory use, for asserting the constraint held.
+  double peak_mem_mb = 0.0;
+};
+
+/// Event-driven multi-processor execution simulator under deadline + memory
+/// constraints (Eq. 5). Semantics shared by all policies:
+///  - a model may start only if its memory fits the free budget and its
+///    realized execution time finishes before the deadline;
+///  - outputs (and hence labeling-state/Q updates) apply at finish events;
+///  - memory is released at finish events.
+/// Algorithm 2 additionally anchors each window with the model maximizing
+/// Q/(time*mem) and fills remaining memory with models maximizing Q/mem that
+/// finish within the window (the "temporary deadline" of Algorithm 2).
+///
+/// `predictor` is required for kAlgorithm2 and ignored for kRandom.
+ParallelRunResult RunParallel(ParallelPolicyKind kind,
+                              core::ModelValuePredictor* predictor,
+                              const data::Oracle& oracle, int item,
+                              const ParallelRunConfig& config);
+
+}  // namespace ams::sched
+
+#endif  // AMS_SCHED_PARALLEL_RUNNER_H_

@@ -1,0 +1,11 @@
+#include "sched/policy.h"
+
+namespace ams::sched {
+
+bool Fits(const ItemContext& ctx, const core::LabelingState& state, int model,
+          double remaining_time) {
+  if (state.model_executed(model)) return false;
+  return ctx.oracle->ExecutionTime(ctx.item, model) <= remaining_time;
+}
+
+}  // namespace ams::sched

@@ -1,0 +1,54 @@
+#ifndef AMS_SCHED_POLICY_H_
+#define AMS_SCHED_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/labeling_state.h"
+#include "data/oracle.h"
+
+namespace ams::sched {
+
+/// Everything a policy may know when an item arrives. Policies other than
+/// the oracle-based baselines (Optimal, Optimal*) must not inspect stored
+/// outputs — only costs, ids and, for chunked streams, the chunk id.
+struct ItemContext {
+  const data::Oracle* oracle = nullptr;
+  int item = -1;
+  /// Chunk id for correlated streams; -1 for i.i.d. items.
+  int chunk_id = -1;
+};
+
+/// Interactive serial scheduling policy: repeatedly asked for the next model
+/// to execute given the current labeling state and remaining time budget.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once per item before any NextModel call.
+  virtual void BeginItem(const ItemContext& ctx) = 0;
+
+  /// Returns the next model to execute (an unexecuted model id whose
+  /// *realized* execution time fits `remaining_time`), or -1 to stop.
+  /// Implementations use ctx.oracle->ExecutionTime for the fit check.
+  virtual int NextModel(const core::LabelingState& state,
+                        double remaining_time) = 0;
+
+  /// Notification with the model's newly produced valuable labels (O');
+  /// adaptive policies (rule-based, explore-exploit) react here.
+  virtual void OnExecuted(int model,
+                          const std::vector<zoo::LabelOutput>& fresh) {
+    (void)model;
+    (void)fresh;
+  }
+};
+
+/// Helper shared by policy implementations: true if `model` may still be run.
+bool Fits(const ItemContext& ctx, const core::LabelingState& state, int model,
+          double remaining_time);
+
+}  // namespace ams::sched
+
+#endif  // AMS_SCHED_POLICY_H_

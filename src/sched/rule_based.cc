@@ -1,0 +1,119 @@
+#include "sched/rule_based.h"
+
+#include "util/check.h"
+#include "zoo/label_space.h"
+
+namespace ams::sched {
+
+using zoo::TaskKind;
+
+std::vector<ExecutionRule> DefaultRules() {
+  using T = ExecutionRule::Trigger;
+  return {
+      {"object person => 2 x P(Pose Estimation)", T::kObjectPerson,
+       TaskKind::kPoseEstimation, 2.0},
+      {"object person => 2 x P(Gender Classification)", T::kObjectPerson,
+       TaskKind::kGenderClassification, 2.0},
+      {"object person => 2 x P(Face Detection)", T::kObjectPerson,
+       TaskKind::kFaceDetection, 2.0},
+      {"object dog => 2 x P(Dog Classification)", T::kObjectDog,
+       TaskKind::kDogClassification, 2.0},
+      {"face => 2 x P(Face Landmark Localization)", T::kFace,
+       TaskKind::kFaceLandmark, 2.0},
+      {"face => 2 x P(Emotion Classification)", T::kFace,
+       TaskKind::kEmotionClassification, 2.0},
+      {"body keypoints => 2 x P(Action Classification)", T::kAnyPoseKeypoint,
+       TaskKind::kActionClassification, 2.0},
+      {"wrist keypoints => 2 x P(Hand Landmark Localization)",
+       T::kWristKeypoint, TaskKind::kHandLandmark, 2.0},
+      {"indoor place => 0.5 x P(Dog Classification)", T::kIndoorPlace,
+       TaskKind::kDogClassification, 0.5},
+      {"indoor place => 0.5 x P(Action Classification)", T::kIndoorPlace,
+       TaskKind::kActionClassification, 0.5},
+  };
+}
+
+RuleBasedPolicy::RuleBasedPolicy(std::vector<ExecutionRule> rules, uint64_t seed)
+    : rules_(std::move(rules)),
+      fire_counts_(rules_.size(), 0),
+      fired_this_item_(rules_.size(), false),
+      task_weight_(static_cast<size_t>(zoo::kNumTasks), 1.0),
+      rng_(seed) {}
+
+void RuleBasedPolicy::BeginItem(const ItemContext& ctx) {
+  ctx_ = ctx;
+  std::fill(task_weight_.begin(), task_weight_.end(), 1.0);
+  std::fill(fired_this_item_.begin(), fired_this_item_.end(), false);
+}
+
+int RuleBasedPolicy::NextModel(const core::LabelingState& state,
+                               double remaining_time) {
+  // Sample a task by weight among tasks that still have a runnable model,
+  // then pick that task's most capable runnable model (a practitioner runs
+  // the best variant of a family first; weaker tiers only as fallback).
+  const auto& zoo = ctx_.oracle->zoo();
+  std::vector<double> weights(static_cast<size_t>(zoo::kNumTasks), 0.0);
+  std::vector<int> best_model(static_cast<size_t>(zoo::kNumTasks), -1);
+  bool any = false;
+  for (int m = 0; m < zoo.num_models(); ++m) {
+    if (!Fits(ctx_, state, m, remaining_time)) continue;
+    const int t = static_cast<int>(zoo.model(m).task);
+    if (best_model[static_cast<size_t>(t)] == -1 ||
+        zoo.model(m).accuracy >
+            zoo.model(best_model[static_cast<size_t>(t)]).accuracy) {
+      best_model[static_cast<size_t>(t)] = m;
+    }
+    weights[static_cast<size_t>(t)] = task_weight_[static_cast<size_t>(t)];
+    any = true;
+  }
+  if (!any) return -1;
+  const int task = rng_.Categorical(weights);
+  return best_model[static_cast<size_t>(task)];
+}
+
+void RuleBasedPolicy::OnExecuted(int model,
+                                 const std::vector<zoo::LabelOutput>& fresh) {
+  (void)model;
+  const auto& labels = ctx_.oracle->zoo().labels();
+  for (const auto& out : fresh) {
+    const TaskKind task = labels.TaskOfLabel(out.label_id);
+    const int offset = labels.OffsetInTask(out.label_id);
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      if (fired_this_item_[r]) continue;
+      const ExecutionRule& rule = rules_[r];
+      bool triggered = false;
+      switch (rule.trigger) {
+        case ExecutionRule::Trigger::kObjectPerson:
+          triggered = task == TaskKind::kObjectDetection &&
+                      offset == zoo::LabelSpace::kObjectPerson;
+          break;
+        case ExecutionRule::Trigger::kObjectDog:
+          triggered = task == TaskKind::kObjectDetection &&
+                      offset == zoo::LabelSpace::kObjectDog;
+          break;
+        case ExecutionRule::Trigger::kFace:
+          triggered = task == TaskKind::kFaceDetection;
+          break;
+        case ExecutionRule::Trigger::kAnyPoseKeypoint:
+          triggered = task == TaskKind::kPoseEstimation;
+          break;
+        case ExecutionRule::Trigger::kWristKeypoint:
+          triggered = task == TaskKind::kPoseEstimation &&
+                      (offset == zoo::LabelSpace::kPoseLeftWrist ||
+                       offset == zoo::LabelSpace::kPoseRightWrist);
+          break;
+        case ExecutionRule::Trigger::kIndoorPlace:
+          triggered = task == TaskKind::kPlaceClassification &&
+                      labels.IsIndoorScene(offset);
+          break;
+      }
+      if (triggered) {
+        fired_this_item_[r] = true;
+        ++fire_counts_[r];
+        task_weight_[static_cast<size_t>(rule.target_task)] *= rule.factor;
+      }
+    }
+  }
+}
+
+}  // namespace ams::sched

@@ -1,0 +1,67 @@
+#ifndef AMS_SCHED_RULE_BASED_H_
+#define AMS_SCHED_RULE_BASED_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/policy.h"
+#include "util/rng.h"
+#include "zoo/task.h"
+
+namespace ams::sched {
+
+/// One handcrafted execution rule (Table II): when a trigger label arrives,
+/// the execution probability of every model of `target_task` is multiplied
+/// by `factor`. Each rule fires at most once per item.
+struct ExecutionRule {
+  std::string description;
+  /// Matches a freshly emitted valuable label.
+  enum class Trigger {
+    kObjectPerson,
+    kObjectDog,
+    kFace,
+    kAnyPoseKeypoint,
+    kWristKeypoint,
+    kIndoorPlace,
+  } trigger;
+  zoo::TaskKind target_task;
+  double factor;  // 2.0 boosts, 0.5 suppresses
+};
+
+/// The repo's Table-II rule set: ten pairwise rules volunteered from common
+/// sense, mirroring the paper's (person->pose, person->gender, dog->breed,
+/// face->landmarks, face->emotion, pose->action, wrist->hand, indoor
+/// suppressions).
+std::vector<ExecutionRule> DefaultRules();
+
+/// Rule-based scheduling policy (§III-B, §VI-C): every task starts with an
+/// equal execution weight; fresh labels fire rules that scale task weights;
+/// the next model is sampled proportionally to its task's weight among those
+/// that fit. Within a task, the cheaper tiers are preferred first, matching
+/// how a practitioner would order a model family by cost.
+class RuleBasedPolicy : public SchedulingPolicy {
+ public:
+  RuleBasedPolicy(std::vector<ExecutionRule> rules, uint64_t seed);
+
+  std::string name() const override { return "rule_based"; }
+  void BeginItem(const ItemContext& ctx) override;
+  int NextModel(const core::LabelingState& state, double remaining_time) override;
+  void OnExecuted(int model, const std::vector<zoo::LabelOutput>& fresh) override;
+
+  /// Number of times each rule fired since construction (for Table II
+  /// diagnostics).
+  const std::vector<int>& rule_fire_counts() const { return fire_counts_; }
+  const std::vector<ExecutionRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<ExecutionRule> rules_;
+  std::vector<int> fire_counts_;
+  std::vector<bool> fired_this_item_;
+  std::vector<double> task_weight_;
+  util::Rng rng_;
+  ItemContext ctx_;
+};
+
+}  // namespace ams::sched
+
+#endif  // AMS_SCHED_RULE_BASED_H_

@@ -1,0 +1,53 @@
+#include "sched/serial_runner.h"
+
+#include "core/labeling_state.h"
+#include "core/value.h"
+#include "util/check.h"
+
+namespace ams::sched {
+
+SerialRunResult RunSerial(SchedulingPolicy* policy, const data::Oracle& oracle,
+                          int item, const SerialRunConfig& config,
+                          int chunk_id) {
+  AMS_CHECK(policy != nullptr);
+  AMS_CHECK(item >= 0 && item < oracle.num_items());
+
+  ItemContext ctx;
+  ctx.oracle = &oracle;
+  ctx.item = item;
+  ctx.chunk_id = chunk_id;
+  policy->BeginItem(ctx);
+
+  core::LabelingState state(oracle.zoo().labels().total_labels(),
+                            oracle.num_models());
+  core::ValueAccumulator acc(&oracle, item);
+  SerialRunResult result;
+  double remaining = config.time_budget;
+
+  while (state.num_executed() < oracle.num_models()) {
+    if (config.recall_target >= 0.0 &&
+        acc.Recall() >= config.recall_target - 1e-12) {
+      break;
+    }
+    const int model = policy->NextModel(state, remaining);
+    if (model < 0) break;
+    AMS_CHECK(!state.model_executed(model), "policy returned executed model");
+    const double exec_time = oracle.ExecutionTime(item, model);
+    AMS_CHECK(exec_time <= remaining + 1e-9,
+              "policy returned model exceeding the budget");
+    const std::vector<zoo::LabelOutput> fresh =
+        state.Apply(model, oracle.Output(item, model));
+    acc.AddModel(model);
+    policy->OnExecuted(model, fresh);
+    remaining -= exec_time;
+    result.time_used += exec_time;
+    result.steps.push_back(
+        {model, result.time_used, acc.Recall(), acc.Value()});
+  }
+  result.value = acc.Value();
+  result.recall = acc.Recall();
+  result.models_executed = state.num_executed();
+  return result;
+}
+
+}  // namespace ams::sched

@@ -1,0 +1,48 @@
+#ifndef AMS_SCHED_SERIAL_RUNNER_H_
+#define AMS_SCHED_SERIAL_RUNNER_H_
+
+#include <limits>
+#include <vector>
+
+#include "data/oracle.h"
+#include "sched/policy.h"
+
+namespace ams::sched {
+
+/// Stop conditions and accounting options of a single-processor run.
+struct SerialRunConfig {
+  /// Deadline per item in seconds; infinity = unconstrained.
+  double time_budget = std::numeric_limits<double>::infinity();
+  /// Stop once value recall reaches this fraction; <0 disables. The stop
+  /// condition is ground-truth driven, exactly as in §VI-B's experiments.
+  double recall_target = -1.0;
+};
+
+/// One executed model in a serial run.
+struct SerialStep {
+  int model = -1;
+  double time_after = 0.0;    // cumulative execution time after this model
+  double recall_after = 0.0;  // value recall after this model
+  double value_after = 0.0;
+};
+
+/// Outcome of scheduling one item serially.
+struct SerialRunResult {
+  std::vector<SerialStep> steps;
+  double time_used = 0.0;
+  double value = 0.0;
+  double recall = 0.0;
+  int models_executed = 0;
+};
+
+/// Drives a policy over one item: asks for the next model, replays its
+/// stored output, updates the labeling state and value accumulator, and
+/// enforces the stop conditions. The full per-step trajectory is recorded so
+/// a single run yields every recall threshold's statistics (Figs. 4-6).
+SerialRunResult RunSerial(SchedulingPolicy* policy, const data::Oracle& oracle,
+                          int item, const SerialRunConfig& config,
+                          int chunk_id = -1);
+
+}  // namespace ams::sched
+
+#endif  // AMS_SCHED_SERIAL_RUNNER_H_

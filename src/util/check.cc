@@ -1,0 +1,16 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ams::util {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::fprintf(stderr, "AMS_CHECK failed at %s:%d: (%s)%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ams::util

@@ -1,0 +1,34 @@
+#ifndef AMS_UTIL_CHECK_H_
+#define AMS_UTIL_CHECK_H_
+
+#include <string>
+
+namespace ams::util {
+
+/// Aborts the process with a diagnostic message. Used by AMS_CHECK.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+}  // namespace ams::util
+
+/// Fatal assertion, enabled in all build types. Invalid configuration and
+/// broken invariants fail fast rather than propagating corrupted state.
+/// Usage: AMS_CHECK(n > 0) or AMS_CHECK(n > 0, "n must be positive").
+#define AMS_CHECK(cond, ...)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::ams::util::CheckFailed(__FILE__, __LINE__, #cond,                    \
+                               ::std::string(__VA_ARGS__));                  \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define AMS_DCHECK(cond, ...) \
+  do {                        \
+  } while (0)
+#else
+#define AMS_DCHECK(cond, ...) AMS_CHECK(cond, ##__VA_ARGS__)
+#endif
+
+#endif  // AMS_UTIL_CHECK_H_

@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ams::util {
+
+std::string FormatDouble(double v, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << v;
+  return os.str();
+}
+
+void AsciiTable::SetHeader(std::vector<std::string> header) {
+  AMS_CHECK(!header.empty());
+  header_ = std::move(header);
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  AMS_CHECK(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::AddRow(const std::string& label, const std::vector<double>& values,
+                        int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+void AsciiTable::Print(std::ostream& os) const { os << ToString(); }
+
+std::string AsciiTable::ToString() const {
+  AMS_CHECK(!header_.empty(), "SetHeader not called");
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  AMS_CHECK(out.good(), "cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) {
+    AMS_CHECK(row.size() == header.size(), "csv row width mismatch");
+    emit(row);
+  }
+  AMS_CHECK(out.good(), "write failed for " + path);
+}
+
+}  // namespace ams::util

@@ -1,0 +1,47 @@
+#ifndef AMS_UTIL_TABLE_H_
+#define AMS_UTIL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ams::util {
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits);
+
+/// Minimal ASCII table printer used by the benchmark harnesses so every
+/// figure/table of the paper prints as aligned, copy-pasteable rows.
+class AsciiTable {
+ public:
+  /// Sets the column headers; defines the column count.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row; must match the header's column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `digits` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 3);
+
+  /// Renders the table with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used in tests).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes a CSV file (header + rows). Crashes on I/O failure: benches must
+/// not silently drop results.
+void WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ams::util
+
+#endif  // AMS_UTIL_TABLE_H_

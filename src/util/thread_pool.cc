@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ams::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  AMS_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AMS_CHECK(!stop_, "submit after shutdown");
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ParallelFor(int begin, int end, int num_threads,
+                 const std::function<void(int)>& fn) {
+  AMS_CHECK(begin <= end);
+  const int n = end - begin;
+  if (n == 0) return;
+  num_threads = std::max(1, std::min(num_threads, n));
+  if (num_threads == 1) {
+    for (int i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  const int chunk = (n + num_threads - 1) / num_threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const int lo = begin + t * chunk;
+    const int hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &fn] {
+      for (int i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace ams::util

@@ -1,0 +1,53 @@
+#ifndef AMS_UTIL_THREAD_POOL_H_
+#define AMS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ams::util {
+
+/// Fixed-size worker pool. Used to train several DRL agents in parallel and
+/// to parallelize evaluation sweeps; tasks must be independent.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves when it completes (exceptions
+  /// propagate through the future).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Hardware concurrency, at least 1.
+  static int DefaultThreads();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across `num_threads` threads (static
+/// block partitioning). Blocks until all iterations finish.
+void ParallelFor(int begin, int end, int num_threads,
+                 const std::function<void(int)>& fn);
+
+}  // namespace ams::util
+
+#endif  // AMS_UTIL_THREAD_POOL_H_

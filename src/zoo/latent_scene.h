@@ -1,0 +1,71 @@
+#ifndef AMS_ZOO_LATENT_SCENE_H_
+#define AMS_ZOO_LATENT_SCENE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ams::zoo {
+
+/// Latent attributes of one person in a scene.
+struct PersonInstance {
+  bool face_visible = false;
+  /// Relative face size/frontality in [0,1]; drives face-related confidences.
+  double face_quality = 0.0;
+  int emotion = 0;          // offset into the 7 emotion labels
+  int gender = 0;           // 0 = male, 1 = female
+  bool hands_visible = false;
+  /// Fraction of the body visible in [0,1]; drives pose confidences.
+  double pose_visibility = 0.0;
+};
+
+/// The latent semantic content of one data item ("image").
+///
+/// This is the ground truth the synthetic models observe. It replaces real
+/// pixels: a model's output is a deterministic function of this struct and
+/// the model's spec, so the scheduling problem (content-dependent, unknown
+/// before execution) is identical in structure to the paper's.
+struct LatentScene {
+  /// Seed driving all execution noise for this item (deterministic replay).
+  uint64_t item_seed = 0;
+
+  int scene_id = 0;      // Places365-style category offset, 0..364
+  bool indoor = false;
+  /// How prototypical the scene looks in [0,1]; low values yield the
+  /// "bathroom 0.14"-style low-confidence place outputs of Fig. 1.
+  double scene_clarity = 1.0;
+
+  std::vector<PersonInstance> persons;
+
+  /// Action offset (0..399) if the persons perform a recognizable action,
+  /// else -1.
+  int action_id = -1;
+  /// Distinctiveness of the action in [0,1].
+  double action_clarity = 0.0;
+
+  bool has_dog = false;
+  int dog_breed = 0;        // 0..119
+  double dog_visibility = 0.0;
+
+  /// Object-detection category offsets present (unique, sorted not required).
+  std::vector<int> objects;
+  /// Per-object visibility in [0,1], parallel to `objects`.
+  std::vector<double> object_visibility;
+
+  bool has_person() const { return !persons.empty(); }
+  bool has_visible_face() const {
+    for (const auto& p : persons) {
+      if (p.face_visible) return true;
+    }
+    return false;
+  }
+  bool has_visible_hands() const {
+    for (const auto& p : persons) {
+      if (p.hands_visible) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace ams::zoo
+
+#endif  // AMS_ZOO_LATENT_SCENE_H_

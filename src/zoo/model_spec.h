@@ -1,0 +1,38 @@
+#ifndef AMS_ZOO_MODEL_SPEC_H_
+#define AMS_ZOO_MODEL_SPEC_H_
+
+#include <string>
+
+#include "zoo/task.h"
+
+namespace ams::zoo {
+
+/// Capacity/cost tier of a model within its task (the zoo carries three
+/// tiers per task, mirroring e.g. the small/medium/large variants of a
+/// detector family).
+enum class ModelTier : int {
+  kSmall = 0,
+  kMedium = 1,
+  kLarge = 2,
+};
+
+inline constexpr int kNumTiers = 3;
+
+/// Static description of one deployed model: what it labels and what it
+/// costs. This is all the scheduler is allowed to know a priori.
+struct ModelSpec {
+  int id = -1;              // 0..29, dense
+  std::string name;
+  TaskKind task = TaskKind::kObjectDetection;
+  ModelTier tier = ModelTier::kSmall;
+  double time_s = 0.0;      // mean execution time per item, seconds
+  double mem_mb = 0.0;      // peak GPU memory, megabytes
+  /// Base recognition quality in (0,1); higher tiers are more accurate.
+  double accuracy = 0.0;
+  /// User-defined priority θ_m from Eq. (3); default 1 (§IV-A).
+  double theta = 1.0;
+};
+
+}  // namespace ams::zoo
+
+#endif  // AMS_ZOO_MODEL_SPEC_H_

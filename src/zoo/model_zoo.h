@@ -1,0 +1,66 @@
+#ifndef AMS_ZOO_MODEL_ZOO_H_
+#define AMS_ZOO_MODEL_ZOO_H_
+
+#include <vector>
+
+#include "zoo/label_space.h"
+#include "zoo/latent_scene.h"
+#include "zoo/model_spec.h"
+
+namespace ams::zoo {
+
+/// One emitted label with the model's confidence in it.
+struct LabelOutput {
+  int label_id;
+  double confidence;
+};
+
+/// Confidence threshold above which a label counts as "valuable"
+/// (high-confidence) throughout the repo.
+inline constexpr double kValuableConfidence = 0.5;
+
+/// The deployed collection of 30 models (3 tiers x 10 tasks, Table I).
+///
+/// Execute() is a pure function of (scene, model): repeated calls return the
+/// identical output, which is what lets the Oracle precompute ground truth
+/// exactly as the paper does (§VI-A).
+class ModelZoo {
+ public:
+  /// Builds the default 30-model zoo calibrated so that executing all models
+  /// costs ~5.17 s per item (the paper's "no policy" 5.16 s, §II), with
+  /// per-model times in 50-400 ms and memory in 500-8000 MB (Table III).
+  static ModelZoo CreateDefault();
+
+  const LabelSpace& labels() const { return labels_; }
+  const std::vector<ModelSpec>& models() const { return models_; }
+  int num_models() const { return static_cast<int>(models_.size()); }
+  const ModelSpec& model(int id) const;
+
+  /// Model ids belonging to `task`, ordered small -> large tier.
+  std::vector<int> ModelsForTask(TaskKind task) const;
+
+  /// Simulated inference: labels the scene with (label, confidence) pairs.
+  /// May return an empty vector (the model "found nothing") or only
+  /// low-confidence outputs — both are the waste the paper's Fig. 1 shows.
+  std::vector<LabelOutput> Execute(int model_id, const LatentScene& scene) const;
+
+  /// Sum of all model mean times (the "no policy" per-item cost).
+  double TotalTimeSeconds() const;
+
+  /// Sets the priority parameter θ_m used by the reward (Eq. 3).
+  void SetTheta(int model_id, double theta);
+
+  /// Draws a jittered execution time for one run of `model_id` (lognormal
+  /// around the spec's mean, ±~10%). Deterministic in (scene seed, model).
+  double SampleExecutionTime(int model_id, const LatentScene& scene) const;
+
+ private:
+  ModelZoo() = default;
+
+  LabelSpace labels_;
+  std::vector<ModelSpec> models_;
+};
+
+}  // namespace ams::zoo
+
+#endif  // AMS_ZOO_MODEL_ZOO_H_

@@ -1,0 +1,33 @@
+#ifndef AMS_ZOO_TASK_H_
+#define AMS_ZOO_TASK_H_
+
+namespace ams::zoo {
+
+/// The ten visual-analysis tasks of the paper's Table I.
+enum class TaskKind : int {
+  kObjectDetection = 0,        // 80 labels (COCO categories)
+  kPlaceClassification = 1,    // 365 labels (Places365 categories)
+  kFaceDetection = 2,          // 1 label
+  kFaceLandmark = 3,           // 70 labels (face keypoints)
+  kPoseEstimation = 4,         // 17 labels (body keypoints)
+  kEmotionClassification = 5,  // 7 labels
+  kGenderClassification = 6,   // 2 labels
+  kActionClassification = 7,   // 400 labels (Kinetics-style actions)
+  kHandLandmark = 8,           // 42 labels (hand keypoints, 21 per hand)
+  kDogClassification = 9,      // 120 labels (dog breeds)
+};
+
+inline constexpr int kNumTasks = 10;
+
+/// Number of labels each task contributes (Table I). Sums to 1104.
+inline constexpr int kTaskLabelCounts[kNumTasks] = {80, 365, 1,  70, 17,
+                                                    7,  2,   400, 42, 120};
+
+inline constexpr int kTotalLabels = 1104;
+
+/// Human-readable task name (Table I row names).
+const char* TaskName(TaskKind task);
+
+}  // namespace ams::zoo
+
+#endif  // AMS_ZOO_TASK_H_

@@ -1,0 +1,165 @@
+// Unit tests of the dataset generator: determinism, split contract, profile
+// differentiation and the semantic correlations the DRL agent learns from.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/scene_sampler.h"
+#include "zoo/label_space.h"
+
+namespace ams::data {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  const zoo::LabelSpace labels_ = zoo::LabelSpace::CreateDefault();
+};
+
+TEST_F(DatasetTest, GenerationIsDeterministic) {
+  const Dataset a = Dataset::Generate(DatasetProfile::MsCoco(), labels_, 50, 9);
+  const Dataset b = Dataset::Generate(DatasetProfile::MsCoco(), labels_, 50, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.item(i).scene.scene_id, b.item(i).scene.scene_id);
+    EXPECT_EQ(a.item(i).scene.persons.size(), b.item(i).scene.persons.size());
+    EXPECT_EQ(a.item(i).scene.objects, b.item(i).scene.objects);
+    EXPECT_EQ(a.item(i).scene.item_seed, b.item(i).scene.item_seed);
+  }
+}
+
+TEST_F(DatasetTest, DifferentSeedsProduceDifferentContent) {
+  const Dataset a = Dataset::Generate(DatasetProfile::MsCoco(), labels_, 50, 1);
+  const Dataset b = Dataset::Generate(DatasetProfile::MsCoco(), labels_, 50, 2);
+  int same_scene = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (a.item(i).scene.scene_id == b.item(i).scene.scene_id) ++same_scene;
+  }
+  EXPECT_LT(same_scene, 25);
+}
+
+TEST_F(DatasetTest, SplitIsOneToFourDisjointAndComplete) {
+  const Dataset ds =
+      Dataset::Generate(DatasetProfile::Places365(), labels_, 500, 3);
+  const auto& train = ds.train_indices();
+  const auto& test = ds.test_indices();
+  EXPECT_EQ(train.size(), 100u);  // 20% = 1:4 train:test (SVI-A)
+  EXPECT_EQ(test.size(), 400u);
+  std::set<int> all(train.begin(), train.end());
+  for (int t : test) EXPECT_TRUE(all.insert(t).second) << "overlap at " << t;
+  EXPECT_EQ(all.size(), 500u);
+}
+
+TEST_F(DatasetTest, ProfilesShapeContentDistributions) {
+  const int n = 800;
+  auto person_rate = [&](const DatasetProfile& profile) {
+    const Dataset ds = Dataset::Generate(profile, labels_, n, 5);
+    int persons = 0;
+    for (int i = 0; i < ds.size(); ++i) {
+      if (ds.item(i).scene.has_person()) ++persons;
+    }
+    return static_cast<double>(persons) / n;
+  };
+  const double stanford = person_rate(DatasetProfile::Stanford40());
+  const double places = person_rate(DatasetProfile::Places365());
+  const double flickr = person_rate(DatasetProfile::MirFlickr25());
+  EXPECT_GT(stanford, 0.9);  // action corpus: people everywhere
+  EXPECT_LT(places, 0.45);   // scene corpus: people sparse
+  EXPECT_GT(flickr, places);
+}
+
+TEST_F(DatasetTest, DogsOnlyProfileIsDegenerate) {
+  const Dataset ds =
+      Dataset::Generate(DatasetProfile::DogsOnly(), labels_, 300, 5);
+  int dogs = 0, persons = 0;
+  for (int i = 0; i < ds.size(); ++i) {
+    if (ds.item(i).scene.has_dog) ++dogs;
+    if (ds.item(i).scene.has_person()) ++persons;
+  }
+  // p_dog = 1 is damped to 0.6 for indoor scenes by the sampler, so the
+  // realized rate is ~0.9 with the profile's 25% indoor bias.
+  EXPECT_GT(dogs, 255);
+  EXPECT_LT(persons, 30);
+}
+
+TEST_F(DatasetTest, PersonImpliesPersonObjectCategory) {
+  const Dataset ds =
+      Dataset::Generate(DatasetProfile::Stanford40(), labels_, 300, 5);
+  for (int i = 0; i < ds.size(); ++i) {
+    const auto& scene = ds.item(i).scene;
+    if (!scene.has_person()) continue;
+    EXPECT_NE(std::find(scene.objects.begin(), scene.objects.end(),
+                        zoo::LabelSpace::kObjectPerson),
+              scene.objects.end())
+        << "item " << i;
+    ASSERT_EQ(scene.objects.size(), scene.object_visibility.size());
+  }
+}
+
+TEST_F(DatasetTest, SceneObjectCorrelationExists) {
+  // Items should mostly carry their scene's preferred objects — this is the
+  // correlation the DRL agent mines (place label -> object expectations).
+  const DatasetProfile profile = DatasetProfile::MsCoco();
+  SceneSampler sampler(profile, &labels_);
+  const Dataset ds = Dataset::Generate(profile, labels_, 600, 5);
+  int preferred_hits = 0, non_person_objects = 0;
+  for (int i = 0; i < ds.size(); ++i) {
+    const auto& scene = ds.item(i).scene;
+    const auto& preferred = sampler.PreferredObjects(scene.scene_id);
+    for (int obj : scene.objects) {
+      if (obj == zoo::LabelSpace::kObjectPerson ||
+          obj == zoo::LabelSpace::kObjectDog) {
+        continue;
+      }
+      ++non_person_objects;
+      if (std::find(preferred.begin(), preferred.end(), obj) !=
+          preferred.end()) {
+        ++preferred_hits;
+      }
+    }
+  }
+  ASSERT_GT(non_person_objects, 100);
+  EXPECT_GT(static_cast<double>(preferred_hits) / non_person_objects, 0.5);
+}
+
+TEST_F(DatasetTest, ChunkedDatasetHasCorrelatedChunks) {
+  const Dataset ds = Dataset::GenerateChunked(DatasetProfile::MirFlickr25(),
+                                              labels_, 10, 20, 5);
+  EXPECT_TRUE(ds.chunked());
+  EXPECT_EQ(ds.num_chunks(), 10);
+  EXPECT_EQ(ds.size(), 200);
+  for (int i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.item(i).chunk_id, i / 20);
+  }
+  // Frames of one chunk share the base scene category; item seeds differ.
+  for (int c = 0; c < 10; ++c) {
+    const auto& first = ds.item(c * 20).scene;
+    std::set<uint64_t> seeds;
+    for (int f = 0; f < 20; ++f) {
+      const auto& frame = ds.item(c * 20 + f).scene;
+      EXPECT_EQ(frame.scene_id, first.scene_id);
+      EXPECT_EQ(frame.has_dog, first.has_dog);
+      seeds.insert(frame.item_seed);
+    }
+    EXPECT_EQ(seeds.size(), 20u) << "frames must have distinct noise seeds";
+  }
+}
+
+TEST_F(DatasetTest, SamplerVisibilitiesWithinConfiguredRange) {
+  DatasetProfile profile = DatasetProfile::MsCoco();
+  profile.vis_lo = 0.4;
+  profile.vis_hi = 0.9;
+  const Dataset ds = Dataset::Generate(profile, labels_, 200, 6);
+  for (int i = 0; i < ds.size(); ++i) {
+    for (const auto& person : ds.item(i).scene.persons) {
+      EXPECT_GE(person.pose_visibility, 0.4);
+      EXPECT_LE(person.pose_visibility, 0.9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ams::data

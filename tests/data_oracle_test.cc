@@ -1,0 +1,137 @@
+// Unit tests of the Oracle: stored outputs must exactly mirror live
+// execution, and the derived value quantities must satisfy their defining
+// identities.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "zoo/model_zoo.h"
+
+namespace ams::data {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    zoo_ = new zoo::ModelZoo(zoo::ModelZoo::CreateDefault());
+    dataset_ = new Dataset(Dataset::Generate(DatasetProfile::MsCoco(),
+                                             zoo_->labels(), 120, 21));
+    oracle_ = new Oracle(zoo_, dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete dataset_;
+    delete zoo_;
+  }
+
+  static zoo::ModelZoo* zoo_;
+  static Dataset* dataset_;
+  static Oracle* oracle_;
+};
+
+zoo::ModelZoo* OracleTest::zoo_ = nullptr;
+Dataset* OracleTest::dataset_ = nullptr;
+Oracle* OracleTest::oracle_ = nullptr;
+
+TEST_F(OracleTest, StoredOutputsMatchLiveExecution) {
+  for (int item = 0; item < 20; ++item) {
+    for (int m = 0; m < oracle_->num_models(); ++m) {
+      const auto live = zoo_->Execute(m, dataset_->item(item).scene);
+      const auto& stored = oracle_->Output(item, m);
+      ASSERT_EQ(live.size(), stored.size());
+      for (size_t i = 0; i < live.size(); ++i) {
+        EXPECT_EQ(live[i].label_id, stored[i].label_id);
+        EXPECT_DOUBLE_EQ(live[i].confidence, stored[i].confidence);
+      }
+    }
+  }
+}
+
+TEST_F(OracleTest, ValuableOutputsAreTheHighConfidenceSubset) {
+  for (int item = 0; item < oracle_->num_items(); ++item) {
+    for (int m = 0; m < oracle_->num_models(); ++m) {
+      size_t expected = 0;
+      for (const auto& out : oracle_->Output(item, m)) {
+        if (out.confidence >= zoo::kValuableConfidence) ++expected;
+      }
+      EXPECT_EQ(oracle_->ValuableOutput(item, m).size(), expected);
+      for (const auto& out : oracle_->ValuableOutput(item, m)) {
+        EXPECT_GE(out.confidence, zoo::kValuableConfidence);
+      }
+      EXPECT_EQ(oracle_->ModelValuable(item, m), expected > 0);
+    }
+  }
+}
+
+TEST_F(OracleTest, SoloValueIsSumOfValuableConfidences) {
+  for (int item = 0; item < 40; ++item) {
+    for (int m = 0; m < oracle_->num_models(); ++m) {
+      double sum = 0.0;
+      for (const auto& out : oracle_->ValuableOutput(item, m)) {
+        sum += out.confidence;
+      }
+      EXPECT_NEAR(oracle_->ModelSoloValue(item, m), sum, 1e-9);
+    }
+  }
+}
+
+TEST_F(OracleTest, LabelProfitIsMaxConfidenceAcrossModels) {
+  for (int item = 0; item < 40; ++item) {
+    // Recompute profits independently.
+    std::map<int, double> best;
+    for (int m = 0; m < oracle_->num_models(); ++m) {
+      for (const auto& out : oracle_->ValuableOutput(item, m)) {
+        best[out.label_id] = std::max(best[out.label_id], out.confidence);
+      }
+    }
+    double total = 0.0;
+    for (const auto& [label, conf] : best) {
+      EXPECT_NEAR(oracle_->LabelProfit(item, label), conf, 1e-9);
+      total += conf;
+    }
+    EXPECT_NEAR(oracle_->TrueTotalValue(item), total, 1e-9);
+    EXPECT_DOUBLE_EQ(oracle_->LabelProfit(item, 1103), best.count(1103)
+                                                           ? best[1103]
+                                                           : 0.0);
+  }
+}
+
+TEST_F(OracleTest, TimeAccountingIdentities) {
+  for (int item = 0; item < oracle_->num_items(); ++item) {
+    double total = 0.0, valuable = 0.0;
+    for (int m = 0; m < oracle_->num_models(); ++m) {
+      const double t = oracle_->ExecutionTime(item, m);
+      EXPECT_GT(t, 0.0);
+      total += t;
+      if (oracle_->ModelValuable(item, m)) valuable += t;
+    }
+    EXPECT_NEAR(oracle_->TotalTime(item), total, 1e-9);
+    EXPECT_NEAR(oracle_->ValuableTime(item), valuable, 1e-9);
+    EXPECT_LE(oracle_->ValuableTime(item), oracle_->TotalTime(item));
+  }
+}
+
+TEST_F(OracleTest, NumValuableModelsConsistent) {
+  for (int item = 0; item < oracle_->num_items(); ++item) {
+    int count = 0;
+    for (int m = 0; m < oracle_->num_models(); ++m) {
+      if (oracle_->ModelValuable(item, m)) ++count;
+    }
+    EXPECT_EQ(oracle_->NumValuableModels(item), count);
+  }
+}
+
+TEST_F(OracleTest, TrueTotalValueBoundsSoloValues) {
+  for (int item = 0; item < oracle_->num_items(); ++item) {
+    double max_solo = 0.0;
+    for (int m = 0; m < oracle_->num_models(); ++m) {
+      max_solo = std::max(max_solo, oracle_->ModelSoloValue(item, m));
+    }
+    EXPECT_GE(oracle_->TrueTotalValue(item), max_solo - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ams::data

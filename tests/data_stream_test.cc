@@ -1,0 +1,88 @@
+// Unit tests of the stream iterator over i.i.d. and chunked datasets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/stream.h"
+#include "zoo/label_space.h"
+
+namespace ams::data {
+namespace {
+
+class DataStreamTest : public ::testing::Test {
+ protected:
+  const zoo::LabelSpace labels_ = zoo::LabelSpace::CreateDefault();
+};
+
+TEST_F(DataStreamTest, VisitsEachIndexExactlyOnce) {
+  const Dataset ds =
+      Dataset::Generate(DatasetProfile::MsCoco(), labels_, 100, 61);
+  DataStream stream(&ds, ds.test_indices(), /*shuffle=*/true, /*seed=*/4);
+  std::set<int> seen;
+  while (!stream.Done()) {
+    EXPECT_TRUE(seen.insert(stream.Next()).second);
+  }
+  EXPECT_EQ(seen.size(), ds.test_indices().size());
+  EXPECT_TRUE(std::includes(seen.begin(), seen.end(),
+                            ds.test_indices().begin(),
+                            ds.test_indices().end()));
+}
+
+TEST_F(DataStreamTest, ShuffleChangesOrderButNotContent) {
+  const Dataset ds =
+      Dataset::Generate(DatasetProfile::MsCoco(), labels_, 80, 62);
+  DataStream ordered(&ds, ds.test_indices(), false, 1);
+  DataStream shuffled(&ds, ds.test_indices(), true, 1);
+  std::vector<int> a, b;
+  while (!ordered.Done()) a.push_back(ordered.Next());
+  while (!shuffled.Done()) b.push_back(shuffled.Next());
+  EXPECT_NE(a, b);
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);  // ordered indices are sorted by construction
+}
+
+TEST_F(DataStreamTest, ChunkTrackingOnChunkedData) {
+  const Dataset ds = Dataset::GenerateChunked(DatasetProfile::MirFlickr25(),
+                                              labels_, 5, 10, 63);
+  std::vector<int> all(static_cast<size_t>(ds.size()));
+  for (int i = 0; i < ds.size(); ++i) all[static_cast<size_t>(i)] = i;
+  DataStream stream(&ds, all, /*shuffle=*/false, 0);
+  int last_chunk = -1;
+  int transitions = 0;
+  while (!stream.Done()) {
+    stream.Next();
+    if (stream.current_chunk() != last_chunk) {
+      ++transitions;
+      last_chunk = stream.current_chunk();
+    }
+  }
+  EXPECT_EQ(transitions, 5) << "in-order streaming preserves chunk locality";
+}
+
+TEST_F(DataStreamTest, ResetRestarts) {
+  const Dataset ds =
+      Dataset::Generate(DatasetProfile::Voc2012(), labels_, 30, 64);
+  DataStream stream(&ds, ds.train_indices(), true, 9);
+  const int first = stream.Next();
+  while (!stream.Done()) stream.Next();
+  stream.Reset();
+  EXPECT_FALSE(stream.Done());
+  EXPECT_EQ(stream.Next(), first) << "same order after reset";
+}
+
+TEST_F(DataStreamTest, ExhaustionDies) {
+  const Dataset ds =
+      Dataset::Generate(DatasetProfile::Voc2012(), labels_, 20, 65);
+  DataStream stream(&ds, {0, 1}, false, 0);
+  stream.Next();
+  stream.Next();
+  ASSERT_TRUE(stream.Done());
+  EXPECT_DEATH(stream.Next(), "exhausted");
+}
+
+}  // namespace
+}  // namespace ams::data

@@ -1,0 +1,193 @@
+// Tests of the serial and parallel run drivers: budget enforcement,
+// trajectory invariants and memory accounting.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/predictor.h"
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "sched/basic_policies.h"
+#include "sched/parallel_runner.h"
+#include "sched/serial_runner.h"
+
+namespace ams::sched {
+namespace {
+
+// Oracle-informed predictor: returns each model's remaining true marginal
+// value. Gives the parallel runner a strong signal without training.
+class OraclePredictor : public core::ModelValuePredictor {
+ public:
+  OraclePredictor(const data::Oracle* oracle, int item)
+      : oracle_(oracle), item_(item) {}
+  std::vector<double> PredictValues(const std::vector<float>& state) override {
+    std::vector<double> q(31, 0.0);
+    for (int m = 0; m < 30; ++m) {
+      double value = 0.0;
+      for (const auto& out : oracle_->ValuableOutput(item_, m)) {
+        if (state[static_cast<size_t>(out.label_id)] == 0.0f) {
+          value += out.confidence;
+        }
+      }
+      // Report on the same log scale as trained agents (Eq. 3).
+      q[static_cast<size_t>(m)] = value > 0.0 ? std::log(value + 1.0) : -1.0;
+    }
+    return q;
+  }
+  int num_actions() const override { return 31; }
+
+ private:
+  const data::Oracle* oracle_;
+  int item_;
+};
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    zoo_ = new zoo::ModelZoo(zoo::ModelZoo::CreateDefault());
+    dataset_ = new data::Dataset(data::Dataset::Generate(
+        data::DatasetProfile::MirFlickr25(), zoo_->labels(), 80, 17));
+    oracle_ = new data::Oracle(zoo_, dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete dataset_;
+    delete zoo_;
+  }
+  static zoo::ModelZoo* zoo_;
+  static data::Dataset* dataset_;
+  static data::Oracle* oracle_;
+};
+
+zoo::ModelZoo* RunnerTest::zoo_ = nullptr;
+data::Dataset* RunnerTest::dataset_ = nullptr;
+data::Oracle* RunnerTest::oracle_ = nullptr;
+
+class SerialDeadlineTest : public RunnerTest,
+                           public ::testing::WithParamInterface<double> {};
+
+TEST_P(SerialDeadlineTest, NeverExceedsBudgetAndTrajectoryIsConsistent) {
+  RandomPolicy policy(1);
+  SerialRunConfig config;
+  config.time_budget = GetParam();
+  for (int item = 0; item < 30; ++item) {
+    const SerialRunResult run = RunSerial(&policy, *oracle_, item, config);
+    EXPECT_LE(run.time_used, config.time_budget + 1e-9);
+    double prev_time = 0.0, prev_recall = 0.0;
+    for (const auto& step : run.steps) {
+      EXPECT_GT(step.time_after, prev_time);
+      EXPECT_GE(step.recall_after, prev_recall - 1e-12);
+      prev_time = step.time_after;
+      prev_recall = step.recall_after;
+    }
+    EXPECT_EQ(run.models_executed, static_cast<int>(run.steps.size()));
+    if (!run.steps.empty()) {
+      EXPECT_NEAR(run.steps.back().time_after, run.time_used, 1e-9);
+      EXPECT_NEAR(run.steps.back().recall_after, run.recall, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SerialDeadlineTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0));
+
+TEST_F(RunnerTest, RecallTargetStopsEarly) {
+  OptimalPolicy policy;
+  SerialRunConfig config;
+  config.recall_target = 0.5;
+  for (int item = 0; item < 30; ++item) {
+    const SerialRunResult run = RunSerial(&policy, *oracle_, item, config);
+    EXPECT_GE(run.recall, 0.5 - 1e-9);
+    // Stopping was tight: before the last model the target was not reached.
+    if (run.steps.size() >= 2) {
+      EXPECT_LT(run.steps[run.steps.size() - 2].recall_after, 0.5);
+    }
+  }
+}
+
+TEST_F(RunnerTest, FullRecallRunRecallsEverything) {
+  NoPolicy policy;
+  SerialRunConfig config;
+  config.recall_target = 1.0;
+  const SerialRunResult run = RunSerial(&policy, *oracle_, 0, config);
+  EXPECT_NEAR(run.recall, 1.0, 1e-9);
+  EXPECT_NEAR(run.value, oracle_->TrueTotalValue(0), 1e-9);
+}
+
+class ParallelMemoryTest
+    : public RunnerTest,
+      public ::testing::WithParamInterface<std::pair<double, double>> {};
+
+TEST_P(ParallelMemoryTest, RespectsMemoryAndDeadline) {
+  const auto [mem_gb, deadline] = GetParam();
+  ParallelRunConfig config;
+  config.mem_budget_mb = mem_gb * 1024.0;
+  config.time_budget = deadline;
+  for (int item = 0; item < 20; ++item) {
+    OraclePredictor predictor(oracle_, item);
+    for (const auto kind :
+         {ParallelPolicyKind::kAlgorithm2, ParallelPolicyKind::kRandom}) {
+      const ParallelRunResult run = RunParallel(
+          kind, kind == ParallelPolicyKind::kAlgorithm2 ? &predictor : nullptr,
+          *oracle_, item, config);
+      EXPECT_LE(run.peak_mem_mb, config.mem_budget_mb + 1e-6);
+      EXPECT_LE(run.makespan, config.time_budget + 1e-9);
+      // Independently re-check memory from the recorded intervals.
+      for (const auto& a : run.steps) {
+        double concurrent = 0.0;
+        for (const auto& b : run.steps) {
+          if (b.start <= a.start && a.start < b.finish) {
+            concurrent += oracle_->zoo().model(b.model).mem_mb;
+          }
+        }
+        EXPECT_LE(concurrent, config.mem_budget_mb + 1e-6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ParallelMemoryTest,
+                         ::testing::Values(std::make_pair(8.0, 0.5),
+                                           std::make_pair(8.0, 1.5),
+                                           std::make_pair(12.0, 1.0),
+                                           std::make_pair(16.0, 2.0)));
+
+TEST_F(RunnerTest, Algorithm2WithOracleSignalBeatsRandomOnAverage) {
+  ParallelRunConfig config;
+  config.mem_budget_mb = 8192.0;
+  config.time_budget = 0.8;
+  double alg2 = 0.0, random = 0.0;
+  for (int item = 0; item < oracle_->num_items(); ++item) {
+    OraclePredictor predictor(oracle_, item);
+    alg2 += RunParallel(ParallelPolicyKind::kAlgorithm2, &predictor, *oracle_,
+                        item, config)
+                .recall;
+    random += RunParallel(ParallelPolicyKind::kRandom, nullptr, *oracle_, item,
+                          config)
+                  .recall;
+  }
+  EXPECT_GT(alg2, random * 1.15)
+      << "alg2=" << alg2 / oracle_->num_items()
+      << " random=" << random / oracle_->num_items();
+}
+
+TEST_F(RunnerTest, ParallelStepsHaveConsistentIntervals) {
+  ParallelRunConfig config;
+  config.mem_budget_mb = 16384.0;
+  config.time_budget = 1.0;
+  OraclePredictor predictor(oracle_, 5);
+  const ParallelRunResult run = RunParallel(ParallelPolicyKind::kAlgorithm2,
+                                            &predictor, *oracle_, 5, config);
+  for (const auto& step : run.steps) {
+    EXPECT_GE(step.start, 0.0);
+    EXPECT_GT(step.finish, step.start);
+    EXPECT_NEAR(step.finish - step.start,
+                oracle_->ExecutionTime(5, step.model), 1e-9);
+  }
+  EXPECT_EQ(run.models_executed, static_cast<int>(run.steps.size()));
+}
+
+}  // namespace
+}  // namespace ams::sched

@@ -1,0 +1,109 @@
+// Unit tests of the ASCII table / CSV reporters and the binary serializer.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/serialize.h"
+#include "util/table.h"
+
+namespace ams::util {
+namespace {
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 3), "-1.500");
+}
+
+TEST(AsciiTableTest, AlignsColumnsAndCountsRows) {
+  AsciiTable table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"short", "1"});
+  table.AddRow("longer_label", {2.5}, 1);
+  EXPECT_EQ(table.num_rows(), 2u);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer_label"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  // All lines after the separator have equal or shorter width than header
+  // line extended by padding; basic sanity: at least 4 lines.
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);  // header, separator, two rows
+}
+
+TEST(AsciiTableTest, RowWidthMismatchDies) {
+  AsciiTable table;
+  table.SetHeader({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only_one"}), "row width mismatch");
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/ams_test.csv";
+  WriteCsv(path, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+}
+
+TEST(SerializeTest, RoundTripAllTypes) {
+  std::stringstream buffer;
+  BinaryWriter writer(&buffer);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x123456789ABCDEFull);
+  writer.WriteI32(-42);
+  writer.WriteF32(1.5f);
+  writer.WriteF64(-2.25);
+  writer.WriteString("hello world");
+  writer.WriteFloatVector({1.0f, 2.0f, 3.0f});
+  writer.WriteDoubleVector({-1.0, 0.5});
+  ASSERT_TRUE(writer.ok());
+
+  BinaryReader reader(&buffer);
+  EXPECT_EQ(reader.ReadU32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.ReadU64(), 0x123456789ABCDEFull);
+  EXPECT_EQ(reader.ReadI32(), -42);
+  EXPECT_FLOAT_EQ(reader.ReadF32(), 1.5f);
+  EXPECT_DOUBLE_EQ(reader.ReadF64(), -2.25);
+  EXPECT_EQ(reader.ReadString(), "hello world");
+  EXPECT_EQ(reader.ReadFloatVector(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(reader.ReadDoubleVector(), (std::vector<double>{-1.0, 0.5}));
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(SerializeTest, TruncatedInputFailsGracefully) {
+  std::stringstream buffer;
+  BinaryWriter writer(&buffer);
+  writer.WriteU64(1000);  // claims a 1000-element vector follows
+  BinaryReader reader(&buffer);
+  const std::vector<float> v = reader.ReadFloatVector();
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(v.empty());
+  // Subsequent reads stay failed and return zero values.
+  EXPECT_EQ(reader.ReadU32(), 0u);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerializeTest, EmptyContainers) {
+  std::stringstream buffer;
+  BinaryWriter writer(&buffer);
+  writer.WriteString("");
+  writer.WriteFloatVector({});
+  BinaryReader reader(&buffer);
+  EXPECT_EQ(reader.ReadString(), "");
+  EXPECT_TRUE(reader.ReadFloatVector().empty());
+  EXPECT_TRUE(reader.ok());
+}
+
+}  // namespace
+}  // namespace ams::util

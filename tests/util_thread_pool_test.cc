@@ -1,0 +1,72 @@
+// Unit tests of the thread pool and ParallelFor used by trainers/evaluators.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace ams::util {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+class ParallelForTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelForTest, EveryIndexExactlyOnce) {
+  const int n = 237;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, n, GetParam(), [&](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ParallelForTest, NonZeroBase) {
+  std::atomic<long> sum{0};
+  ParallelFor(10, 20, GetParam(), [&](int i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForTest,
+                         ::testing::Values(1, 2, 7, 24, 64));
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ParallelFor(5, 5, 4, [](int) { FAIL() << "must not be called"; });
+}
+
+}  // namespace
+}  // namespace ams::util

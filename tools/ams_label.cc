@@ -1,0 +1,210 @@
+// ams_label — command-line front end for the whole pipeline: generate a
+// corpus, train (or load) a DRL agent, and schedule model executions under
+// resource constraints, reporting the value/recall/compute trade-off.
+//
+// Usage:
+//   ams_label [--dataset NAME] [--scheme dqn|double|dueling|sarsa]
+//             [--items N] [--episodes N] [--hidden N] [--seed N]
+//             [--deadline SECONDS] [--memory GB] [--label N]
+//             [--cache DIR] [--csv PATH]
+//
+// Examples:
+//   ams_label --dataset mirflickr25 --deadline 0.5 --label 200
+//   ams_label --dataset voc2012 --deadline 1.0 --memory 8 --label 100
+//   ams_label --dataset mscoco --scheme dqn --episodes 2000
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "eval/agent_cache.h"
+#include "rl/trainer.h"
+#include "sched/basic_policies.h"
+#include "sched/cost_q_greedy.h"
+#include "sched/parallel_runner.h"
+#include "sched/serial_runner.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ams;
+
+struct Options {
+  std::string dataset = "mscoco";
+  std::string scheme = "dueling";
+  int items = 1500;
+  int episodes = 1200;
+  int hidden = 128;
+  uint64_t seed = 7;
+  double deadline = 1.0;
+  double memory_gb = 0.0;  // 0 = serial scheduling (Algorithm 1)
+  int label_count = 200;
+  std::string cache_dir = "artifacts/agents";
+  std::string csv_path;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dataset mscoco|places365|mirflickr25|stanford40|"
+               "voc2012]\n"
+               "          [--scheme dqn|double|dueling|sarsa] [--items N]\n"
+               "          [--episodes N] [--hidden N] [--seed N]\n"
+               "          [--deadline S] [--memory GB] [--label N]\n"
+               "          [--cache DIR] [--csv PATH]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--dataset")) {
+      opts.dataset = next();
+    } else if (!std::strcmp(argv[i], "--scheme")) {
+      opts.scheme = next();
+    } else if (!std::strcmp(argv[i], "--items")) {
+      opts.items = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--episodes")) {
+      opts.episodes = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--hidden")) {
+      opts.hidden = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      opts.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (!std::strcmp(argv[i], "--deadline")) {
+      opts.deadline = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--memory")) {
+      opts.memory_gb = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--label")) {
+      opts.label_count = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--cache")) {
+      opts.cache_dir = next();
+    } else if (!std::strcmp(argv[i], "--csv")) {
+      opts.csv_path = next();
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return opts;
+}
+
+rl::DrlScheme SchemeFromName(const std::string& name) {
+  if (name == "dqn") return rl::DrlScheme::kDqn;
+  if (name == "double") return rl::DrlScheme::kDoubleDqn;
+  if (name == "dueling") return rl::DrlScheme::kDuelingDqn;
+  if (name == "sarsa") return rl::DrlScheme::kDeepSarsa;
+  std::fprintf(stderr, "unknown scheme: %s\n", name.c_str());
+  std::exit(2);
+}
+
+data::DatasetProfile ProfileFromName(const std::string& name) {
+  for (const auto& profile : data::DatasetProfile::AllProfiles()) {
+    if (profile.name == name) return profile;
+  }
+  std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Parse(argc, argv);
+
+  std::printf("building zoo + %s corpus (%d items, seed %llu)...\n",
+              opts.dataset.c_str(), opts.items,
+              static_cast<unsigned long long>(opts.seed));
+  const zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
+  const data::Dataset dataset = data::Dataset::Generate(
+      ProfileFromName(opts.dataset), zoo.labels(), opts.items, opts.seed);
+  const data::Oracle oracle(&zoo, &dataset);
+
+  eval::AgentCache cache(opts.cache_dir);
+  eval::AgentRequest request;
+  request.key = opts.dataset + "_" + opts.scheme + "_i" +
+                std::to_string(opts.items) + "_e" +
+                std::to_string(opts.episodes) + "_h" +
+                std::to_string(opts.hidden) + "_s" + std::to_string(opts.seed);
+  request.oracle = &oracle;
+  request.config.scheme = SchemeFromName(opts.scheme);
+  request.config.hidden_dim = opts.hidden;
+  request.config.episodes = opts.episodes;
+  request.config.eps_decay_steps = opts.episodes * 4;
+  request.config.seed = opts.seed;
+  std::printf("training/loading agent %s...\n", request.key.c_str());
+  std::unique_ptr<rl::Agent> agent = cache.GetOrTrain(request);
+
+  const std::vector<int>& test = dataset.test_indices();
+  const int n = std::min<int>(opts.label_count, static_cast<int>(test.size()));
+  util::RunningStat recall, models, sim_time;
+  std::vector<std::vector<std::string>> csv_rows;
+
+  if (opts.memory_gb > 0.0) {
+    std::printf(
+        "scheduling %d items with Algorithm 2 (deadline %.2f s, memory %.0f "
+        "GB)...\n",
+        n, opts.deadline, opts.memory_gb);
+    for (int i = 0; i < n; ++i) {
+      sched::ParallelRunConfig config;
+      config.time_budget = opts.deadline;
+      config.mem_budget_mb = opts.memory_gb * 1024.0;
+      const auto run =
+          sched::RunParallel(sched::ParallelPolicyKind::kAlgorithm2,
+                             agent.get(), oracle, test[static_cast<size_t>(i)],
+                             config);
+      recall.Add(run.recall);
+      models.Add(run.models_executed);
+      sim_time.Add(run.makespan);
+      csv_rows.push_back({std::to_string(test[static_cast<size_t>(i)]),
+                          util::FormatDouble(run.recall, 4),
+                          std::to_string(run.models_executed),
+                          util::FormatDouble(run.makespan, 4)});
+    }
+  } else {
+    std::printf("scheduling %d items with Algorithm 1 (deadline %.2f s)...\n",
+                n, opts.deadline);
+    std::unique_ptr<rl::Agent> worker = agent->Clone();
+    sched::CostQGreedyPolicy policy(worker.get());
+    for (int i = 0; i < n; ++i) {
+      sched::SerialRunConfig config;
+      config.time_budget = opts.deadline;
+      const auto run = sched::RunSerial(&policy, oracle,
+                                        test[static_cast<size_t>(i)], config);
+      recall.Add(run.recall);
+      models.Add(run.models_executed);
+      sim_time.Add(run.time_used);
+      csv_rows.push_back({std::to_string(test[static_cast<size_t>(i)]),
+                          util::FormatDouble(run.recall, 4),
+                          std::to_string(run.models_executed),
+                          util::FormatDouble(run.time_used, 4)});
+    }
+  }
+
+  util::AsciiTable report;
+  report.SetHeader({"metric", "mean", "min", "max"});
+  report.AddRow("value recall", {recall.mean(), recall.min(), recall.max()});
+  report.AddRow("models executed",
+                {models.mean(), models.min(), models.max()});
+  report.AddRow("simulated time (s)",
+                {sim_time.mean(), sim_time.min(), sim_time.max()});
+  report.Print(std::cout);
+  std::printf("compute saved vs no-policy: %.1f%%\n",
+              100.0 * (1.0 - sim_time.mean() / zoo.TotalTimeSeconds()));
+
+  if (!opts.csv_path.empty()) {
+    util::WriteCsv(opts.csv_path, {"item", "recall", "models", "time_s"},
+                   csv_rows);
+    std::printf("per-item results written to %s\n", opts.csv_path.c_str());
+  }
+  return 0;
+}
