@@ -8,14 +8,16 @@
 #include <iostream>
 #include <memory>
 
+#include <array>
+#include <numeric>
+
 #include "bench/bench_util.h"
+#include "core/labeling_service.h"
 #include "data/dataset.h"
 #include "data/dataset_profile.h"
 #include "data/oracle.h"
+#include "data/stream.h"
 #include "eval/world.h"
-#include "sched/basic_policies.h"
-#include "sched/explore_exploit.h"
-#include "sched/serial_runner.h"
 #include "util/table.h"
 #include "zoo/model_zoo.h"
 
@@ -38,19 +40,31 @@ void Run() {
                 std::to_string(num_chunks) + " chunks x " +
                 std::to_string(chunk_len) + " frames)");
 
-  // Streams must be processed in order for the chunk knowledge to build up,
-  // so this runs single-threaded per policy.
-  auto run_policy = [&](sched::SchedulingPolicy* policy) {
+  // Streaming sessions: the service keeps each chunk's frames on one worker
+  // in arrival order, so the chunk knowledge builds up exactly as it would
+  // online (while different chunks may run concurrently).
+  auto run_policy = [&](const std::string& policy) {
+    sched::PolicyOptions options;
+    options.seed = 17;
+    options.explore_items = 2;
+    core::LabelingService service =
+        core::LabelingServiceBuilder(&zoo)
+            .WithOracle(&oracle)
+            .WithMode(core::ExecutionMode::kSerial)
+            .WithPolicy(policy, options)
+            .WithRecallTarget(1.0)
+            .WithWorkers(1)  // numbers must not vary with the core count
+            .Build();
+    std::vector<int> indices(static_cast<size_t>(dataset.size()));
+    std::iota(indices.begin(), indices.end(), 0);
+    data::DataStream stream(&dataset, indices, /*shuffle=*/false, /*seed=*/1);
     double time_sum = 0.0, models_sum = 0.0, recall_sum = 0.0;
-    for (int item = 0; item < dataset.size(); ++item) {
-      sched::SerialRunConfig config;
-      config.recall_target = 1.0;
-      const auto run = sched::RunSerial(policy, oracle, item, config,
-                                        dataset.item(item).chunk_id);
-      time_sum += run.time_used;
-      models_sum += run.models_executed;
-      recall_sum += run.recall;
-    }
+    service.Run(&stream, [&](const core::WorkItem&,
+                             const core::LabelOutcome& outcome) {
+      time_sum += outcome.schedule.makespan_s;
+      models_sum += static_cast<double>(outcome.schedule.executions.size());
+      recall_sum += outcome.recall;
+    });
     const double n = static_cast<double>(dataset.size());
     return std::array<double, 3>{time_sum / n, models_sum / n,
                                  recall_sum / n};
@@ -59,20 +73,9 @@ void Run() {
   util::AsciiTable table;
   table.SetHeader({"policy", "avg time/frame (s)", "avg models/frame",
                    "avg recall"});
-  {
-    sched::ExploreExploitPolicy policy(/*explore_items=*/2);
-    const auto r = run_policy(&policy);
-    table.AddRow("explore_exploit", {r[0], r[1], r[2]});
-  }
-  {
-    sched::RandomPolicy policy(17);
-    const auto r = run_policy(&policy);
-    table.AddRow("random", {r[0], r[1], r[2]});
-  }
-  {
-    sched::OptimalPolicy policy;
-    const auto r = run_policy(&policy);
-    table.AddRow("optimal", {r[0], r[1], r[2]});
+  for (const char* policy : {"explore_exploit", "random", "optimal"}) {
+    const auto r = run_policy(policy);
+    table.AddRow(policy, {r[0], r[1], r[2]});
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: explore-exploit pays full price on the "

@@ -11,14 +11,13 @@
 
 #include "bench/agent_policies.h"
 #include "bench/bench_util.h"
+#include "core/labeling_service.h"
 #include "data/dataset.h"
 #include "data/dataset_profile.h"
 #include "data/oracle.h"
 #include "eval/recall_curve.h"
 #include "eval/world.h"
 #include "rl/trainer.h"
-#include "sched/basic_policies.h"
-#include "sched/serial_runner.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "zoo/model_zoo.h"
@@ -76,18 +75,26 @@ void Run() {
     rl::AgentTrainer trainer(&oracle, config);
     std::unique_ptr<rl::Agent> agent = trainer.Train();
 
-    // Position at which the first landmark model appears in the sequence.
-    std::unique_ptr<rl::Agent> clone = agent->Clone();
-    sched::QGreedyPolicy policy(clone.get());
+    // Position at which the first landmark model appears in the sequence,
+    // measured through a Q-greedy session run to full recall.
+    sched::PolicyOptions options;
+    options.predictor = agent.get();
+    core::LabelingService service =
+        core::LabelingServiceBuilder(&zoo)
+            .WithOracle(&oracle)
+            .WithMode(core::ExecutionMode::kSerial)
+            .WithPolicy("q_greedy", options)
+            .WithRecallTarget(1.0)
+            .Build();
     double pos_sum = 0.0;
     for (int item : items) {
-      sched::SerialRunConfig run_config;
-      run_config.recall_target = 1.0;
-      const auto run = sched::RunSerial(&policy, oracle, item, run_config);
+      const core::LabelOutcome outcome =
+          service.Submit(core::WorkItem::Stored(item));
       double position = static_cast<double>(zoo.num_models());
-      for (size_t k = 0; k < run.steps.size(); ++k) {
+      const auto& executions = outcome.schedule.executions;
+      for (size_t k = 0; k < executions.size(); ++k) {
         for (int lm : landmark_models) {
-          if (run.steps[k].model == lm) {
+          if (executions[k].model_id == lm) {
             position = std::min(position, static_cast<double>(k + 1));
           }
         }

@@ -12,14 +12,13 @@
 #include <memory>
 #include <vector>
 
-#include "bench/agent_policies.h"
 #include "bench/bench_util.h"
+#include "core/labeling_service.h"
 #include "data/dataset_profile.h"
 #include "eval/agent_cache.h"
 #include "eval/recall_curve.h"
 #include "eval/world.h"
 #include "sched/basic_policies.h"
-#include "sched/serial_runner.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -97,21 +96,30 @@ void Run() {
     for (size_t s = 0; s < std::size(kSchemes); ++s) {
       rl::Agent* agent = agents[ti * std::size(kSchemes) + s].get();
       double order_sum = 0.0, time_sum = 0.0;
-      std::unique_ptr<rl::Agent> clone = agent->Clone();
-      sched::QGreedyPolicy policy(clone.get());
+      // A Q-greedy session run to full recall; the builder clones the agent
+      // for the session's policy.
+      sched::PolicyOptions options;
+      options.predictor = agent;
+      core::LabelingService service =
+          core::LabelingServiceBuilder(&oracle.zoo())
+              .WithOracle(&oracle)
+              .WithMode(core::ExecutionMode::kSerial)
+              .WithPolicy("q_greedy", options)
+              .WithRecallTarget(1.0)
+              .Build();
       for (int item : items) {
-        sched::SerialRunConfig run_config;
-        run_config.recall_target = 1.0;
-        const auto run = sched::RunSerial(&policy, oracle, item, run_config);
+        const core::LabelOutcome outcome =
+            service.Submit(core::WorkItem::Stored(item));
+        const auto& executions = outcome.schedule.executions;
         double position = static_cast<double>(oracle.num_models());
-        for (size_t k = 0; k < run.steps.size(); ++k) {
-          if (run.steps[k].model == face_model) {
+        for (size_t k = 0; k < executions.size(); ++k) {
+          if (executions[k].model_id == face_model) {
             position = static_cast<double>(k + 1);
             break;
           }
         }
         order_sum += position;
-        time_sum += run.time_used;
+        time_sum += outcome.schedule.makespan_s;
       }
       orders.push_back(order_sum / static_cast<double>(items.size()));
       times.push_back(time_sum / static_cast<double>(items.size()));

@@ -7,11 +7,12 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "core/labeling_service.h"
+#include "util/check.h"
 #include "eval/recall_curve.h"
 #include "eval/world.h"
 #include "sched/basic_policies.h"
 #include "sched/rule_based.h"
-#include "sched/serial_runner.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -37,14 +38,26 @@ void Run() {
   std::vector<int> items = world.EvalItems(d);
   if (items.size() > 300) items.resize(300);
 
-  sched::RuleBasedPolicy policy(rules, 999);
+  sched::PolicyOptions options;
+  options.rules = rules;
+  options.seed = 999;
+  core::LabelingService service =
+      core::LabelingServiceBuilder(&oracle.zoo())
+          .WithOracle(&oracle)
+          .WithMode(core::ExecutionMode::kSerial)
+          .WithPolicy("rule_based", options)
+          .WithRecallTarget(1.0)
+          .Build();
   double rule_time = 0.0;
   for (int item : items) {
-    sched::SerialRunConfig config;
-    config.recall_target = 1.0;
-    rule_time += sched::RunSerial(&policy, oracle, item, config).time_used;
+    rule_time +=
+        service.Submit(core::WorkItem::Stored(item)).schedule.makespan_s;
   }
   rule_time /= static_cast<double>(items.size());
+  const auto* policy =
+      dynamic_cast<const sched::RuleBasedPolicy*>(service.session_policy());
+  AMS_CHECK(policy != nullptr,
+            "rule_based session must expose a RuleBasedPolicy");
 
   const eval::FullRecallCosts random_costs = eval::ComputeFullRecallCosts(
       [] { return std::make_unique<sched::RandomPolicy>(7); }, oracle, items);
@@ -56,7 +69,7 @@ void Run() {
   fires.SetHeader({"#", "rule", "fired"});
   for (size_t r = 0; r < rules.size(); ++r) {
     fires.AddRow({std::to_string(r + 1), rules[r].description,
-                  std::to_string(policy.rule_fire_counts()[r])});
+                  std::to_string(policy->rule_fire_counts()[r])});
   }
   fires.Print(std::cout);
 

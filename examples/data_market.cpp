@@ -1,14 +1,16 @@
 // Data-market scenario (§I: "the richer the label of a data set, the higher
 // the price"): batch-enrich a corpus on a shared GPU box using Algorithm 2
-// (parallel scheduling under deadline + memory), and report the label value
-// harvested per GPU-second for different memory budgets.
+// (parallel scheduling under deadline + memory) through a LabelingService
+// session per memory budget, and report the label value harvested per
+// GPU-second.
 //
 //   ./build/examples/data_market
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
-#include "core/scheduler_api.h"
+#include "core/labeling_service.h"
 #include "data/dataset.h"
 #include "data/dataset_profile.h"
 #include "data/oracle.h"
@@ -31,21 +33,34 @@ int main() {
   config.eps_decay_steps = 3000;
   std::printf("training the enrichment agent...\n");
   std::unique_ptr<rl::Agent> agent = rl::AgentTrainer(&oracle, config).Train();
-  core::AdaptiveModelScheduler scheduler(&zoo, agent.get());
 
   std::printf(
       "\nenriching 150 items, 1.0 s wall budget per item (Algorithm 2):\n");
   std::printf("%8s  %14s  %12s  %14s\n", "GPU mem", "labels/item",
               "value/item", "value/GPU-sec");
+  std::vector<core::WorkItem> batch;
+  for (int i = 0; i < 150; ++i) {
+    batch.push_back(core::WorkItem::Live(
+        &dataset.item(dataset.test_indices()[i]).scene));
+  }
   for (const double mem_gb : {8.0, 12.0, 16.0}) {
+    // One session per memory budget; the builder captures the constraint
+    // set once and every submission inherits it.
     core::ScheduleConstraints constraints;
     constraints.time_budget_s = 1.0;
     constraints.memory_budget_mb = mem_gb * 1024.0;
+    core::LabelingService service =
+        core::LabelingServiceBuilder(&zoo)
+            .WithPredictor(agent.get())
+            .WithMode(core::ExecutionMode::kParallel)
+            .WithConstraints(constraints)
+            .Build();
+    const std::vector<core::LabelOutcome> outcomes =
+        service.SubmitBatch(batch);
+
     util::RunningStat labels, value, gpu_seconds;
-    for (int i = 0; i < 150; ++i) {
-      const auto& item = dataset.item(dataset.test_indices()[i]);
-      const core::ScheduleResult result =
-          scheduler.LabelItemParallel(item.scene, constraints);
+    for (const core::LabelOutcome& outcome : outcomes) {
+      const core::ScheduleResult& result = outcome.schedule;
       labels.Add(static_cast<double>(result.recalled_labels.size()));
       value.Add(result.value);
       double busy = 0.0;  // GPU-seconds actually consumed

@@ -1,15 +1,16 @@
 // Photo-album manager scenario (§I): label a stream of social photos with as
 // many searchable keywords as possible under a per-photo deadline, using
-// Algorithm 1 via the public facade. Reports keywords per photo and the
-// compute saved against running the whole zoo.
+// Algorithm 1 through a LabelingService session. Reports keywords per photo
+// and the compute saved against running the whole zoo.
 //
 //   ./build/examples/photo_album [deadline_seconds=1.0]
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <vector>
 
-#include "core/scheduler_api.h"
+#include "core/labeling_service.h"
 #include "data/dataset.h"
 #include "data/dataset_profile.h"
 #include "data/oracle.h"
@@ -34,22 +35,36 @@ int main(int argc, char** argv) {
   std::printf("training the album agent...\n");
   std::unique_ptr<rl::Agent> agent = rl::AgentTrainer(&oracle, config).Train();
 
-  core::AdaptiveModelScheduler scheduler(&zoo, agent.get());
+  // An Algorithm-1 session: serial scheduling on live photos under the
+  // per-photo deadline, fanned out over all cores by SubmitBatch.
   core::ScheduleConstraints constraints;
   constraints.time_budget_s = deadline;
+  core::LabelingService service = core::LabelingServiceBuilder(&zoo)
+                                      .WithPredictor(agent.get())
+                                      .WithMode(core::ExecutionMode::kSerial)
+                                      .WithConstraints(constraints)
+                                      .Build();
+
+  const int album_size = 200;
+  std::printf("labeling %d photos with a %.2f s budget each (%d workers)...\n\n",
+              album_size, deadline, service.worker_count());
+  std::vector<core::WorkItem> album;
+  album.reserve(album_size);
+  for (int i = 0; i < album_size; ++i) {
+    album.push_back(core::WorkItem::Live(
+        &dataset.item(dataset.test_indices()[i]).scene));
+  }
+  const std::vector<core::LabelOutcome> outcomes = service.SubmitBatch(album);
 
   util::RunningStat keywords, time_spent, models_run;
-  const int album_size = 200;
-  std::printf("labeling %d photos with a %.2f s budget each...\n\n",
-              album_size, deadline);
   for (int i = 0; i < album_size; ++i) {
-    const auto& item = dataset.item(dataset.test_indices()[i]);
-    const core::ScheduleResult result =
-        scheduler.LabelItem(item.scene, constraints);
+    const core::ScheduleResult& result =
+        outcomes[static_cast<size_t>(i)].schedule;
     keywords.Add(static_cast<double>(result.recalled_labels.size()));
     time_spent.Add(result.makespan_s);
     models_run.Add(static_cast<double>(result.executions.size()));
     if (i < 3) {
+      const auto& item = dataset.item(dataset.test_indices()[i]);
       std::printf("photo #%d keywords:", item.id);
       int shown = 0;
       for (const auto& label : result.recalled_labels) {

@@ -1,5 +1,5 @@
 // Quickstart: build the model zoo, train a small DRL agent on stored
-// execution results, and let the AdaptiveModelScheduler label fresh images
+// execution results, and let a LabelingService session label fresh images
 // greedily — printing Fig.-7-style execution sequences ("pub" -> cups/tv ->
 // drinking beer) that show the learned semantic chain in action.
 //
@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/scheduler_api.h"
+#include "core/labeling_service.h"
 #include "data/dataset.h"
 #include "data/dataset_profile.h"
 #include "data/oracle.h"
@@ -43,12 +43,15 @@ int main() {
   std::printf("trained: %.1f s, final avg episode reward %.2f\n",
               stats.wall_seconds, stats.final_avg_reward);
 
-  // 4. Schedule live items with the public facade: the agent picks models
-  //    until END outranks everything (no resource constraint).
-  core::AdaptiveModelScheduler scheduler(&zoo, agent.get());
+  // 4. Open a greedy labeling session with the public facade: the agent
+  //    picks models until END outranks everything (no resource constraint).
+  core::LabelingService service = core::LabelingServiceBuilder(&zoo)
+                                      .WithPredictor(agent.get())
+                                      .WithMode(core::ExecutionMode::kGreedy)
+                                      .Build();
   for (int i = 0; i < 3; ++i) {
     const auto& item = dataset.item(dataset.test_indices()[i]);
-    const core::ScheduleResult result = scheduler.LabelItemGreedy(item.scene);
+    const core::ScheduleResult result = service.Submit(item.scene).schedule;
     std::printf(
         "\nimage #%d — %zu models executed, %.2f s simulated (vs %.2f s for "
         "all 30), value %.2f\n",

@@ -4,20 +4,22 @@
 //      of each segment and then runs only the models that paid off;
 //   2. a DRL agent whose face-detector priority θ is boosted (Eq. 3), so the
 //      security-critical "face" label arrives within a tight deadline.
+// Both run through LabelingService sessions; part 1 uses the streaming
+// entry point (Run) over a DataStream.
 //
 //   ./build/examples/video_surveillance
 
 #include <cstdio>
 #include <memory>
+#include <numeric>
+#include <vector>
 
+#include "core/labeling_service.h"
 #include "data/dataset.h"
 #include "data/dataset_profile.h"
 #include "data/oracle.h"
+#include "data/stream.h"
 #include "rl/trainer.h"
-#include "sched/basic_policies.h"
-#include "sched/cost_q_greedy.h"
-#include "sched/explore_exploit.h"
-#include "sched/serial_runner.h"
 #include "util/stats.h"
 #include "zoo/model_zoo.h"
 
@@ -27,31 +29,49 @@ int main() {
   // Part 1 — correlated segments: explore-exploit needs no learning at all.
   {
     const zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
-    const data::Dataset stream = data::Dataset::GenerateChunked(
+    const data::Dataset stream_data = data::Dataset::GenerateChunked(
         data::DatasetProfile::MirFlickr25(), zoo.labels(), /*num_chunks=*/12,
         /*chunk_len=*/25, /*seed=*/21);
-    const data::Oracle oracle(&zoo, &stream);
-    sched::ExploreExploitPolicy explore(/*explore_items=*/2);
-    sched::RandomPolicy random(5);
+    const data::Oracle oracle(&zoo, &stream_data);
+
+    // Streaming sessions: items arrive chunk by chunk; the service keeps a
+    // chunk's frames on one worker so the policy's segment knowledge builds
+    // up exactly as it would online.
+    const auto run_stream = [&](const std::string& policy,
+                                util::RunningStat* time_stat,
+                                util::RunningStat* recall_stat) {
+      sched::PolicyOptions options;
+      options.seed = 5;
+      options.explore_items = 2;
+      core::LabelingService service =
+          core::LabelingServiceBuilder(&zoo)
+              .WithOracle(&oracle)
+              .WithMode(core::ExecutionMode::kSerial)
+              .WithPolicy(policy, options)
+              .WithRecallTarget(1.0)
+              .WithWorkers(1)  // numbers must not vary with the core count
+              .Build();
+      std::vector<int> indices(static_cast<size_t>(stream_data.size()));
+      std::iota(indices.begin(), indices.end(), 0);
+      data::DataStream stream(&stream_data, indices, /*shuffle=*/false,
+                              /*seed=*/1);
+      service.Run(&stream, [&](const core::WorkItem&,
+                               const core::LabelOutcome& outcome) {
+        time_stat->Add(outcome.schedule.makespan_s);
+        if (recall_stat != nullptr) recall_stat->Add(outcome.recall);
+      });
+    };
+
     util::RunningStat explore_time, random_time, explore_recall;
-    sched::SerialRunConfig config;
-    config.recall_target = 1.0;
-    for (int item = 0; item < stream.size(); ++item) {
-      const int chunk = stream.item(item).chunk_id;
-      const auto run_e =
-          sched::RunSerial(&explore, oracle, item, config, chunk);
-      explore_time.Add(run_e.time_used);
-      explore_recall.Add(run_e.recall);
-      random_time.Add(
-          sched::RunSerial(&random, oracle, item, config, chunk).time_used);
-    }
+    run_stream("explore_exploit", &explore_time, &explore_recall);
+    run_stream("random", &random_time, nullptr);
     std::printf(
         "segmented stream (%d segments x 25 frames):\n"
         "  explore-exploit: %.2f s/frame at %.1f%% recall\n"
         "  random:          %.2f s/frame\n"
         "  -> correlated content needs no DRL: explore the segment head, "
         "exploit the rest (SI)\n\n",
-        stream.num_chunks(), explore_time.mean(),
+        stream_data.num_chunks(), explore_time.mean(),
         100.0 * explore_recall.mean(), random_time.mean());
   }
 
@@ -74,9 +94,19 @@ int main() {
     std::unique_ptr<rl::Agent> agent =
         rl::AgentTrainer(&oracle, config).Train();
 
-    sched::CostQGreedyPolicy policy(agent.get());  // Algorithm 1
-    sched::SerialRunConfig run_config;
-    run_config.time_budget = 0.5;  // respond within half a second
+    // Algorithm-1 session: respond within half a second.
+    sched::PolicyOptions options;
+    options.predictor = agent.get();
+    core::ScheduleConstraints constraints;
+    constraints.time_budget_s = 0.5;
+    core::LabelingService service =
+        core::LabelingServiceBuilder(&zoo)
+            .WithOracle(&oracle)
+            .WithMode(core::ExecutionMode::kSerial)
+            .WithPolicy("cost_q_greedy", options)
+            .WithConstraints(constraints)
+            .Build();
+
     const int face_label = zoo.labels().LabelId(zoo::TaskKind::kFaceDetection, 0);
     int frames = 0, face_frames = 0, face_found = 0;
     util::RunningStat face_position;
@@ -86,18 +116,18 @@ int main() {
       // Ground truth: does any model emit the face label valuably?
       if (oracle.LabelProfit(item, face_label) <= 0.0) continue;
       ++face_frames;
-      const auto run = sched::RunSerial(&policy, oracle, item, run_config);
-      for (size_t k = 0; k < run.steps.size(); ++k) {
-        if (run.steps[k].model == face_model) {
+      const core::LabelOutcome outcome =
+          service.Submit(core::WorkItem::Stored(item));
+      const auto& executions = outcome.schedule.executions;
+      for (size_t k = 0; k < executions.size(); ++k) {
+        if (executions[k].model_id == face_model) {
           face_position.Add(static_cast<double>(k + 1));
         }
       }
-      core::ValueAccumulator probe(&oracle, item);
-      for (const auto& step : run.steps) probe.AddModel(step.model);
       // Face recalled within the 0.5 s budget?
       bool recalled = false;
-      for (const auto& step : run.steps) {
-        for (const auto& out : oracle.ValuableOutput(item, step.model)) {
+      for (const auto& record : executions) {
+        for (const auto& out : oracle.ValuableOutput(item, record.model_id)) {
           if (out.label_id == face_label) recalled = true;
         }
       }

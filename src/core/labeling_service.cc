@@ -1,0 +1,422 @@
+#include "core/labeling_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/value.h"
+#include "sched/policy_adapter.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ams::core {
+
+namespace {
+
+// A policy bundled with the predictor clone it decides from, so each worker
+// of a WithPolicy(name, {predictor}) session owns a private copy of a
+// stateful predictor (same idiom as cloning an rl::Agent per eval thread).
+class PolicyWithPredictor : public sched::SchedulingPolicy {
+ public:
+  PolicyWithPredictor(std::unique_ptr<ModelValuePredictor> predictor,
+                      std::unique_ptr<sched::SchedulingPolicy> inner)
+      : predictor_(std::move(predictor)), inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+  void BeginItem(const sched::ItemContext& ctx) override {
+    inner_->BeginItem(ctx);
+  }
+  int NextModel(const LabelingState& state, double remaining_time) override {
+    return inner_->NextModel(state, remaining_time);
+  }
+  void OnExecuted(int model,
+                  const std::vector<zoo::LabelOutput>& fresh) override {
+    inner_->OnExecuted(model, fresh);
+  }
+
+  sched::SchedulingPolicy* inner() const { return inner_.get(); }
+
+ private:
+  std::unique_ptr<ModelValuePredictor> predictor_;
+  std::unique_ptr<sched::SchedulingPolicy> inner_;
+};
+
+}  // namespace
+
+LabelingService::DecisionState LabelingService::MakeDecisionState(
+    bool clone_predictor, int worker_index) const {
+  DecisionState state;
+  if (config_.policy_factory != nullptr) {
+    state.policy = config_.policy_factory(worker_index);
+    AMS_CHECK(state.policy != nullptr, "policy factory returned null");
+  }
+  if (config_.predictor != nullptr) {
+    if (clone_predictor) {
+      state.predictor_clone = config_.predictor->ClonePredictor();
+    }
+    // Predictors that cannot clone are shared; they must be thread-safe
+    // (documented on ModelValuePredictor::ClonePredictor).
+    state.predictor = state.predictor_clone != nullptr
+                          ? state.predictor_clone.get()
+                          : config_.predictor;
+  }
+  return state;
+}
+
+LabelOutcome LabelingService::RunOne(const WorkItem& item,
+                                     DecisionState* state,
+                                     uint64_t stream_id) const {
+  const bool stored = item.item >= 0;
+  AMS_CHECK(stored || item.scene != nullptr,
+            "WorkItem needs a scene or a stored item id");
+  AMS_CHECK(!stored || config_.oracle != nullptr,
+            "stored items need an oracle-backed session (WithOracle)");
+
+  std::unique_ptr<ExecutionContext> exec;
+  if (stored) {
+    exec = std::make_unique<ReplayExecutionContext>(config_.oracle, item.item);
+  } else {
+    exec = std::make_unique<LiveExecutionContext>(config_.zoo, item.scene);
+  }
+  std::optional<ValueAccumulator> acc;
+  if (stored) acc.emplace(config_.oracle, item.item);
+
+  std::unique_ptr<sched::PolicyAdapter> adapter;
+  ModelPicker picker;
+  switch (config_.mode) {
+    case ExecutionMode::kGreedy:
+      picker = MakeGreedyPicker(state->predictor);
+      break;
+    case ExecutionMode::kSerial:
+      if (state->policy != nullptr) {
+        sched::ItemContext ctx;
+        ctx.oracle = stored ? config_.oracle : nullptr;
+        ctx.zoo = config_.zoo;
+        ctx.item = item.item;
+        ctx.chunk_id = item.chunk_id;
+        adapter =
+            std::make_unique<sched::PolicyAdapter>(state->policy.get(), ctx);
+        picker = adapter->Picker();
+      } else {
+        picker = MakeDeadlinePicker(state->predictor);
+      }
+      break;
+    case ExecutionMode::kParallel:
+      picker = MakeDeadlineMemoryPicker(state->predictor);
+      break;
+    case ExecutionMode::kParallelRandom:
+      picker = MakeRandomPackingPicker(
+          util::HashCombine(config_.seed, 0x9A7Au + stream_id));
+      break;
+  }
+
+  const auto target_reached = [&] {
+    return acc.has_value() &&
+           RecallTargetReached(*acc, config_.recall_target);
+  };
+  LabelOutcome outcome;
+  // Items whose target is met before any execution (e.g. no valuable labels
+  // at all) schedule nothing.
+  if (target_reached()) {
+    outcome.recall = acc->Recall();
+    return outcome;
+  }
+  KernelHooks hooks;
+  if (acc.has_value() || adapter != nullptr) {
+    hooks.on_executed = [&](const ExecutionRecord& record,
+                            const LabelingState&) {
+      if (acc.has_value()) acc->AddModel(record.model_id);
+      if (adapter != nullptr) adapter->NotifyExecuted(record);
+      return target_reached();
+    };
+  }
+  outcome.schedule =
+      RunScheduleKernel(*exec, config_.constraints, picker, hooks);
+  if (acc.has_value()) outcome.recall = acc->Recall();
+  return outcome;
+}
+
+LabelOutcome LabelingService::Submit(const WorkItem& item) {
+  if (!session_state_ready_) {
+    session_state_ =
+        MakeDecisionState(/*clone_predictor=*/false, /*worker_index=*/0);
+    session_state_ready_ = true;
+  }
+  const uint64_t stream_id = item.item >= 0
+                                 ? static_cast<uint64_t>(item.item)
+                                 : live_sequence_++;
+  return RunOne(item, &session_state_, stream_id);
+}
+
+sched::SchedulingPolicy* LabelingService::session_policy() {
+  if (!session_state_ready_) {
+    session_state_ =
+        MakeDecisionState(/*clone_predictor=*/false, /*worker_index=*/0);
+    session_state_ready_ = true;
+  }
+  sched::SchedulingPolicy* policy = session_state_.policy.get();
+  // Unwrap the predictor-owning shim so callers can downcast to the
+  // concrete policy type for diagnostics.
+  if (auto* wrapped = dynamic_cast<PolicyWithPredictor*>(policy)) {
+    return wrapped->inner();
+  }
+  return policy;
+}
+
+std::vector<LabelOutcome> LabelingService::SubmitBatch(
+    const std::vector<WorkItem>& items) {
+  const int n = static_cast<int>(items.size());
+  std::vector<LabelOutcome> results(static_cast<size_t>(n));
+  if (n == 0) return results;
+
+  // Live items take session-level stream ids so consecutive batches don't
+  // replay identical random-packing sequences per batch position.
+  const uint64_t live_base = live_sequence_;
+  live_sequence_ += static_cast<uint64_t>(n);
+
+  // Group items by chunk — a chunk's items stay with one worker, in arrival
+  // order, so chunk-adaptive policies see the same history as a sequential
+  // run even when chunks interleave. Chunkless items are singleton groups.
+  std::vector<std::vector<int>> groups;  // item indices, arrival order
+  std::map<int, size_t> chunk_group;     // chunk id -> index into groups
+  for (int i = 0; i < n; ++i) {
+    const int chunk = items[static_cast<size_t>(i)].chunk_id;
+    if (chunk >= 0) {
+      const auto [it, inserted] = chunk_group.emplace(chunk, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(i);
+    } else {
+      groups.push_back({i});
+    }
+  }
+
+  // Contiguous blocks of groups, balanced by item count. The partition
+  // depends only on (items, workers), never on thread timing.
+  const int num_blocks =
+      std::min(config_.workers, static_cast<int>(groups.size()));
+  std::vector<std::pair<size_t, size_t>> blocks;  // group index ranges
+  size_t g = 0;
+  int assigned_items = 0;
+  for (int b = 0; b < num_blocks && g < groups.size(); ++b) {
+    const int remaining_items = n - assigned_items;
+    const int remaining_blocks = num_blocks - b;
+    const int quota =
+        (remaining_items + remaining_blocks - 1) / remaining_blocks;
+    const size_t start = g;
+    int count = 0;
+    while (g < groups.size() && (count < quota || b == num_blocks - 1)) {
+      count += static_cast<int>(groups[g].size());
+      ++g;
+    }
+    assigned_items += count;
+    blocks.push_back({start, g});
+  }
+  // The last block's quota condition is bypassed, so every group is
+  // assigned.
+  AMS_CHECK(g == groups.size());
+
+  const auto run_block = [&](const std::pair<size_t, size_t>& block,
+                             int worker_index) {
+    DecisionState state =
+        MakeDecisionState(/*clone_predictor=*/true, worker_index);
+    for (size_t gi = block.first; gi < block.second; ++gi) {
+      for (int k : groups[gi]) {
+        const WorkItem& item = items[static_cast<size_t>(k)];
+        const uint64_t stream_id =
+            item.item >= 0 ? static_cast<uint64_t>(item.item)
+                           : live_base + static_cast<uint64_t>(k);
+        results[static_cast<size_t>(k)] = RunOne(item, &state, stream_id);
+      }
+    }
+  };
+
+  if (blocks.size() == 1) {
+    run_block(blocks[0], 0);
+    return results;
+  }
+  util::ThreadPool pool(static_cast<int>(blocks.size()));
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks.size());
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const std::pair<size_t, size_t> block = blocks[b];
+    const int worker_index = static_cast<int>(b);
+    futures.push_back(pool.Submit(
+        [&run_block, block, worker_index] { run_block(block, worker_index); }));
+  }
+  for (auto& future : futures) future.get();
+  return results;
+}
+
+int LabelingService::Run(data::DataStream* stream, const Sink& sink) {
+  AMS_CHECK(stream != nullptr);
+  AMS_CHECK(config_.oracle != nullptr,
+            "streaming sessions replay stored items; configure WithOracle");
+  std::vector<WorkItem> items;
+  items.reserve(static_cast<size_t>(stream->size()));
+  while (!stream->Done()) {
+    const int item = stream->Next();
+    items.push_back(WorkItem::Stored(item, stream->current_chunk()));
+  }
+  const std::vector<LabelOutcome> outcomes = SubmitBatch(items);
+  if (sink != nullptr) {
+    for (size_t i = 0; i < items.size(); ++i) sink(items[i], outcomes[i]);
+  }
+  return static_cast<int>(items.size());
+}
+
+LabelingServiceBuilder::LabelingServiceBuilder(const zoo::ModelZoo* zoo) {
+  AMS_CHECK(zoo != nullptr);
+  config_.zoo = zoo;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithOracle(
+    const data::Oracle* oracle) {
+  AMS_CHECK(oracle != nullptr);
+  config_.oracle = oracle;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithPredictor(
+    ModelValuePredictor* predictor) {
+  AMS_CHECK(predictor != nullptr);
+  config_.predictor = predictor;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithPolicy(
+    const std::string& name, sched::PolicyOptions options) {
+  pending_policy_name_ = name;
+  pending_policy_options_ = std::move(options);
+  has_pending_policy_ = true;
+  config_.policy_factory = nullptr;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithPolicyFactory(
+    LabelingService::PolicyFactory factory) {
+  AMS_CHECK(factory != nullptr);
+  config_.policy_factory = [factory = std::move(factory)](int) {
+    return factory();
+  };
+  config_.policy_name.clear();
+  has_pending_policy_ = false;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithConstraints(
+    const ScheduleConstraints& c) {
+  config_.constraints = c;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithMode(ExecutionMode mode) {
+  config_.mode = mode;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithWorkers(int workers) {
+  config_.workers = workers;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithSeed(uint64_t seed) {
+  config_.seed = seed;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithRecallTarget(
+    double target) {
+  config_.recall_target = target;
+  return *this;
+}
+
+LabelingService LabelingServiceBuilder::Build() const {
+  LabelingService::Config config = config_;
+  if (has_pending_policy_) {
+    sched::PolicyRegistry& registry = sched::PolicyRegistry::Global();
+    AMS_CHECK(registry.Contains(pending_policy_name_),
+              "unknown policy '" + pending_policy_name_ +
+                  "'; known: " + registry.JoinedNames());
+    config.policy_name = pending_policy_name_;
+    const std::string name = pending_policy_name_;
+    const sched::PolicyOptions options = pending_policy_options_;
+    config.policy_factory =
+        [name, options](int worker) -> std::unique_ptr<sched::SchedulingPolicy> {
+      // Each worker's policy gets a private predictor clone when the
+      // predictor supports it (non-clonable predictors are shared and must
+      // be thread-safe), and a worker-decorrelated seed so seeded baselines
+      // don't replay identical random sequences on every worker.
+      sched::PolicyOptions per_worker = options;
+      // Worker 0 keeps the caller's seed so sequential sessions reproduce
+      // direct policy construction; only extra workers decorrelate.
+      if (worker != 0) {
+        per_worker.seed = util::HashCombine(options.seed,
+                                            static_cast<uint64_t>(worker));
+      }
+      std::unique_ptr<ModelValuePredictor> clone =
+          options.predictor != nullptr ? options.predictor->ClonePredictor()
+                                       : nullptr;
+      if (clone != nullptr) per_worker.predictor = clone.get();
+      std::unique_ptr<sched::SchedulingPolicy> policy =
+          sched::PolicyRegistry::Global().Create(name, per_worker);
+      if (clone == nullptr) return policy;
+      return std::make_unique<PolicyWithPredictor>(std::move(clone),
+                                                   std::move(policy));
+    };
+  }
+  config.constraints.Validate();
+
+  const bool has_policy = config.policy_factory != nullptr;
+  AMS_CHECK(!(config.predictor != nullptr && has_policy),
+            "configure a predictor or a policy, not both");
+  switch (config.mode) {
+    case ExecutionMode::kGreedy:
+      // Greedy is the unconstrained schedule (§V intro); a budget the
+      // picker would never check must not be silently accepted.
+      AMS_CHECK(std::isinf(config.constraints.time_budget_s) &&
+                    std::isinf(config.constraints.memory_budget_mb),
+                "greedy mode is unconstrained; use kSerial or kParallel "
+                "for budgeted scheduling");
+      [[fallthrough]];
+    case ExecutionMode::kParallel:
+      AMS_CHECK(config.predictor != nullptr,
+                "greedy/parallel modes are predictor-driven (WithPredictor); "
+                "policies schedule serially");
+      break;
+    case ExecutionMode::kSerial:
+      AMS_CHECK(config.predictor != nullptr || has_policy,
+                "serial mode needs a predictor (Algorithm 1) or a policy");
+      // Algorithm 1 and the serial policies are time-only; a memory budget
+      // they would never check must not be silently accepted.
+      AMS_CHECK(std::isinf(config.constraints.memory_budget_mb),
+                "serial scheduling is time-only; use kParallel for memory "
+                "budgets");
+      break;
+    case ExecutionMode::kParallelRandom:
+      AMS_CHECK(config.predictor == nullptr && !has_policy,
+                "random packing takes neither a predictor nor a policy");
+      break;
+  }
+  if (config.predictor != nullptr) {
+    AMS_CHECK(config.predictor->num_actions() == config.zoo->num_models() + 1,
+              "predictor action space must be num_models + END");
+  }
+  if (config.oracle != nullptr) {
+    AMS_CHECK(&config.oracle->zoo() == config.zoo,
+              "oracle must wrap the session's zoo");
+  }
+  if (config.recall_target >= 0.0) {
+    AMS_CHECK(config.oracle != nullptr,
+              "recall targets need stored ground truth (WithOracle)");
+  }
+  if (config.workers <= 0) {
+    config.workers = util::ThreadPool::DefaultThreads();
+  }
+  return LabelingService(std::move(config));
+}
+
+}  // namespace ams::core

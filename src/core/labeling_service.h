@@ -1,0 +1,214 @@
+#ifndef AMS_CORE_LABELING_SERVICE_H_
+#define AMS_CORE_LABELING_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "core/schedule_kernel.h"
+#include "data/oracle.h"
+#include "data/stream.h"
+#include "sched/policy.h"
+#include "sched/policy_registry.h"
+
+namespace ams::core {
+
+/// How a labeling session executes models for one item.
+enum class ExecutionMode {
+  /// Q-greedy, END-stop (§V intro). Predictor-driven, unconstrained.
+  kGreedy,
+  /// Serial scheduling under a deadline: Algorithm 1 when the session has a
+  /// predictor, or any registry policy when it has one of those.
+  kSerial,
+  /// Algorithm 2 under deadline + memory. Predictor-driven.
+  kParallel,
+  /// Random feasible packing under deadline + memory (§VI-G baseline).
+  kParallelRandom,
+};
+
+/// One unit of labeling work. Live sessions label scenes (production
+/// information pattern); oracle-backed sessions label stored items by index
+/// (offline evaluation). `chunk_id` marks correlated streams.
+struct WorkItem {
+  const zoo::LatentScene* scene = nullptr;
+  int item = -1;
+  int chunk_id = -1;
+
+  /// The scene must stay alive until the item has been labeled (a pointer,
+  /// not a reference, so temporaries are rejected at the call site).
+  static WorkItem Live(const zoo::LatentScene* scene) {
+    WorkItem w;
+    w.scene = scene;
+    return w;
+  }
+  static WorkItem Stored(int item, int chunk_id = -1) {
+    WorkItem w;
+    w.item = item;
+    w.chunk_id = chunk_id;
+    return w;
+  }
+};
+
+/// Outcome of labeling one item through a session.
+struct LabelOutcome {
+  ScheduleResult schedule;
+  /// Value recall against stored ground truth; -1 when the item was live
+  /// (no ground truth to compare against).
+  double recall = -1.0;
+};
+
+/// The public facade of the framework: one session-based API over every
+/// scheduling regime the paper describes — greedy, Algorithm 1, Algorithm 2,
+/// and all registry policies — on live scenes or stored items, one at a
+/// time, in batches, or as a stream. Construct via LabelingServiceBuilder.
+///
+/// Threading model: Submit() runs inline and keeps one session-level policy
+/// instance, so chunked-stream policies accumulate knowledge across
+/// consecutive submissions. SubmitBatch()/Run() fan out over a
+/// util::ThreadPool with fresh per-worker policy/predictor instances and a
+/// deterministic partition (whole chunks never split across workers), so
+/// results are reproducible for a fixed seed and worker count.
+class LabelingService {
+ public:
+  using Sink = std::function<void(const WorkItem&, const LabelOutcome&)>;
+  using PolicyFactory =
+      std::function<std::unique_ptr<sched::SchedulingPolicy>()>;
+
+  LabelingService(LabelingService&&) = default;
+  LabelingService& operator=(LabelingService&&) = default;
+
+  /// Labels one item inline.
+  LabelOutcome Submit(const WorkItem& item);
+  LabelOutcome Submit(const zoo::LatentScene& scene) {
+    return Submit(WorkItem::Live(&scene));  // used before Submit returns
+  }
+
+  /// Labels a batch, fanned out over the session's workers. Result order
+  /// matches item order.
+  std::vector<LabelOutcome> SubmitBatch(const std::vector<WorkItem>& items);
+
+  /// Drains an oracle-backed stream through the session (chunk ids taken
+  /// from the stream), invoking `sink` once per item in arrival order after
+  /// all work completes. Returns the number of items labeled.
+  int Run(data::DataStream* stream, const Sink& sink);
+
+  const zoo::ModelZoo& zoo() const { return *config_.zoo; }
+  const data::Oracle* oracle() const { return config_.oracle; }
+  ExecutionMode mode() const { return config_.mode; }
+  const ScheduleConstraints& constraints() const {
+    return config_.constraints;
+  }
+  int worker_count() const { return config_.workers; }
+  /// Registry name of the session's policy; empty for predictor sessions
+  /// and custom factories.
+  const std::string& policy_name() const { return config_.policy_name; }
+
+  /// The policy instance behind sequential Submit() calls (created on first
+  /// use), for diagnostics like RuleBasedPolicy::rule_fire_counts(); nullptr
+  /// for predictor sessions. SubmitBatch/Run workers use their own
+  /// instances, which are not observable here.
+  sched::SchedulingPolicy* session_policy();
+
+ private:
+  friend class LabelingServiceBuilder;
+
+  /// Validated session configuration (plain values; copyable).
+  struct Config {
+    const zoo::ModelZoo* zoo = nullptr;
+    const data::Oracle* oracle = nullptr;
+    ModelValuePredictor* predictor = nullptr;
+    /// Per-worker policy constructor; the worker index decorrelates seeded
+    /// policies across workers (registry path only — custom factories get
+    /// called as-is).
+    std::function<std::unique_ptr<sched::SchedulingPolicy>(int)>
+        policy_factory;
+    std::string policy_name;
+    ScheduleConstraints constraints;
+    ExecutionMode mode = ExecutionMode::kGreedy;
+    int workers = 0;  // <= 0: resolved to hardware concurrency in Build()
+    uint64_t seed = 1;
+    double recall_target = -1.0;
+  };
+
+  explicit LabelingService(Config config) : config_(std::move(config)) {}
+
+  // One worker's decision-making state (policies and rl agents are stateful
+  // and must not be shared across threads).
+  struct DecisionState {
+    std::unique_ptr<ModelValuePredictor> predictor_clone;
+    ModelValuePredictor* predictor = nullptr;
+    std::unique_ptr<sched::SchedulingPolicy> policy;
+  };
+  DecisionState MakeDecisionState(bool clone_predictor,
+                                  int worker_index) const;
+
+  /// Labels one item with the given decision state. `stream_id` seeds the
+  /// random-packing mode (the stored item id, or the submission sequence
+  /// number for live items).
+  LabelOutcome RunOne(const WorkItem& item, DecisionState* state,
+                      uint64_t stream_id) const;
+
+  Config config_;
+
+  // Session-level state for sequential Submit().
+  DecisionState session_state_;
+  bool session_state_ready_ = false;
+  uint64_t live_sequence_ = 0;
+};
+
+/// Builder of LabelingService sessions. Exactly one decision source —
+/// WithPredictor or WithPolicy/WithPolicyFactory — must be configured for
+/// kGreedy/kSerial/kParallel (kParallelRandom takes none); Build() validates
+/// the whole configuration and crashes with a clear message on an invalid
+/// one.
+class LabelingServiceBuilder {
+ public:
+  /// `zoo` must outlive the built service.
+  explicit LabelingServiceBuilder(const zoo::ModelZoo* zoo);
+
+  /// Replays stored outputs of `oracle` for WorkItem::Stored submissions and
+  /// reports value recall. The oracle must wrap the same zoo.
+  LabelingServiceBuilder& WithOracle(const data::Oracle* oracle);
+
+  /// Predictor-driven scheduling (greedy / Algorithm 1 / Algorithm 2).
+  /// The predictor must outlive the service; it is cloned per worker when it
+  /// supports ClonePredictor (rl::Agent does).
+  LabelingServiceBuilder& WithPredictor(ModelValuePredictor* predictor);
+
+  /// Policy-driven serial scheduling, resolved through
+  /// sched::PolicyRegistry::Global(). Unknown names fail in Build(). When
+  /// `options.predictor` is set and clonable, every worker's policy gets a
+  /// private predictor clone.
+  LabelingServiceBuilder& WithPolicy(const std::string& name,
+                                     sched::PolicyOptions options = {});
+
+  /// Policy-driven serial scheduling with a custom factory (called once per
+  /// worker; instances are never shared across threads).
+  LabelingServiceBuilder& WithPolicyFactory(
+      LabelingService::PolicyFactory factory);
+
+  LabelingServiceBuilder& WithConstraints(const ScheduleConstraints& c);
+  LabelingServiceBuilder& WithMode(ExecutionMode mode);
+  /// Worker threads for SubmitBatch/Run; <= 0 means hardware concurrency.
+  LabelingServiceBuilder& WithWorkers(int workers);
+  LabelingServiceBuilder& WithSeed(uint64_t seed);
+  /// Oracle-backed serial sessions stop an item once this value recall is
+  /// reached (the ground-truth stop of §VI-B); < 0 disables.
+  LabelingServiceBuilder& WithRecallTarget(double target);
+
+  /// Validates the configuration and builds the session.
+  LabelingService Build() const;
+
+ private:
+  LabelingService::Config config_;
+  std::string pending_policy_name_;
+  sched::PolicyOptions pending_policy_options_;
+  bool has_pending_policy_ = false;
+};
+
+}  // namespace ams::core
+
+#endif  // AMS_CORE_LABELING_SERVICE_H_

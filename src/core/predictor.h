@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 namespace ams::core {
@@ -43,6 +44,14 @@ class ModelValuePredictor {
       const std::vector<float>& state_features) = 0;
 
   virtual int num_actions() const = 0;
+
+  /// Independent copy for concurrent use, or nullptr when the predictor
+  /// cannot be cloned. Stateful predictors (rl::Agent caches activations)
+  /// must implement this to be fanned out by LabelingService; predictors
+  /// returning nullptr are shared across workers and must be thread-safe.
+  virtual std::unique_ptr<ModelValuePredictor> ClonePredictor() const {
+    return nullptr;
+  }
 };
 
 }  // namespace ams::core

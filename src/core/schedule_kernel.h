@@ -1,0 +1,181 @@
+#ifndef AMS_CORE_SCHEDULE_KERNEL_H_
+#define AMS_CORE_SCHEDULE_KERNEL_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "core/labeling_state.h"
+#include "core/predictor.h"
+#include "data/oracle.h"
+#include "zoo/latent_scene.h"
+#include "zoo/model_zoo.h"
+
+namespace ams::core {
+
+/// Per-item resource constraints (Eq. 2's "constraints on S").
+struct ScheduleConstraints {
+  /// Deadline per item in seconds (Algorithm 1 / 2). Infinity = unlimited.
+  double time_budget_s = std::numeric_limits<double>::infinity();
+  /// GPU memory budget in MB for parallel execution (Algorithm 2 only).
+  double memory_budget_mb = std::numeric_limits<double>::infinity();
+
+  /// Crashes with a clear message on NaN or negative budgets (a negative or
+  /// NaN budget would otherwise silently schedule nothing).
+  void Validate() const;
+};
+
+/// One scheduled model execution.
+struct ExecutionRecord {
+  int model_id = -1;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  /// Raw model output (labels + confidences, incl. low-confidence ones).
+  std::vector<zoo::LabelOutput> outputs;
+  /// O'(m, d): newly emitted valuable labels.
+  std::vector<zoo::LabelOutput> fresh;
+  /// Reward of Eq. (3) for this execution.
+  double reward = 0.0;
+};
+
+/// Outcome of scheduling one item.
+struct ScheduleResult {
+  /// Executions in finish order (serial schedules: also start order).
+  std::vector<ExecutionRecord> executions;
+  /// Serial total time (Algorithm 1) or parallel makespan (Algorithm 2).
+  double makespan_s = 0.0;
+  /// f(S, d): sum over recalled labels of the best confidence obtained.
+  double value = 0.0;
+  /// Union of valuable labels with their best confidences.
+  std::vector<zoo::LabelOutput> recalled_labels;
+  /// Peak simultaneous memory use, for asserting the constraint held.
+  double peak_mem_mb = 0.0;
+};
+
+/// Execution substrate of the scheduling kernel: where model outputs and
+/// execution times come from. Two implementations cover the repo's two
+/// information patterns — live inference on a scene (production) and replay
+/// of stored oracle outputs (offline evaluation, §VI-A).
+class ExecutionContext {
+ public:
+  virtual ~ExecutionContext() = default;
+
+  virtual const zoo::ModelZoo& zoo() const = 0;
+  int num_models() const { return zoo().num_models(); }
+  const zoo::ModelSpec& model(int m) const { return zoo().model(m); }
+
+  /// Planning-time estimate used by feasibility checks ("does m still fit
+  /// the budget"). Live scheduling only knows the spec's mean time; replay
+  /// knows the realized draw.
+  virtual double PlannedTime(int model) const = 0;
+
+  /// Realized duration charged when the model actually runs.
+  virtual double RealizedTime(int model) const = 0;
+
+  /// Runs the model and returns its raw outputs.
+  virtual std::vector<zoo::LabelOutput> Execute(int model) const = 0;
+};
+
+/// Live inference on one scene via ModelZoo::Execute. Never peeks at outputs
+/// of models it did not select, matching a production deployment.
+class LiveExecutionContext : public ExecutionContext {
+ public:
+  LiveExecutionContext(const zoo::ModelZoo* zoo, const zoo::LatentScene* scene);
+
+  const zoo::ModelZoo& zoo() const override { return *zoo_; }
+  double PlannedTime(int model) const override;
+  double RealizedTime(int model) const override;
+  std::vector<zoo::LabelOutput> Execute(int model) const override;
+
+ private:
+  const zoo::ModelZoo* zoo_;
+  const zoo::LatentScene* scene_;
+};
+
+/// Replay of one stored item: outputs and times come from the oracle, so
+/// planned and realized times coincide.
+class ReplayExecutionContext : public ExecutionContext {
+ public:
+  ReplayExecutionContext(const data::Oracle* oracle, int item);
+
+  const zoo::ModelZoo& zoo() const override { return oracle_->zoo(); }
+  double PlannedTime(int model) const override;
+  double RealizedTime(int model) const override;
+  std::vector<zoo::LabelOutput> Execute(int model) const override;
+
+  const data::Oracle& oracle() const { return *oracle_; }
+  int item() const { return item_; }
+
+ private:
+  const data::Oracle* oracle_;
+  int item_;
+};
+
+/// A scheduling decision point: everything a picker may inspect.
+struct PickContext {
+  const ExecutionContext* exec = nullptr;
+  const LabelingState* state = nullptr;
+  /// Models already started (a superset of state->model_executed(): models
+  /// in flight count as started but not yet executed).
+  const std::vector<bool>* started = nullptr;
+  double now = 0.0;
+  /// Absolute deadline (infinity when unconstrained).
+  double deadline = std::numeric_limits<double>::infinity();
+  double mem_free = std::numeric_limits<double>::infinity();
+  /// True when no model is currently running.
+  bool idle = true;
+
+  double remaining_time() const { return deadline - now; }
+};
+
+/// Returns the next model to start *now*, or -1 to start nothing (the kernel
+/// then advances to the next finish event, or stops once nothing is
+/// running). Serial strategies return a model only when `idle`.
+using ModelPicker = std::function<int(const PickContext&)>;
+
+/// Optional kernel hooks.
+struct KernelHooks {
+  /// Called after each finish event is applied to the labeling state.
+  /// Returning true stops the kernel from starting further models; work
+  /// already in flight still drains (its outputs count, exactly as in
+  /// Algorithm 2's final window).
+  std::function<bool(const ExecutionRecord&, const LabelingState&)>
+      on_executed;
+};
+
+/// The shared scheduling kernel: a single event-driven loop under which the
+/// greedy, Algorithm-1 and Algorithm-2 schedules (and the offline runners)
+/// are just different pickers. Per iteration it (a) asks the picker for
+/// models to start at the current instant, (b) advances to the earliest
+/// finish event, applies its outputs and accounts value/reward, and (c)
+/// stops when nothing runs and nothing new starts. Memory is charged at
+/// start and released at finish; executions past the deadline are never
+/// started but started work always drains.
+ScheduleResult RunScheduleKernel(const ExecutionContext& exec,
+                                 const ScheduleConstraints& constraints,
+                                 const ModelPicker& picker,
+                                 const KernelHooks& hooks = {});
+
+/// Q-value greedy picker (§V intro): when idle, starts the unexecuted model
+/// with maximal predicted Q; stops once END has the highest value.
+ModelPicker MakeGreedyPicker(ModelValuePredictor* predictor);
+
+/// Algorithm 1 picker: when idle, starts the feasible model maximizing
+/// SchedulingProfit(Q) / planned time.
+ModelPicker MakeDeadlinePicker(ModelValuePredictor* predictor);
+
+/// Algorithm 2 picker: when idle, anchors the window with the feasible model
+/// maximizing Q / (time * mem); otherwise fills remaining memory with the
+/// feasible model maximizing Q / mem. Fills are bounded by the global
+/// deadline rather than the literal anchor window (see DESIGN note in the
+/// implementation: the literal filter degenerates to serial execution when
+/// the value-density anchor is a short model).
+ModelPicker MakeDeadlineMemoryPicker(ModelValuePredictor* predictor);
+
+/// Random feasible packing baseline (§VI-G): reshuffles the model order at
+/// every event round and packs feasible models in that order.
+ModelPicker MakeRandomPackingPicker(uint64_t seed);
+
+}  // namespace ams::core
+
+#endif  // AMS_CORE_SCHEDULE_KERNEL_H_

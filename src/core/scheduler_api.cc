@@ -1,46 +1,10 @@
 #include "core/scheduler_api.h"
 
-#include <algorithm>
-#include <map>
+#include <limits>
 
 #include "util/check.h"
 
 namespace ams::core {
-
-namespace {
-
-// Tracks the best-confidence union of valuable labels for f(S, d).
-class LiveValue {
- public:
-  double Add(const std::vector<zoo::LabelOutput>& outputs) {
-    double gain = 0.0;
-    for (const auto& out : outputs) {
-      if (out.confidence < zoo::kValuableConfidence) continue;
-      double& best = best_[out.label_id];
-      if (out.confidence > best) {
-        gain += out.confidence - best;
-        best = out.confidence;
-      }
-    }
-    value_ += gain;
-    return gain;
-  }
-
-  double value() const { return value_; }
-
-  std::vector<zoo::LabelOutput> RecalledLabels() const {
-    std::vector<zoo::LabelOutput> labels;
-    labels.reserve(best_.size());
-    for (const auto& [label, conf] : best_) labels.push_back({label, conf});
-    return labels;
-  }
-
- private:
-  std::map<int, double> best_;
-  double value_ = 0.0;
-};
-
-}  // namespace
 
 AdaptiveModelScheduler::AdaptiveModelScheduler(const zoo::ModelZoo* zoo,
                                                ModelValuePredictor* predictor)
@@ -52,205 +16,26 @@ AdaptiveModelScheduler::AdaptiveModelScheduler(const zoo::ModelZoo* zoo,
 
 ScheduleResult AdaptiveModelScheduler::LabelItemGreedy(
     const zoo::LatentScene& scene) {
-  ScheduleResult result;
-  LabelingState state(zoo_->labels().total_labels(), zoo_->num_models());
-  LiveValue value;
-  const int end_action = zoo_->num_models();
-  double now = 0.0;
-  while (state.num_executed() < zoo_->num_models()) {
-    const std::vector<double> q = predictor_->PredictValues(state.Features());
-    int best = -1;
-    double best_q = q[static_cast<size_t>(end_action)];
-    for (int m = 0; m < zoo_->num_models(); ++m) {
-      if (state.model_executed(m)) continue;
-      if (best == -1 || q[static_cast<size_t>(m)] > best_q) {
-        best = m;
-        best_q = q[static_cast<size_t>(m)];
-      }
-    }
-    // Stop when END outranks every remaining model.
-    if (best == -1 || q[static_cast<size_t>(end_action)] >= best_q) break;
-
-    ExecutionRecord record;
-    record.model_id = best;
-    record.start_s = now;
-    record.outputs = zoo_->Execute(best, scene);
-    record.fresh = state.Apply(best, record.outputs);
-    record.reward = ModelReward(record.fresh, zoo_->model(best).theta);
-    now += zoo_->SampleExecutionTime(best, scene);
-    record.finish_s = now;
-    value.Add(record.outputs);
-    result.executions.push_back(std::move(record));
-  }
-  result.makespan_s = now;
-  result.value = value.value();
-  result.recalled_labels = value.RecalledLabels();
-  return result;
+  LiveExecutionContext exec(zoo_, &scene);
+  return RunScheduleKernel(exec, ScheduleConstraints{},
+                           MakeGreedyPicker(predictor_));
 }
 
 ScheduleResult AdaptiveModelScheduler::LabelItem(
     const zoo::LatentScene& scene, const ScheduleConstraints& constraints) {
-  ScheduleResult result;
-  LabelingState state(zoo_->labels().total_labels(), zoo_->num_models());
-  LiveValue value;
-  double remaining = constraints.time_budget_s;
-  double now = 0.0;
-  for (;;) {
-    const std::vector<double> q = predictor_->PredictValues(state.Features());
-    // Algorithm 1 line 3-4: among models that still fit the budget, pick the
-    // one maximizing Q / time. (Planned with the spec's mean time; the
-    // realized jittered time is charged.)
-    int best = -1;
-    double best_ratio = 0.0;
-    for (int m = 0; m < zoo_->num_models(); ++m) {
-      if (state.model_executed(m)) continue;
-      const double planned = zoo_->model(m).time_s;
-      if (planned > remaining) continue;
-      const double ratio = SchedulingProfit(q[static_cast<size_t>(m)]) / planned;
-      if (best == -1 || ratio > best_ratio) {
-        best = m;
-        best_ratio = ratio;
-      }
-    }
-    if (best == -1) break;  // nothing fits the remaining budget
-
-    ExecutionRecord record;
-    record.model_id = best;
-    record.start_s = now;
-    record.outputs = zoo_->Execute(best, scene);
-    record.fresh = state.Apply(best, record.outputs);
-    record.reward = ModelReward(record.fresh, zoo_->model(best).theta);
-    const double elapsed = zoo_->SampleExecutionTime(best, scene);
-    now += elapsed;
-    remaining -= elapsed;
-    record.finish_s = now;
-    value.Add(record.outputs);
-    result.executions.push_back(std::move(record));
-    if (remaining <= 0.0) break;
-  }
-  result.makespan_s = now;
-  result.value = value.value();
-  result.recalled_labels = value.RecalledLabels();
-  return result;
+  LiveExecutionContext exec(zoo_, &scene);
+  // Algorithm 1 is time-only; whatever memory budget the caller carries in
+  // `constraints` must not throttle the serial schedule.
+  ScheduleConstraints serial = constraints;
+  serial.memory_budget_mb = std::numeric_limits<double>::infinity();
+  return RunScheduleKernel(exec, serial, MakeDeadlinePicker(predictor_));
 }
 
 ScheduleResult AdaptiveModelScheduler::LabelItemParallel(
     const zoo::LatentScene& scene, const ScheduleConstraints& constraints) {
-  ScheduleResult result;
-  LabelingState state(zoo_->labels().total_labels(), zoo_->num_models());
-  LiveValue value;
-  const double deadline = constraints.time_budget_s;
-  double mem_free = constraints.memory_budget_mb;
-  double now = 0.0;
-
-  struct Running {
-    int model_id;
-    double start_s;
-    double finish_s;
-    double mem_mb;
-  };
-  std::vector<Running> running;
-  std::vector<bool> started(static_cast<size_t>(zoo_->num_models()), false);
-  double window_end = 0.0;  // the "temporary deadline" B^t_time of Algorithm 2
-
-  auto start_model = [&](int m) {
-    started[static_cast<size_t>(m)] = true;
-    const double duration = zoo_->SampleExecutionTime(m, scene);
-    running.push_back({m, now, now + duration, zoo_->model(m).mem_mb});
-    mem_free -= zoo_->model(m).mem_mb;
-    window_end = std::max(window_end, now + zoo_->model(m).time_s);
-  };
-
-  for (;;) {
-    const std::vector<double> q = predictor_->PredictValues(state.Features());
-    if (running.empty()) {
-      // Algorithm 2 line 4: anchor model by Q / (time * mem); its planned
-      // finish becomes the temporary deadline for co-scheduled models.
-      int anchor = -1;
-      double best_score = 0.0;
-      for (int m = 0; m < zoo_->num_models(); ++m) {
-        if (started[static_cast<size_t>(m)]) continue;
-        const auto& spec = zoo_->model(m);
-        if (spec.mem_mb > mem_free) continue;
-        if (now + spec.time_s > deadline) continue;
-        const double score = SchedulingProfit(q[static_cast<size_t>(m)]) /
-                             (spec.time_s * spec.mem_mb);
-        if (anchor == -1 || score > best_score) {
-          anchor = m;
-          best_score = score;
-        }
-      }
-      if (anchor == -1) break;  // nothing feasible at all
-      window_end = 0.0;
-      start_model(anchor);
-    }
-    // Algorithm 2 lines 7-12: fill the remaining memory by Q / mem. Fills
-    // are bounded by the global deadline rather than the literal anchor
-    // window (see DESIGN.md: the literal filter degenerates to serial
-    // execution when the value-density anchor is a short model).
-    for (;;) {
-      int best = -1;
-      double best_score = 0.0;
-      for (int m = 0; m < zoo_->num_models(); ++m) {
-        if (started[static_cast<size_t>(m)]) continue;
-        const auto& spec = zoo_->model(m);
-        if (spec.mem_mb > mem_free) continue;
-        if (now + spec.time_s > deadline) continue;
-        const double score =
-            SchedulingProfit(q[static_cast<size_t>(m)]) / spec.mem_mb;
-        if (best == -1 || score > best_score) {
-          best = m;
-          best_score = score;
-        }
-      }
-      if (best == -1) break;
-      start_model(best);
-    }
-    // Algorithm 2 lines 14-17: advance to the earliest finish, apply its
-    // outputs, release its memory.
-    AMS_CHECK(!running.empty());
-    size_t next = 0;
-    for (size_t i = 1; i < running.size(); ++i) {
-      if (running[i].finish_s < running[next].finish_s) next = i;
-    }
-    const Running done = running[next];
-    running.erase(running.begin() + static_cast<long>(next));
-    now = done.finish_s;
-    mem_free += done.mem_mb;
-
-    ExecutionRecord record;
-    record.model_id = done.model_id;
-    record.start_s = done.start_s;
-    record.finish_s = done.finish_s;
-    record.outputs = zoo_->Execute(done.model_id, scene);
-    record.fresh = state.Apply(done.model_id, record.outputs);
-    record.reward = ModelReward(record.fresh, zoo_->model(done.model_id).theta);
-    value.Add(record.outputs);
-    result.executions.push_back(std::move(record));
-    result.makespan_s = std::max(result.makespan_s, record.finish_s);
-    if (now >= deadline) break;
-  }
-  // Drain models still in flight (all were scheduled to finish within the
-  // deadline, so their outputs count).
-  std::sort(running.begin(), running.end(),
-            [](const Running& a, const Running& b) {
-              return a.finish_s < b.finish_s;
-            });
-  for (const Running& r : running) {
-    ExecutionRecord record;
-    record.model_id = r.model_id;
-    record.start_s = r.start_s;
-    record.finish_s = r.finish_s;
-    record.outputs = zoo_->Execute(r.model_id, scene);
-    record.fresh = state.Apply(r.model_id, record.outputs);
-    record.reward = ModelReward(record.fresh, zoo_->model(r.model_id).theta);
-    value.Add(record.outputs);
-    result.executions.push_back(std::move(record));
-    result.makespan_s = std::max(result.makespan_s, record.finish_s);
-  }
-  result.value = value.value();
-  result.recalled_labels = value.RecalledLabels();
-  return result;
+  LiveExecutionContext exec(zoo_, &scene);
+  return RunScheduleKernel(exec, constraints,
+                           MakeDeadlineMemoryPicker(predictor_));
 }
 
 }  // namespace ams::core

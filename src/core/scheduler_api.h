@@ -1,57 +1,26 @@
 #ifndef AMS_CORE_SCHEDULER_API_H_
 #define AMS_CORE_SCHEDULER_API_H_
 
-#include <limits>
-#include <vector>
-
-#include "core/labeling_state.h"
 #include "core/predictor.h"
 #include "core/reward.h"
+#include "core/schedule_kernel.h"
 #include "zoo/latent_scene.h"
 #include "zoo/model_zoo.h"
 
 namespace ams::core {
 
-/// Per-item resource constraints (Eq. 2's "constraints on S").
-struct ScheduleConstraints {
-  /// Deadline per item in seconds (Algorithm 1 / 2). Infinity = unlimited.
-  double time_budget_s = std::numeric_limits<double>::infinity();
-  /// GPU memory budget in MB for parallel execution (Algorithm 2 only).
-  double memory_budget_mb = std::numeric_limits<double>::infinity();
-};
-
-/// One scheduled model execution.
-struct ExecutionRecord {
-  int model_id = -1;
-  double start_s = 0.0;
-  double finish_s = 0.0;
-  /// Raw model output (labels + confidences, incl. low-confidence ones).
-  std::vector<zoo::LabelOutput> outputs;
-  /// O'(m, d): newly emitted valuable labels.
-  std::vector<zoo::LabelOutput> fresh;
-  /// Reward of Eq. (3) for this execution.
-  double reward = 0.0;
-};
-
-/// Outcome of scheduling one item.
-struct ScheduleResult {
-  std::vector<ExecutionRecord> executions;
-  /// Serial total time (Algorithm 1) or parallel makespan (Algorithm 2).
-  double makespan_s = 0.0;
-  /// f(S, d): sum over recalled labels of the best confidence obtained.
-  double value = 0.0;
-  /// Union of valuable labels with their best confidences.
-  std::vector<zoo::LabelOutput> recalled_labels;
-};
-
-/// The public facade of the framework (§III-B): given a model zoo and a
-/// trained value predictor, adaptively schedules model executions on live
-/// data items under resource constraints.
+/// Predictor-driven scheduling on live data (§III-B): given a model zoo and
+/// a trained value predictor, adaptively schedules model executions on one
+/// item at a time under resource constraints.
 ///
-/// This class executes models for real (via ModelZoo::Execute); it never
-/// peeks at outputs of models it did not select, so its information pattern
-/// matches a production deployment. For offline evaluation against stored
-/// ground truth use the policies in src/sched instead.
+/// All three entry points are thin instances of the shared scheduling kernel
+/// (core/schedule_kernel.h) with the corresponding picker. The class
+/// executes models for real (via ModelZoo::Execute); it never peeks at
+/// outputs of models it did not select, so its information pattern matches a
+/// production deployment. For session-based scheduling over batches and
+/// streams — and for driving src/sched policies online — use
+/// core::LabelingService instead; this facade remains as the minimal
+/// single-item surface it wraps.
 class AdaptiveModelScheduler {
  public:
   /// `zoo` and `predictor` must outlive the scheduler.
@@ -70,9 +39,8 @@ class AdaptiveModelScheduler {
 
   /// Algorithm 2: parallel scheduling under deadline + memory constraints.
   /// Event-driven: when no model is running the anchor model maximizing
-  /// Q / (time * mem) is started and its finish time becomes the temporary
-  /// deadline; the remaining memory is filled with models maximizing
-  /// Q / mem that finish within the window; outputs apply at finish events.
+  /// Q / (time * mem) is started; the remaining memory is filled with models
+  /// maximizing Q / mem; outputs apply at finish events.
   ScheduleResult LabelItemParallel(const zoo::LatentScene& scene,
                                    const ScheduleConstraints& constraints);
 

@@ -45,6 +45,13 @@ class ValueAccumulator {
   std::vector<bool> added_;
 };
 
+/// True once `acc` has reached `target` value recall, within the shared
+/// stop tolerance used by every ground-truth-driven stop condition (§VI-B);
+/// `target` < 0 disables the check.
+inline bool RecallTargetReached(const ValueAccumulator& acc, double target) {
+  return target >= 0.0 && acc.Recall() >= target - 1e-12;
+}
+
 }  // namespace ams::core
 
 #endif  // AMS_CORE_VALUE_H_

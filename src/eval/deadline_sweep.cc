@@ -2,8 +2,8 @@
 
 #include <thread>
 
+#include "core/labeling_service.h"
 #include "sched/optimal_star.h"
-#include "sched/serial_runner.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -28,35 +28,29 @@ DeadlineSweep ComputeDeadlineSweep(const PolicyFactory& factory,
   sweep.deadlines_s = deadlines;
   sweep.avg_recall.assign(deadlines.size(), 0.0);
 
-  const int n = static_cast<int>(items.size());
-  const int chunk = (n + num_threads - 1) / num_threads;
-  std::vector<std::vector<double>> partial(
-      static_cast<size_t>(num_threads),
-      std::vector<double>(deadlines.size(), 0.0));
-  std::vector<std::thread> threads;
-  for (int t = 0; t < num_threads; ++t) {
-    const int lo = t * chunk;
-    const int hi = std::min(n, lo + chunk);
-    if (lo >= hi) break;
-    threads.emplace_back([&, t, lo, hi] {
-      std::unique_ptr<sched::SchedulingPolicy> policy = factory();
-      for (int i = lo; i < hi; ++i) {
-        for (size_t d = 0; d < deadlines.size(); ++d) {
-          sched::SerialRunConfig config;
-          config.time_budget = deadlines[d];
-          const auto run = sched::RunSerial(policy.get(), oracle,
-                                            items[static_cast<size_t>(i)],
-                                            config);
-          partial[static_cast<size_t>(t)][d] += run.recall;
-        }
-      }
-    });
+  std::vector<core::WorkItem> work;
+  work.reserve(items.size());
+  for (int item : items) work.push_back(core::WorkItem::Stored(item));
+
+  // One session per deadline; the session fans the batch out over its
+  // workers with a fresh policy instance per worker.
+  for (size_t d = 0; d < deadlines.size(); ++d) {
+    core::ScheduleConstraints constraints;
+    constraints.time_budget_s = deadlines[d];
+    core::LabelingService service =
+        core::LabelingServiceBuilder(&oracle.zoo())
+            .WithOracle(&oracle)
+            .WithMode(core::ExecutionMode::kSerial)
+            .WithPolicyFactory(factory)
+            .WithConstraints(constraints)
+            .WithWorkers(num_threads)
+            .Build();
+    const std::vector<core::LabelOutcome> outcomes =
+        service.SubmitBatch(work);
+    double sum = 0.0;
+    for (const core::LabelOutcome& outcome : outcomes) sum += outcome.recall;
+    sweep.avg_recall[d] = sum / static_cast<double>(items.size());
   }
-  for (auto& th : threads) th.join();
-  for (const auto& p : partial) {
-    for (size_t d = 0; d < deadlines.size(); ++d) sweep.avg_recall[d] += p[d];
-  }
-  for (double& r : sweep.avg_recall) r /= static_cast<double>(n);
   return sweep;
 }
 

@@ -2,8 +2,10 @@
 
 #include <thread>
 
+#include "core/labeling_service.h"
 #include "sched/optimal_star.h"
 #include "util/check.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace ams::eval {
@@ -25,39 +27,33 @@ MemorySweep ComputeMemorySweep(rl::Agent* agent, const data::Oracle& oracle,
   sweep.deadlines_s = deadlines;
   sweep.avg_recall.assign(deadlines.size(), 0.0);
 
-  const int n = static_cast<int>(items.size());
-  const int chunk = (n + num_threads - 1) / num_threads;
-  std::vector<std::vector<double>> partial(
-      static_cast<size_t>(num_threads),
-      std::vector<double>(deadlines.size(), 0.0));
-  std::vector<std::thread> threads;
-  for (int t = 0; t < num_threads; ++t) {
-    const int lo = t * chunk;
-    const int hi = std::min(n, lo + chunk);
-    if (lo >= hi) break;
-    threads.emplace_back([&, t, lo, hi] {
-      std::unique_ptr<rl::Agent> local_agent =
-          agent != nullptr ? agent->Clone() : nullptr;
-      for (int i = lo; i < hi; ++i) {
-        for (size_t d = 0; d < deadlines.size(); ++d) {
-          sched::ParallelRunConfig config;
-          config.time_budget = deadlines[d];
-          config.mem_budget_mb = mem_budget_mb;
-          config.seed = util::HashCombine(seed, static_cast<uint64_t>(d));
-          const auto run = sched::RunParallel(
-              local_agent != nullptr ? sched::ParallelPolicyKind::kAlgorithm2
-                                     : sched::ParallelPolicyKind::kRandom,
-              local_agent.get(), oracle, items[static_cast<size_t>(i)], config);
-          partial[static_cast<size_t>(t)][d] += run.recall;
-        }
-      }
-    });
+  std::vector<core::WorkItem> work;
+  work.reserve(items.size());
+  for (int item : items) work.push_back(core::WorkItem::Stored(item));
+
+  // One Algorithm-2 (or random-packing) session per deadline; agents are
+  // cloned per worker by the session.
+  for (size_t d = 0; d < deadlines.size(); ++d) {
+    core::ScheduleConstraints constraints;
+    constraints.time_budget_s = deadlines[d];
+    constraints.memory_budget_mb = mem_budget_mb;
+    core::LabelingServiceBuilder builder(&oracle.zoo());
+    builder.WithOracle(&oracle)
+        .WithConstraints(constraints)
+        .WithWorkers(num_threads);
+    if (agent != nullptr) {
+      builder.WithMode(core::ExecutionMode::kParallel).WithPredictor(agent);
+    } else {
+      builder.WithMode(core::ExecutionMode::kParallelRandom)
+          .WithSeed(util::HashCombine(seed, static_cast<uint64_t>(d)));
+    }
+    core::LabelingService service = builder.Build();
+    const std::vector<core::LabelOutcome> outcomes =
+        service.SubmitBatch(work);
+    double sum = 0.0;
+    for (const core::LabelOutcome& outcome : outcomes) sum += outcome.recall;
+    sweep.avg_recall[d] = sum / static_cast<double>(items.size());
   }
-  for (auto& th : threads) th.join();
-  for (const auto& p : partial) {
-    for (size_t d = 0; d < deadlines.size(); ++d) sweep.avg_recall[d] += p[d];
-  }
-  for (double& r : sweep.avg_recall) r /= static_cast<double>(n);
   return sweep;
 }
 

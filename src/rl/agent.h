@@ -34,6 +34,10 @@ class Agent : public core::ModelValuePredictor {
 
   std::unique_ptr<Agent> Clone() const;
 
+  std::unique_ptr<core::ModelValuePredictor> ClonePredictor() const override {
+    return Clone();
+  }
+
  private:
   std::unique_ptr<nn::QValueNet> net_;
   nn::NetKind kind_;

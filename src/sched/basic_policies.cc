@@ -10,8 +10,8 @@ RandomPolicy::RandomPolicy(uint64_t seed) : rng_(seed) {}
 
 void RandomPolicy::BeginItem(const ItemContext& ctx) {
   ctx_ = ctx;
-  order_.resize(static_cast<size_t>(ctx.oracle->num_models()));
-  for (int m = 0; m < ctx.oracle->num_models(); ++m) {
+  order_.resize(static_cast<size_t>(ctx.num_models()));
+  for (int m = 0; m < ctx.num_models(); ++m) {
     order_[static_cast<size_t>(m)] = m;
   }
   rng_.Shuffle(&order_);
@@ -34,13 +34,15 @@ int RandomPolicy::NextModel(const core::LabelingState& state,
 
 int NoPolicy::NextModel(const core::LabelingState& state,
                         double remaining_time) {
-  for (int m = 0; m < ctx_.oracle->num_models(); ++m) {
+  for (int m = 0; m < ctx_.num_models(); ++m) {
     if (Fits(ctx_, state, m, remaining_time)) return m;
   }
   return -1;
 }
 
 void OptimalPolicy::BeginItem(const ItemContext& ctx) {
+  AMS_CHECK(ctx.oracle != nullptr,
+            "OptimalPolicy is an oracle baseline and needs stored outputs");
   ctx_ = ctx;
   order_.clear();
   for (int m = 0; m < ctx.oracle->num_models(); ++m) {
@@ -76,7 +78,7 @@ int QGreedyPolicy::NextModel(const core::LabelingState& state,
   const std::vector<double> q = predictor_->PredictValues(state.Features());
   int best = -1;
   double best_q = 0.0;
-  for (int m = 0; m < ctx_.oracle->num_models(); ++m) {
+  for (int m = 0; m < ctx_.num_models(); ++m) {
     if (!Fits(ctx_, state, m, remaining_time)) continue;
     if (best == -1 || q[static_cast<size_t>(m)] > best_q) {
       best = m;

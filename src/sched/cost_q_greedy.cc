@@ -16,12 +16,12 @@ int CostQGreedyPolicy::NextModel(const core::LabelingState& state,
   const std::vector<double> q = predictor_->PredictValues(state.Features());
   int best = -1;
   double best_ratio = 0.0;
-  for (int m = 0; m < ctx_.oracle->num_models(); ++m) {
+  for (int m = 0; m < ctx_.num_models(); ++m) {
     if (!Fits(ctx_, state, m, remaining_time)) continue;  // Alg. 1, line 3
     // Q mapped through the order-preserving positive profit transform; see
     // core::SchedulingProfit for why raw Q must not enter the ratio.
     const double ratio = core::SchedulingProfit(q[static_cast<size_t>(m)]) /
-                         ctx_.oracle->zoo().model(m).time_s;
+                         ctx_.model_zoo().model(m).time_s;
     if (best == -1 || ratio > best_ratio) {  // Alg. 1, line 4
       best = m;
       best_ratio = ratio;

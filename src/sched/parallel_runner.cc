@@ -1,11 +1,7 @@
 #include "sched/parallel_runner.h"
 
-#include <algorithm>
-#include <limits>
-
-#include "core/labeling_state.h"
+#include "core/schedule_kernel.h"
 #include "core/value.h"
-#include "sched/cost_q_greedy.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -18,132 +14,32 @@ ParallelRunResult RunParallel(ParallelPolicyKind kind,
   if (kind == ParallelPolicyKind::kAlgorithm2) {
     AMS_CHECK(predictor != nullptr, "Algorithm 2 needs a value predictor");
   }
-  const int num_models = oracle.num_models();
-  core::LabelingState state(oracle.zoo().labels().total_labels(), num_models);
+  AMS_CHECK(item >= 0 && item < oracle.num_items());
+
+  core::ReplayExecutionContext exec(&oracle, item);
+  const core::ModelPicker picker =
+      kind == ParallelPolicyKind::kAlgorithm2
+          ? core::MakeDeadlineMemoryPicker(predictor)
+          : core::MakeRandomPackingPicker(
+                util::HashCombine(config.seed, 0x9A7Au + item));
+
   core::ValueAccumulator acc(&oracle, item);
-  util::Rng rng(util::HashCombine(config.seed, 0x9A7Au + item));
-
-  struct Running {
-    int model;
-    double start;
-    double finish;
-    double mem;
-  };
-  std::vector<Running> running;
-  std::vector<bool> started(static_cast<size_t>(num_models), false);
-  double now = 0.0;
-  double mem_free = config.mem_budget_mb;
-  double mem_used = 0.0;
-  double window_end = 0.0;
   ParallelRunResult result;
-
-  auto feasible = [&](int m, double horizon) {
-    if (started[static_cast<size_t>(m)]) return false;
-    const auto& spec = oracle.zoo().model(m);
-    if (spec.mem_mb > mem_free) return false;
-    const double exec = oracle.ExecutionTime(item, m);
-    if (now + exec > horizon) return false;
-    return now + exec <= config.time_budget;
+  core::KernelHooks hooks;
+  hooks.on_executed = [&](const core::ExecutionRecord& record,
+                          const core::LabelingState&) {
+    acc.AddModel(record.model_id);
+    result.steps.push_back({record.model_id, record.start_s, record.finish_s});
+    return false;
   };
+  core::ScheduleConstraints constraints;
+  constraints.time_budget_s = config.time_budget;
+  constraints.memory_budget_mb = config.mem_budget_mb;
+  const core::ScheduleResult schedule =
+      RunScheduleKernel(exec, constraints, picker, hooks);
 
-  auto start_model = [&](int m) {
-    started[static_cast<size_t>(m)] = true;
-    const auto& spec = oracle.zoo().model(m);
-    const double exec = oracle.ExecutionTime(item, m);
-    running.push_back({m, now, now + exec, spec.mem_mb});
-    mem_free -= spec.mem_mb;
-    mem_used += spec.mem_mb;
-    result.peak_mem_mb = std::max(result.peak_mem_mb, mem_used);
-    window_end = std::max(window_end, now + spec.time_s);
-  };
-
-  const double inf = std::numeric_limits<double>::infinity();
-
-  for (;;) {
-    if (kind == ParallelPolicyKind::kAlgorithm2) {
-      const std::vector<double> q = predictor->PredictValues(state.Features());
-      // Q mapped through the order-preserving positive profit transform
-      // (core::SchedulingProfit) so the cost ratios stay meaningful when
-      // predictions are negative.
-      auto profit = [&](int m) {
-        return core::SchedulingProfit(q[static_cast<size_t>(m)]);
-      };
-      if (running.empty()) {
-        // Anchor: argmax Q / (time * mem) among feasible models (line 4).
-        int anchor = -1;
-        double best = 0.0;
-        for (int m = 0; m < num_models; ++m) {
-          if (!feasible(m, inf)) continue;
-          const auto& spec = oracle.zoo().model(m);
-          const double score = profit(m) / (spec.time_s * spec.mem_mb);
-          if (anchor == -1 || score > best) {
-            anchor = m;
-            best = score;
-          }
-        }
-        if (anchor == -1) break;
-        window_end = 0.0;
-        start_model(anchor);
-      }
-      // Fill remaining memory by Q / mem (lines 7-12). The paper bounds
-      // fills by the anchor's finish ("temporary deadline"); taken
-      // literally that degenerates to near-serial execution whenever the
-      // value-density anchor is a short model, so fills here are bounded by
-      // the global deadline — same greedy spirit, no degenerate case (see
-      // DESIGN.md).
-      for (;;) {
-        int pick = -1;
-        double best = 0.0;
-        for (int m = 0; m < num_models; ++m) {
-          if (!feasible(m, inf)) continue;
-          const double score = profit(m) / oracle.zoo().model(m).mem_mb;
-          if (pick == -1 || score > best) {
-            pick = m;
-            best = score;
-          }
-        }
-        if (pick == -1) break;
-        start_model(pick);
-      }
-    } else {  // kRandom: pack any feasible model in random order.
-      std::vector<int> order(static_cast<size_t>(num_models));
-      for (int m = 0; m < num_models; ++m) order[static_cast<size_t>(m)] = m;
-      rng.Shuffle(&order);
-      for (int m : order) {
-        if (feasible(m, inf)) start_model(m);
-      }
-      if (running.empty()) break;
-    }
-
-    if (running.empty()) break;
-    // Advance to the earliest finish; apply its output.
-    size_t next = 0;
-    for (size_t i = 1; i < running.size(); ++i) {
-      if (running[i].finish < running[next].finish) next = i;
-    }
-    const Running done = running[next];
-    running.erase(running.begin() + static_cast<long>(next));
-    now = done.finish;
-    mem_free += done.mem;
-    mem_used -= done.mem;
-    state.Apply(done.model, oracle.Output(item, done.model));
-    acc.AddModel(done.model);
-    result.steps.push_back({done.model, done.start, done.finish});
-    result.makespan = std::max(result.makespan, done.finish);
-    if (now >= config.time_budget) break;
-  }
-  // Drain remaining running models (they were all scheduled to finish within
-  // the deadline, so they count).
-  std::sort(running.begin(), running.end(),
-            [](const Running& a, const Running& b) {
-              return a.finish < b.finish;
-            });
-  for (const Running& r : running) {
-    state.Apply(r.model, oracle.Output(item, r.model));
-    acc.AddModel(r.model);
-    result.steps.push_back({r.model, r.start, r.finish});
-    result.makespan = std::max(result.makespan, r.finish);
-  }
+  result.makespan = schedule.makespan_s;
+  result.peak_mem_mb = schedule.peak_mem_mb;
   result.value = acc.Value();
   result.recall = acc.Recall();
   result.models_executed = static_cast<int>(result.steps.size());

@@ -5,7 +5,7 @@ namespace ams::sched {
 bool Fits(const ItemContext& ctx, const core::LabelingState& state, int model,
           double remaining_time) {
   if (state.model_executed(model)) return false;
-  return ctx.oracle->ExecutionTime(ctx.item, model) <= remaining_time;
+  return ctx.TimeEstimate(model) <= remaining_time;
 }
 
 }  // namespace ams::sched

@@ -6,17 +6,45 @@
 
 #include "core/labeling_state.h"
 #include "data/oracle.h"
+#include "zoo/model_zoo.h"
 
 namespace ams::sched {
 
 /// Everything a policy may know when an item arrives. Policies other than
 /// the oracle-based baselines (Optimal, Optimal*) must not inspect stored
 /// outputs — only costs, ids and, for chunked streams, the chunk id.
+///
+/// Two information patterns share this context:
+///  - offline replay: `oracle` is set and fit checks use the realized
+///    per-item execution times (exactly what a stored-output evaluation
+///    knows);
+///  - live scheduling: `oracle` is null, `zoo` is set, and fit checks fall
+///    back to the spec's planned mean times (all a production deployment
+///    knows up front). This is what lets any SchedulingPolicy drive the
+///    online LabelingService through a PolicyAdapter.
 struct ItemContext {
   const data::Oracle* oracle = nullptr;
+  /// Always available; when `oracle` is set it equals &oracle->zoo().
+  const zoo::ModelZoo* zoo = nullptr;
   int item = -1;
   /// Chunk id for correlated streams; -1 for i.i.d. items.
   int chunk_id = -1;
+
+  int num_models() const {
+    return oracle != nullptr ? oracle->num_models() : zoo->num_models();
+  }
+
+  /// Best available time estimate for `model`: realized when replaying
+  /// stored outputs, planned mean when live.
+  double TimeEstimate(int model) const {
+    return oracle != nullptr ? oracle->ExecutionTime(item, model)
+                             : zoo->model(model).time_s;
+  }
+
+  /// The zoo, regardless of which pattern the context carries.
+  const zoo::ModelZoo& model_zoo() const {
+    return oracle != nullptr ? oracle->zoo() : *zoo;
+  }
 };
 
 /// Interactive serial scheduling policy: repeatedly asked for the next model
@@ -31,8 +59,8 @@ class SchedulingPolicy {
   virtual void BeginItem(const ItemContext& ctx) = 0;
 
   /// Returns the next model to execute (an unexecuted model id whose
-  /// *realized* execution time fits `remaining_time`), or -1 to stop.
-  /// Implementations use ctx.oracle->ExecutionTime for the fit check.
+  /// execution time estimate fits `remaining_time`), or -1 to stop.
+  /// Implementations use ItemContext::TimeEstimate for the fit check.
   virtual int NextModel(const core::LabelingState& state,
                         double remaining_time) = 0;
 

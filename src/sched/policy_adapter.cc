@@ -1,0 +1,33 @@
+#include "sched/policy_adapter.h"
+
+#include "util/check.h"
+
+namespace ams::sched {
+
+PolicyAdapter::PolicyAdapter(SchedulingPolicy* policy, const ItemContext& ctx)
+    : policy_(policy), ctx_(ctx) {
+  AMS_CHECK(policy != nullptr);
+  AMS_CHECK(ctx.oracle != nullptr || ctx.zoo != nullptr,
+            "ItemContext needs an oracle or a zoo");
+  policy_->BeginItem(ctx_);
+}
+
+core::ModelPicker PolicyAdapter::Picker() {
+  return [this](const core::PickContext& pick) -> int {
+    if (!pick.idle) return -1;
+    const double remaining = pick.remaining_time();
+    const int model = policy_->NextModel(*pick.state, remaining);
+    if (model < 0) return -1;
+    AMS_CHECK(!pick.state->model_executed(model),
+              "policy returned executed model");
+    AMS_CHECK(ctx_.TimeEstimate(model) <= remaining + 1e-9,
+              "policy returned model exceeding the budget");
+    return model;
+  };
+}
+
+void PolicyAdapter::NotifyExecuted(const core::ExecutionRecord& record) {
+  policy_->OnExecuted(record.model_id, record.fresh);
+}
+
+}  // namespace ams::sched

@@ -51,7 +51,7 @@ int RuleBasedPolicy::NextModel(const core::LabelingState& state,
   // Sample a task by weight among tasks that still have a runnable model,
   // then pick that task's most capable runnable model (a practitioner runs
   // the best variant of a family first; weaker tiers only as fallback).
-  const auto& zoo = ctx_.oracle->zoo();
+  const auto& zoo = ctx_.model_zoo();
   std::vector<double> weights(static_cast<size_t>(zoo::kNumTasks), 0.0);
   std::vector<int> best_model(static_cast<size_t>(zoo::kNumTasks), -1);
   bool any = false;
@@ -74,7 +74,7 @@ int RuleBasedPolicy::NextModel(const core::LabelingState& state,
 void RuleBasedPolicy::OnExecuted(int model,
                                  const std::vector<zoo::LabelOutput>& fresh) {
   (void)model;
-  const auto& labels = ctx_.oracle->zoo().labels();
+  const auto& labels = ctx_.model_zoo().labels();
   for (const auto& out : fresh) {
     const TaskKind task = labels.TaskOfLabel(out.label_id);
     const int offset = labels.OffsetInTask(out.label_id);

@@ -1,7 +1,8 @@
 #include "sched/serial_runner.h"
 
-#include "core/labeling_state.h"
+#include "core/schedule_kernel.h"
 #include "core/value.h"
+#include "sched/policy_adapter.h"
 #include "util/check.h"
 
 namespace ams::sched {
@@ -14,39 +15,42 @@ SerialRunResult RunSerial(SchedulingPolicy* policy, const data::Oracle& oracle,
 
   ItemContext ctx;
   ctx.oracle = &oracle;
+  ctx.zoo = &oracle.zoo();
   ctx.item = item;
   ctx.chunk_id = chunk_id;
-  policy->BeginItem(ctx);
+  PolicyAdapter adapter(policy, ctx);
 
-  core::LabelingState state(oracle.zoo().labels().total_labels(),
-                            oracle.num_models());
   core::ValueAccumulator acc(&oracle, item);
   SerialRunResult result;
-  double remaining = config.time_budget;
-
-  while (state.num_executed() < oracle.num_models()) {
-    if (config.recall_target >= 0.0 &&
-        acc.Recall() >= config.recall_target - 1e-12) {
-      break;
-    }
-    const int model = policy->NextModel(state, remaining);
-    if (model < 0) break;
-    AMS_CHECK(!state.model_executed(model), "policy returned executed model");
-    const double exec_time = oracle.ExecutionTime(item, model);
-    AMS_CHECK(exec_time <= remaining + 1e-9,
-              "policy returned model exceeding the budget");
-    const std::vector<zoo::LabelOutput> fresh =
-        state.Apply(model, oracle.Output(item, model));
-    acc.AddModel(model);
-    policy->OnExecuted(model, fresh);
-    remaining -= exec_time;
-    result.time_used += exec_time;
-    result.steps.push_back(
-        {model, result.time_used, acc.Recall(), acc.Value()});
+  const auto target_reached = [&] {
+    return core::RecallTargetReached(acc, config.recall_target);
+  };
+  // Items whose target is met before any execution (e.g. no valuable labels
+  // at all) schedule nothing.
+  if (target_reached()) {
+    result.value = acc.Value();
+    result.recall = acc.Recall();
+    return result;
   }
+
+  core::ReplayExecutionContext exec(&oracle, item);
+  core::ScheduleConstraints constraints;
+  constraints.time_budget_s = config.time_budget;
+  core::KernelHooks hooks;
+  hooks.on_executed = [&](const core::ExecutionRecord& record,
+                          const core::LabelingState&) {
+    acc.AddModel(record.model_id);
+    adapter.NotifyExecuted(record);
+    result.time_used = record.finish_s;  // serial: cumulative time
+    result.steps.push_back(
+        {record.model_id, record.finish_s, acc.Recall(), acc.Value()});
+    return target_reached();
+  };
+  RunScheduleKernel(exec, constraints, adapter.Picker(), hooks);
+
   result.value = acc.Value();
   result.recall = acc.Recall();
-  result.models_executed = state.num_executed();
+  result.models_executed = static_cast<int>(result.steps.size());
   return result;
 }
 

@@ -1,0 +1,360 @@
+// Tests of the session-based LabelingService facade and the PolicyRegistry:
+// builder validation, batch determinism, registry lookup, and serial vs
+// parallel parity on unconstrained items.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/labeling_service.h"
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "data/stream.h"
+#include "sched/policy_registry.h"
+
+namespace ams::core {
+namespace {
+
+// Deterministic, stateless (hence thread-safe) stand-in predictor.
+class StaticPredictor : public ModelValuePredictor {
+ public:
+  explicit StaticPredictor(std::vector<double> q) : q_(std::move(q)) {}
+  std::vector<double> PredictValues(const std::vector<float>&) override {
+    return q_;
+  }
+  int num_actions() const override { return static_cast<int>(q_.size()); }
+  std::unique_ptr<ModelValuePredictor> ClonePredictor() const override {
+    return std::make_unique<StaticPredictor>(q_);
+  }
+
+ private:
+  std::vector<double> q_;
+};
+
+class LabelingServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    zoo_ = new zoo::ModelZoo(zoo::ModelZoo::CreateDefault());
+    dataset_ = new data::Dataset(data::Dataset::Generate(
+        data::DatasetProfile::MsCoco(), zoo_->labels(), 60, 23));
+    oracle_ = new data::Oracle(zoo_, dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete dataset_;
+    delete zoo_;
+  }
+  static std::vector<double> UniformQ(double model_q, double end_q) {
+    std::vector<double> q(31, model_q);
+    q[30] = end_q;
+    return q;
+  }
+  static std::vector<WorkItem> StoredItems(int count) {
+    std::vector<WorkItem> items;
+    for (int i = 0; i < count; ++i) items.push_back(WorkItem::Stored(i));
+    return items;
+  }
+  static zoo::ModelZoo* zoo_;
+  static data::Dataset* dataset_;
+  static data::Oracle* oracle_;
+};
+
+zoo::ModelZoo* LabelingServiceTest::zoo_ = nullptr;
+data::Dataset* LabelingServiceTest::dataset_ = nullptr;
+data::Oracle* LabelingServiceTest::oracle_ = nullptr;
+
+// --- builder validation ----------------------------------------------------
+
+TEST_F(LabelingServiceTest, BuilderRejectsNegativeTimeBudget) {
+  StaticPredictor predictor(UniformQ(1.0, -5.0));
+  ScheduleConstraints constraints;
+  constraints.time_budget_s = -1.0;
+  EXPECT_DEATH(LabelingServiceBuilder(zoo_)
+                   .WithPredictor(&predictor)
+                   .WithMode(ExecutionMode::kSerial)
+                   .WithConstraints(constraints)
+                   .Build(),
+               "time budget");
+}
+
+TEST_F(LabelingServiceTest, BuilderRejectsNanMemoryBudget) {
+  StaticPredictor predictor(UniformQ(1.0, -5.0));
+  ScheduleConstraints constraints;
+  constraints.memory_budget_mb = std::nan("");
+  EXPECT_DEATH(LabelingServiceBuilder(zoo_)
+                   .WithPredictor(&predictor)
+                   .WithMode(ExecutionMode::kParallel)
+                   .WithConstraints(constraints)
+                   .Build(),
+               "memory budget");
+}
+
+TEST_F(LabelingServiceTest, ConstraintsValidateDirectly) {
+  ScheduleConstraints bad;
+  bad.time_budget_s = std::nan("");
+  EXPECT_DEATH(bad.Validate(), "time budget");
+  ScheduleConstraints good;  // infinite budgets are fine
+  good.Validate();
+  good.time_budget_s = 0.0;  // zero budget is allowed: schedules nothing
+  good.Validate();
+}
+
+TEST_F(LabelingServiceTest, BuilderRequiresADecisionSource) {
+  EXPECT_DEATH(LabelingServiceBuilder(zoo_)
+                   .WithMode(ExecutionMode::kSerial)
+                   .Build(),
+               "predictor");
+}
+
+TEST_F(LabelingServiceTest, BuilderRejectsPolicyInParallelMode) {
+  EXPECT_DEATH(LabelingServiceBuilder(zoo_)
+                   .WithOracle(oracle_)
+                   .WithMode(ExecutionMode::kParallel)
+                   .WithPolicy("random")
+                   .Build(),
+               "predictor-driven");
+}
+
+TEST_F(LabelingServiceTest, BuilderRejectsPredictorWithWrongActionSpace) {
+  StaticPredictor bad(std::vector<double>(7, 0.0));
+  EXPECT_DEATH(LabelingServiceBuilder(zoo_)
+                   .WithPredictor(&bad)
+                   .WithMode(ExecutionMode::kGreedy)
+                   .Build(),
+               "action space");
+}
+
+TEST_F(LabelingServiceTest, BuilderRejectsBothPredictorAndPolicy) {
+  StaticPredictor predictor(UniformQ(1.0, -5.0));
+  EXPECT_DEATH(LabelingServiceBuilder(zoo_)
+                   .WithPredictor(&predictor)
+                   .WithPolicy("random")
+                   .WithMode(ExecutionMode::kSerial)
+                   .Build(),
+               "not both");
+}
+
+TEST_F(LabelingServiceTest, BuilderRejectsUnknownPolicyName) {
+  EXPECT_DEATH(LabelingServiceBuilder(zoo_)
+                   .WithMode(ExecutionMode::kSerial)
+                   .WithPolicy("no_such_policy")
+                   .Build(),
+               "unknown policy");
+}
+
+// --- policy registry -------------------------------------------------------
+
+TEST_F(LabelingServiceTest, RegistryListsAllBuiltInPolicies) {
+  const std::vector<std::string> names =
+      sched::PolicyRegistry::Global().Names();
+  const std::set<std::string> set(names.begin(), names.end());
+  for (const char* expected :
+       {"random", "no_policy", "optimal", "q_greedy", "cost_q_greedy",
+        "rule_based", "explore_exploit"}) {
+    EXPECT_TRUE(set.count(expected)) << "missing policy: " << expected;
+  }
+}
+
+TEST_F(LabelingServiceTest, RegistryCreatesPoliciesByName) {
+  sched::PolicyOptions options;
+  options.seed = 11;
+  StaticPredictor predictor(UniformQ(1.0, -5.0));
+  options.predictor = &predictor;
+  for (const char* name :
+       {"random", "no_policy", "optimal", "q_greedy", "cost_q_greedy",
+        "rule_based", "explore_exploit"}) {
+    const auto policy = sched::PolicyRegistry::Global().Create(name, options);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST_F(LabelingServiceTest, RegistryUnknownNameReturnsNullOrDies) {
+  EXPECT_EQ(sched::PolicyRegistry::Global().TryCreate("bogus", {}), nullptr);
+  EXPECT_FALSE(sched::PolicyRegistry::Global().Contains("bogus"));
+  EXPECT_DEATH(sched::PolicyRegistry::Global().Create("bogus", {}),
+               "unknown policy");
+}
+
+TEST_F(LabelingServiceTest, RegistryRequiresPredictorForQPolicies) {
+  EXPECT_DEATH(sched::PolicyRegistry::Global().Create("cost_q_greedy", {}),
+               "predictor");
+}
+
+// --- scheduling through sessions -------------------------------------------
+
+TEST_F(LabelingServiceTest, BatchSubmissionIsDeterministicUnderAFixedSeed) {
+  const auto run_batch = [&] {
+    sched::PolicyOptions options;
+    options.seed = 77;
+    ScheduleConstraints constraints;
+    constraints.time_budget_s = 1.0;
+    LabelingService service = LabelingServiceBuilder(zoo_)
+                                  .WithOracle(oracle_)
+                                  .WithMode(ExecutionMode::kSerial)
+                                  .WithPolicy("random", options)
+                                  .WithConstraints(constraints)
+                                  .WithWorkers(4)
+                                  .Build();
+    return service.SubmitBatch(StoredItems(40));
+  };
+  const std::vector<LabelOutcome> a = run_batch();
+  const std::vector<LabelOutcome> b = run_batch();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].recall, b[i].recall);
+    ASSERT_EQ(a[i].schedule.executions.size(),
+              b[i].schedule.executions.size());
+    for (size_t k = 0; k < a[i].schedule.executions.size(); ++k) {
+      EXPECT_EQ(a[i].schedule.executions[k].model_id,
+                b[i].schedule.executions[k].model_id);
+    }
+    EXPECT_DOUBLE_EQ(a[i].schedule.makespan_s, b[i].schedule.makespan_s);
+  }
+}
+
+TEST_F(LabelingServiceTest, SerialAndParallelAgreeOnUnconstrainedItems) {
+  // With unlimited budgets both Algorithm 1 and Algorithm 2 run the whole
+  // zoo, so the recalled value must coincide exactly.
+  StaticPredictor predictor(UniformQ(1.0, -5.0));
+  LabelingService serial = LabelingServiceBuilder(zoo_)
+                               .WithOracle(oracle_)
+                               .WithPredictor(&predictor)
+                               .WithMode(ExecutionMode::kSerial)
+                               .Build();
+  LabelingService parallel = LabelingServiceBuilder(zoo_)
+                                 .WithOracle(oracle_)
+                                 .WithPredictor(&predictor)
+                                 .WithMode(ExecutionMode::kParallel)
+                                 .Build();
+  for (int item = 0; item < 10; ++item) {
+    const LabelOutcome s = serial.Submit(WorkItem::Stored(item));
+    const LabelOutcome p = parallel.Submit(WorkItem::Stored(item));
+    EXPECT_EQ(s.schedule.executions.size(), 30u);
+    EXPECT_EQ(p.schedule.executions.size(), 30u);
+    EXPECT_NEAR(s.schedule.value, p.schedule.value, 1e-9);
+    EXPECT_NEAR(s.recall, p.recall, 1e-12);
+    EXPECT_NEAR(s.recall, 1.0, 1e-9) << "full execution recalls everything";
+  }
+}
+
+TEST_F(LabelingServiceTest, LiveAndStoredSubmissionsAgree) {
+  // The oracle replays exactly what live execution produces, so a live
+  // submission of an item's scene must match the stored submission's
+  // schedule value.
+  StaticPredictor predictor(UniformQ(1.0, -5.0));
+  LabelingService service = LabelingServiceBuilder(zoo_)
+                                .WithOracle(oracle_)
+                                .WithPredictor(&predictor)
+                                .WithMode(ExecutionMode::kGreedy)
+                                .Build();
+  for (int item = 0; item < 5; ++item) {
+    const LabelOutcome stored = service.Submit(WorkItem::Stored(item));
+    const LabelOutcome live = service.Submit(dataset_->item(item).scene);
+    EXPECT_NEAR(stored.schedule.value, live.schedule.value, 1e-9);
+    EXPECT_EQ(stored.schedule.executions.size(),
+              live.schedule.executions.size());
+    EXPECT_GE(stored.recall, 0.0) << "stored submissions report recall";
+    EXPECT_EQ(live.recall, -1.0) << "live submissions have no ground truth";
+  }
+}
+
+TEST_F(LabelingServiceTest, RecallTargetStopsEarly) {
+  LabelingService service = LabelingServiceBuilder(zoo_)
+                                .WithOracle(oracle_)
+                                .WithMode(ExecutionMode::kSerial)
+                                .WithPolicy("optimal")
+                                .WithRecallTarget(0.5)
+                                .Build();
+  for (int item = 0; item < 20; ++item) {
+    const LabelOutcome outcome = service.Submit(WorkItem::Stored(item));
+    EXPECT_GE(outcome.recall, 0.5 - 1e-9);
+    EXPECT_LT(outcome.schedule.executions.size(), 30u)
+        << "the optimal policy reaches half recall well before 30 models";
+  }
+}
+
+TEST_F(LabelingServiceTest, StreamingRunVisitsEveryItemInOrder) {
+  LabelingService service = LabelingServiceBuilder(zoo_)
+                                .WithOracle(oracle_)
+                                .WithMode(ExecutionMode::kSerial)
+                                .WithPolicy("no_policy")
+                                .WithRecallTarget(1.0)
+                                .WithWorkers(3)
+                                .Build();
+  std::vector<int> indices(20);
+  std::iota(indices.begin(), indices.end(), 0);
+  data::DataStream stream(dataset_, indices, /*shuffle=*/false, /*seed=*/1);
+  std::vector<int> visited;
+  const int count = service.Run(
+      &stream, [&](const WorkItem& item, const LabelOutcome& outcome) {
+        visited.push_back(item.item);
+        EXPECT_NEAR(outcome.recall, 1.0, 1e-9);
+      });
+  EXPECT_EQ(count, 20);
+  EXPECT_EQ(visited, indices) << "sink sees items in arrival order";
+}
+
+TEST_F(LabelingServiceTest, InterleavedChunksStayWithOneWorker) {
+  // Chunk-adaptive policies must see each chunk's full history even when
+  // chunks interleave in the batch and several workers run: results must
+  // match a single-worker run of the same order exactly.
+  const data::Dataset chunked = data::Dataset::GenerateChunked(
+      data::DatasetProfile::MirFlickr25(), zoo_->labels(), /*num_chunks=*/6,
+      /*chunk_len=*/5, /*seed=*/31);
+  const data::Oracle oracle(zoo_, &chunked);
+  std::vector<WorkItem> interleaved;
+  for (int offset = 0; offset < 5; ++offset) {
+    for (int chunk = 0; chunk < 6; ++chunk) {
+      const int item = chunk * 5 + offset;
+      interleaved.push_back(
+          WorkItem::Stored(item, chunked.item(item).chunk_id));
+    }
+  }
+  const auto run_with_workers = [&](int workers) {
+    LabelingService service = LabelingServiceBuilder(zoo_)
+                                  .WithOracle(&oracle)
+                                  .WithMode(ExecutionMode::kSerial)
+                                  .WithPolicy("explore_exploit")
+                                  .WithRecallTarget(1.0)
+                                  .WithWorkers(workers)
+                                  .Build();
+    return service.SubmitBatch(interleaved);
+  };
+  const std::vector<LabelOutcome> parallel = run_with_workers(4);
+  const std::vector<LabelOutcome> sequential = run_with_workers(1);
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i].recall, sequential[i].recall);
+    EXPECT_EQ(parallel[i].schedule.executions.size(),
+              sequential[i].schedule.executions.size())
+        << "chunk history must not depend on the worker count";
+  }
+}
+
+TEST_F(LabelingServiceTest, ParallelModeHonoursMemoryBudget) {
+  StaticPredictor predictor(UniformQ(1.0, -5.0));
+  ScheduleConstraints constraints;
+  constraints.time_budget_s = 1.0;
+  constraints.memory_budget_mb = 8192.0;
+  LabelingService service = LabelingServiceBuilder(zoo_)
+                                .WithOracle(oracle_)
+                                .WithPredictor(&predictor)
+                                .WithMode(ExecutionMode::kParallel)
+                                .WithConstraints(constraints)
+                                .Build();
+  for (int item = 0; item < 10; ++item) {
+    const LabelOutcome outcome = service.Submit(WorkItem::Stored(item));
+    EXPECT_LE(outcome.schedule.peak_mem_mb, 8192.0 + 1e-6);
+    EXPECT_LE(outcome.schedule.makespan_s, 1.0 + 1e-9)
+        << "replayed execution times are known, so nothing overshoots";
+  }
+}
+
+}  // namespace
+}  // namespace ams::core

@@ -45,7 +45,7 @@ class PoliciesTest : public ::testing::Test {
     delete zoo_;
   }
   static ItemContext Context(int item) {
-    return ItemContext{oracle_, item, -1};
+    return ItemContext{oracle_, zoo_, item, -1};
   }
   static zoo::ModelZoo* zoo_;
   static data::Dataset* dataset_;

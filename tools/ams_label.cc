@@ -1,17 +1,22 @@
 // ams_label — command-line front end for the whole pipeline: generate a
-// corpus, train (or load) a DRL agent, and schedule model executions under
-// resource constraints, reporting the value/recall/compute trade-off.
+// corpus, train (or load) a DRL agent, and label items through a
+// core::LabelingService session under resource constraints, reporting the
+// value/recall/compute trade-off.
 //
 // Usage:
 //   ams_label [--dataset NAME] [--scheme dqn|double|dueling|sarsa]
-//             [--items N] [--episodes N] [--hidden N] [--seed N]
-//             [--deadline SECONDS] [--memory GB] [--label N]
-//             [--cache DIR] [--csv PATH]
+//             [--policy NAME] [--items N] [--episodes N] [--hidden N]
+//             [--seed N] [--deadline SECONDS] [--memory GB] [--label N]
+//             [--workers N] [--cache DIR] [--csv PATH]
+//
+// `--policy` accepts any sched::PolicyRegistry name (default cost_q_greedy,
+// i.e. Algorithm 1); `--memory` switches to Algorithm 2 (parallel
+// scheduling under deadline + memory).
 //
 // Examples:
 //   ams_label --dataset mirflickr25 --deadline 0.5 --label 200
 //   ams_label --dataset voc2012 --deadline 1.0 --memory 8 --label 100
-//   ams_label --dataset mscoco --scheme dqn --episodes 2000
+//   ams_label --dataset mscoco --policy random --deadline 0.5
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,15 +26,13 @@
 #include <string>
 #include <vector>
 
+#include "core/labeling_service.h"
 #include "data/dataset.h"
 #include "data/dataset_profile.h"
 #include "data/oracle.h"
 #include "eval/agent_cache.h"
 #include "rl/trainer.h"
-#include "sched/basic_policies.h"
-#include "sched/cost_q_greedy.h"
-#include "sched/parallel_runner.h"
-#include "sched/serial_runner.h"
+#include "sched/policy_registry.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -40,6 +43,8 @@ using namespace ams;
 struct Options {
   std::string dataset = "mscoco";
   std::string scheme = "dueling";
+  std::string policy = "cost_q_greedy";
+  bool policy_set = false;  // --policy given explicitly
   int items = 1500;
   int episodes = 1200;
   int hidden = 128;
@@ -47,19 +52,29 @@ struct Options {
   double deadline = 1.0;
   double memory_gb = 0.0;  // 0 = serial scheduling (Algorithm 1)
   int label_count = 200;
+  /// Default 1: results must reproduce for a fixed --seed regardless of the
+  /// machine's core count (the batch partition and per-worker policy seeds
+  /// depend on the worker count). Opt into fan-out explicitly.
+  int workers = 1;
   std::string cache_dir = "artifacts/agents";
   std::string csv_path;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
+  std::string policies;
+  for (const std::string& name : sched::PolicyRegistry::Global().Names()) {
+    if (!policies.empty()) policies += "|";
+    policies += name;
+  }
   std::fprintf(stderr,
                "usage: %s [--dataset mscoco|places365|mirflickr25|stanford40|"
                "voc2012]\n"
-               "          [--scheme dqn|double|dueling|sarsa] [--items N]\n"
-               "          [--episodes N] [--hidden N] [--seed N]\n"
+               "          [--scheme dqn|double|dueling|sarsa]\n"
+               "          [--policy %s]\n"
+               "          [--items N] [--episodes N] [--hidden N] [--seed N]\n"
                "          [--deadline S] [--memory GB] [--label N]\n"
-               "          [--cache DIR] [--csv PATH]\n",
-               argv0);
+               "          [--workers N] [--cache DIR] [--csv PATH]\n",
+               argv0, policies.c_str());
   std::exit(2);
 }
 
@@ -74,6 +89,9 @@ Options Parse(int argc, char** argv) {
       opts.dataset = next();
     } else if (!std::strcmp(argv[i], "--scheme")) {
       opts.scheme = next();
+    } else if (!std::strcmp(argv[i], "--policy")) {
+      opts.policy = next();
+      opts.policy_set = true;
     } else if (!std::strcmp(argv[i], "--items")) {
       opts.items = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--episodes")) {
@@ -88,6 +106,8 @@ Options Parse(int argc, char** argv) {
       opts.memory_gb = std::atof(next());
     } else if (!std::strcmp(argv[i], "--label")) {
       opts.label_count = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      opts.workers = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--cache")) {
       opts.cache_dir = next();
     } else if (!std::strcmp(argv[i], "--csv")) {
@@ -95,6 +115,23 @@ Options Parse(int argc, char** argv) {
     } else {
       Usage(argv[0]);
     }
+  }
+  if (!sched::PolicyRegistry::Global().Contains(opts.policy)) {
+    std::fprintf(stderr, "unknown policy: %s\n", opts.policy.c_str());
+    Usage(argv[0]);
+  }
+  if (opts.policy_set && opts.memory_gb > 0.0) {
+    std::fprintf(stderr,
+                 "--policy selects a serial policy; --memory runs Algorithm 2 "
+                 "(predictor-driven). Pick one.\n");
+    Usage(argv[0]);
+  }
+  if (sched::PolicyRegistry::Global().Traits(opts.policy).needs_chunked_stream) {
+    std::fprintf(stderr,
+                 "policy '%s' needs a chunked stream; this tool generates "
+                 "i.i.d. corpora (see examples/video_surveillance).\n",
+                 opts.policy.c_str());
+    Usage(argv[0]);
   }
   return opts;
 }
@@ -129,65 +166,81 @@ int main(int argc, char** argv) {
       ProfileFromName(opts.dataset), zoo.labels(), opts.items, opts.seed);
   const data::Oracle oracle(&zoo, &dataset);
 
-  eval::AgentCache cache(opts.cache_dir);
-  eval::AgentRequest request;
-  request.key = opts.dataset + "_" + opts.scheme + "_i" +
-                std::to_string(opts.items) + "_e" +
-                std::to_string(opts.episodes) + "_h" +
-                std::to_string(opts.hidden) + "_s" + std::to_string(opts.seed);
-  request.oracle = &oracle;
-  request.config.scheme = SchemeFromName(opts.scheme);
-  request.config.hidden_dim = opts.hidden;
-  request.config.episodes = opts.episodes;
-  request.config.eps_decay_steps = opts.episodes * 4;
-  request.config.seed = opts.seed;
-  std::printf("training/loading agent %s...\n", request.key.c_str());
-  std::unique_ptr<rl::Agent> agent = cache.GetOrTrain(request);
+  // Only Q-driven scheduling consults the agent; baselines like random or
+  // rule_based skip training entirely.
+  const bool needs_agent =
+      opts.memory_gb > 0.0 ||
+      sched::PolicyRegistry::Global().Traits(opts.policy).needs_predictor;
+  std::unique_ptr<rl::Agent> agent;
+  if (needs_agent) {
+    eval::AgentCache cache(opts.cache_dir);
+    eval::AgentRequest request;
+    request.key = opts.dataset + "_" + opts.scheme + "_i" +
+                  std::to_string(opts.items) + "_e" +
+                  std::to_string(opts.episodes) + "_h" +
+                  std::to_string(opts.hidden) + "_s" +
+                  std::to_string(opts.seed);
+    request.oracle = &oracle;
+    request.config.scheme = SchemeFromName(opts.scheme);
+    request.config.hidden_dim = opts.hidden;
+    request.config.episodes = opts.episodes;
+    request.config.eps_decay_steps = opts.episodes * 4;
+    request.config.seed = opts.seed;
+    std::printf("training/loading agent %s...\n", request.key.c_str());
+    agent = cache.GetOrTrain(request);
+  }
+
+  // One labeling session for the whole run, built from the command line.
+  core::ScheduleConstraints constraints;
+  constraints.time_budget_s = opts.deadline;
+  core::LabelingServiceBuilder builder(&zoo);
+  builder.WithOracle(&oracle)
+      .WithConstraints(constraints)
+      .WithWorkers(opts.workers)
+      .WithSeed(opts.seed);
+  if (opts.memory_gb > 0.0) {
+    constraints.memory_budget_mb = opts.memory_gb * 1024.0;
+    builder.WithConstraints(constraints)
+        .WithMode(core::ExecutionMode::kParallel)
+        .WithPredictor(agent.get());
+    std::printf(
+        "scheduling with Algorithm 2 (deadline %.2f s, memory %.0f GB)...\n",
+        opts.deadline, opts.memory_gb);
+  } else {
+    sched::PolicyOptions policy_options;
+    policy_options.predictor = agent.get();  // null for predictor-less policies
+    policy_options.seed = opts.seed;
+    builder.WithMode(core::ExecutionMode::kSerial)
+        .WithPolicy(opts.policy, policy_options);
+    std::printf("scheduling with policy '%s' (deadline %.2f s)...\n",
+                opts.policy.c_str(), opts.deadline);
+  }
+  core::LabelingService service = builder.Build();
 
   const std::vector<int>& test = dataset.test_indices();
   const int n = std::min<int>(opts.label_count, static_cast<int>(test.size()));
+  std::printf("labeling %d items over %d workers...\n", n,
+              service.worker_count());
+  std::vector<core::WorkItem> work;
+  work.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    work.push_back(core::WorkItem::Stored(test[static_cast<size_t>(i)]));
+  }
+  const std::vector<core::LabelOutcome> outcomes = service.SubmitBatch(work);
+
   util::RunningStat recall, models, sim_time;
   std::vector<std::vector<std::string>> csv_rows;
-
-  if (opts.memory_gb > 0.0) {
-    std::printf(
-        "scheduling %d items with Algorithm 2 (deadline %.2f s, memory %.0f "
-        "GB)...\n",
-        n, opts.deadline, opts.memory_gb);
-    for (int i = 0; i < n; ++i) {
-      sched::ParallelRunConfig config;
-      config.time_budget = opts.deadline;
-      config.mem_budget_mb = opts.memory_gb * 1024.0;
-      const auto run =
-          sched::RunParallel(sched::ParallelPolicyKind::kAlgorithm2,
-                             agent.get(), oracle, test[static_cast<size_t>(i)],
-                             config);
-      recall.Add(run.recall);
-      models.Add(run.models_executed);
-      sim_time.Add(run.makespan);
-      csv_rows.push_back({std::to_string(test[static_cast<size_t>(i)]),
-                          util::FormatDouble(run.recall, 4),
-                          std::to_string(run.models_executed),
-                          util::FormatDouble(run.makespan, 4)});
-    }
-  } else {
-    std::printf("scheduling %d items with Algorithm 1 (deadline %.2f s)...\n",
-                n, opts.deadline);
-    std::unique_ptr<rl::Agent> worker = agent->Clone();
-    sched::CostQGreedyPolicy policy(worker.get());
-    for (int i = 0; i < n; ++i) {
-      sched::SerialRunConfig config;
-      config.time_budget = opts.deadline;
-      const auto run = sched::RunSerial(&policy, oracle,
-                                        test[static_cast<size_t>(i)], config);
-      recall.Add(run.recall);
-      models.Add(run.models_executed);
-      sim_time.Add(run.time_used);
-      csv_rows.push_back({std::to_string(test[static_cast<size_t>(i)]),
-                          util::FormatDouble(run.recall, 4),
-                          std::to_string(run.models_executed),
-                          util::FormatDouble(run.time_used, 4)});
-    }
+  for (int i = 0; i < n; ++i) {
+    const core::LabelOutcome& outcome = outcomes[static_cast<size_t>(i)];
+    const int executed =
+        static_cast<int>(outcome.schedule.executions.size());
+    recall.Add(outcome.recall);
+    models.Add(executed);
+    sim_time.Add(outcome.schedule.makespan_s);
+    csv_rows.push_back({std::to_string(work[static_cast<size_t>(i)].item),
+                        util::FormatDouble(outcome.recall, 4),
+                        std::to_string(executed),
+                        util::FormatDouble(outcome.schedule.makespan_s, 4)});
   }
 
   util::AsciiTable report;
