@@ -53,6 +53,7 @@ void Run() {
             .WithMode(core::ExecutionMode::kSerial)
             .WithPolicy(policy, options)
             .WithRecallTarget(1.0)
+            .WithKernelMode(core::KernelMode::kLean)  // counts/recall only
             .WithWorkers(1)  // numbers must not vary with the core count
             .Build();
     std::vector<int> indices(static_cast<size_t>(dataset.size()));
@@ -62,7 +63,7 @@ void Run() {
     service.Run(&stream, [&](const core::WorkItem&,
                              const core::LabelOutcome& outcome) {
       time_sum += outcome.schedule.makespan_s;
-      models_sum += static_cast<double>(outcome.schedule.executions.size());
+      models_sum += static_cast<double>(outcome.schedule.num_executions);
       recall_sum += outcome.recall;
     });
     const double n = static_cast<double>(dataset.size());

@@ -47,6 +47,7 @@ void Run() {
           .WithMode(core::ExecutionMode::kSerial)
           .WithPolicy("rule_based", options)
           .WithRecallTarget(1.0)
+          .WithKernelMode(core::KernelMode::kLean)  // only makespan is read
           .Build();
   double rule_time = 0.0;
   for (int item : items) {

@@ -1,0 +1,76 @@
+#include "core/decision_plane.h"
+
+#include "util/check.h"
+
+namespace ams::core {
+
+DecisionPlane::DecisionPlane(ModelValuePredictor* predictor)
+    : predictor_(predictor) {
+  AMS_CHECK(predictor != nullptr);
+}
+
+const std::vector<double>& DecisionPlane::Slot::Values(
+    const LabelingState& state) {
+  if (!Fresh(state)) {
+    q_ = plane_->predictor_->PredictValues(state.Features());
+    labels_at_ = state.num_labels_set();
+    ++plane_->scalar_predictions_;
+  }
+  return q_;
+}
+
+DecisionPlane::Slot* DecisionPlane::NewSlot() {
+  slots_.emplace_back(Slot(this));
+  return &slots_.back();
+}
+
+void DecisionPlane::Prefetch(const std::vector<SlotView>& views) {
+  stale_.clear();
+  for (const SlotView& view : views) {
+    AMS_CHECK(view.first != nullptr && view.second != nullptr);
+    if (!view.first->Fresh(*view.second)) stale_.push_back(view);
+  }
+  if (stale_.empty()) return;
+
+  // Deduplicate identical states across items: co-scheduled items share
+  // feature vectors often (every item starts all-zero, and sparse label
+  // states collide), and the predictor is a pure function of the features,
+  // so duplicates ride along on one forward row. This cross-item sharing is
+  // exactly what per-item caches cannot see.
+  features_.clear();
+  row_labels_.clear();
+  row_of_.assign(stale_.size(), 0);
+  for (size_t i = 0; i < stale_.size(); ++i) {
+    const std::vector<float>& f = stale_[i].second->Features();
+    const int labels = stale_[i].second->num_labels_set();
+    size_t row = features_.size();
+    for (size_t u = 0; u < features_.size(); ++u) {
+      // Count first: states with different label counts can never be equal,
+      // so the full compare only runs on genuine candidates.
+      if (row_labels_[u] == labels && features_[u]->size() == f.size() &&
+          std::equal(f.begin(), f.end(), features_[u]->begin())) {
+        row = u;
+        break;
+      }
+    }
+    if (row == features_.size()) {
+      features_.push_back(&f);
+      row_labels_.push_back(labels);
+    }
+    row_of_[i] = row;
+  }
+
+  std::vector<std::vector<double>> rows =
+      predictor_->PredictValuesBatch(features_);
+  AMS_CHECK(rows.size() == features_.size(),
+            "predictor returned a wrong-sized batch");
+  ++batched_predictions_;
+  batched_rows_ += static_cast<long>(features_.size());
+  for (size_t i = 0; i < stale_.size(); ++i) {
+    const std::vector<double>& row = rows[row_of_[i]];
+    stale_[i].first->q_.assign(row.begin(), row.end());
+    stale_[i].first->labels_at_ = stale_[i].second->num_labels_set();
+  }
+}
+
+}  // namespace ams::core

@@ -1,0 +1,89 @@
+#ifndef AMS_CORE_DECISION_PLANE_H_
+#define AMS_CORE_DECISION_PLANE_H_
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "core/labeling_state.h"
+#include "core/predictor.h"
+
+namespace ams::core {
+
+/// The decision plane of the scheduling substrate: every picker Q-query goes
+/// through a DecisionPlane slot instead of hitting the predictor directly.
+///
+/// A slot caches one item's Q vector keyed by the item's state version (the
+/// labeling state changes exactly at finish events), so a pick round costs at
+/// most one forward pass regardless of how many models it starts. On top of
+/// that, a driver co-scheduling many items (LabelingService::SubmitBatch
+/// workers) calls Prefetch() between event rounds to coalesce all stale
+/// slots into ONE batched forward pass — one prediction per round instead of
+/// one per item. Slots left stale still fall back to the scalar path, so
+/// Prefetch is an optimization, never a correctness requirement.
+///
+/// Not thread-safe: one plane per worker, like the predictor it wraps.
+class DecisionPlane {
+ public:
+  explicit DecisionPlane(ModelValuePredictor* predictor);
+
+  /// One item's cached view of the predictor.
+  class Slot {
+   public:
+    /// Q values for `state`; served from cache when fresh, recomputed with a
+    /// scalar forward pass otherwise.
+    const std::vector<double>& Values(const LabelingState& state);
+
+    /// True when the cache already matches `state` (no forward pass
+    /// needed). Keyed on the number of set labels, not executions: the
+    /// Q-net's input is the label bit-vector alone, so an execution that
+    /// emitted nothing fresh cannot change any predicted value — a large
+    /// fraction of per-event recomputes skip entirely.
+    bool Fresh(const LabelingState& state) const {
+      return labels_at_ == state.num_labels_set();
+    }
+
+   private:
+    friend class DecisionPlane;
+    explicit Slot(DecisionPlane* plane) : plane_(plane) {}
+
+    DecisionPlane* plane_;
+    std::vector<double> q_;
+    int labels_at_ = -1;  // num_labels_set() the cache was computed at
+  };
+
+  /// A (slot, state) pair eligible for batched refresh.
+  using SlotView = std::pair<Slot*, const LabelingState*>;
+
+  /// Creates a slot owned by the plane (pointer stays valid for the plane's
+  /// lifetime).
+  Slot* NewSlot();
+
+  /// Refreshes every stale slot among `views` with one batched forward pass
+  /// (fresh slots are skipped; an all-fresh call costs nothing). Rows are
+  /// bitwise identical to the scalar path for batch-capable predictors.
+  void Prefetch(const std::vector<SlotView>& views);
+
+  ModelValuePredictor* predictor() const { return predictor_; }
+
+  /// Forward passes issued so far, for tests and perf accounting.
+  long scalar_predictions() const { return scalar_predictions_; }
+  long batched_predictions() const { return batched_predictions_; }
+  long batched_rows() const { return batched_rows_; }
+
+ private:
+  ModelValuePredictor* predictor_;
+  std::deque<Slot> slots_;  // deque: slot pointers must stay stable
+  // Prefetch scratch, reused across rounds to avoid per-round allocations.
+  std::vector<SlotView> stale_;
+  std::vector<const std::vector<float>*> features_;  // deduplicated rows
+  std::vector<int> row_labels_;  // num_labels_set per deduplicated row
+  std::vector<size_t> row_of_;   // stale slot index -> row in features_
+  long scalar_predictions_ = 0;
+  long batched_predictions_ = 0;
+  long batched_rows_ = 0;
+};
+
+}  // namespace ams::core
+
+#endif  // AMS_CORE_DECISION_PLANE_H_

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <future>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "core/value.h"
@@ -47,6 +49,78 @@ class PolicyWithPredictor : public sched::SchedulingPolicy {
 
 }  // namespace
 
+/// Memoized replay contexts keyed by stored item id. Shared by every worker
+/// of the session: the contexts themselves are thread-safe, the map is
+/// guarded here.
+struct LabelingService::ReplayCacheState {
+  std::mutex mu;
+  std::unordered_map<int, std::unique_ptr<CachedReplayExecutionContext>> items;
+
+  const CachedReplayExecutionContext* GetOrCreate(const data::Oracle* oracle,
+                                                  int item) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::unique_ptr<CachedReplayExecutionContext>& slot = items[item];
+    if (slot == nullptr) {
+      slot = std::make_unique<CachedReplayExecutionContext>(oracle, item);
+    }
+    return slot.get();
+  }
+};
+
+/// Per-worker predictor clones, created on first use and reused for the
+/// session's lifetime. Cloning an rl::Agent round-trips every weight
+/// through the checkpoint format (milliseconds); paying that once per
+/// worker instead of once per batch is what lets short batches scale.
+/// Every acquisition re-syncs the clone from the live source (raw weight
+/// copy, or a fresh clone when the predictor cannot sync), so a predictor
+/// mutated between batches — a training loop, a checkpoint reload — is
+/// always picked up, exactly as if the clone were rebuilt per batch.
+struct LabelingService::PredictorPool {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ModelValuePredictor>> clones;  // by worker
+
+  /// Returns the worker's up-to-date clone, or nullptr when the predictor
+  /// does not support cloning (the caller then shares the original, which
+  /// must be thread-safe — same contract as before the pool existed).
+  ModelValuePredictor* GetOrCreate(int worker,
+                                   ModelValuePredictor* predictor) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (static_cast<size_t>(worker) >= clones.size()) {
+      clones.resize(static_cast<size_t>(worker) + 1);
+    }
+    std::unique_ptr<ModelValuePredictor>& slot =
+        clones[static_cast<size_t>(worker)];
+    if (slot == nullptr || !slot->SyncWeightsFrom(predictor)) {
+      slot = predictor->ClonePredictor();
+    }
+    return slot.get();
+  }
+};
+
+/// One item's prepared kernel run. Heap-allocated and never moved, so the
+/// hook lambdas can capture raw pointers to `acc` and `adapter`.
+struct LabelingService::ItemRun {
+  std::unique_ptr<ExecutionContext> owned_exec;
+  const ExecutionContext* exec = nullptr;
+  std::optional<ValueAccumulator> acc;
+  std::unique_ptr<sched::PolicyAdapter> adapter;
+  ModelPicker picker;
+  KernelHooks hooks;
+  /// True when the recall target was met before any execution (e.g. an item
+  /// with no valuable labels): nothing to schedule, `outcome` is final.
+  bool skipped = false;
+  LabelOutcome outcome;
+};
+
+LabelingService::LabelingService(Config config) : config_(std::move(config)) {
+  if (config_.cache_replay) {
+    replay_cache_ = std::make_shared<ReplayCacheState>();
+  }
+  if (config_.predictor != nullptr) {
+    predictor_pool_ = std::make_shared<PredictorPool>();
+  }
+}
+
 LabelingService::DecisionState LabelingService::MakeDecisionState(
     bool clone_predictor, int worker_index) const {
   DecisionState state;
@@ -55,41 +129,48 @@ LabelingService::DecisionState LabelingService::MakeDecisionState(
     AMS_CHECK(state.policy != nullptr, "policy factory returned null");
   }
   if (config_.predictor != nullptr) {
+    ModelValuePredictor* clone = nullptr;
     if (clone_predictor) {
-      state.predictor_clone = config_.predictor->ClonePredictor();
+      // Clones live in the session pool, created once per worker and reused
+      // across batches.
+      clone = predictor_pool_->GetOrCreate(worker_index, config_.predictor);
     }
     // Predictors that cannot clone are shared; they must be thread-safe
     // (documented on ModelValuePredictor::ClonePredictor).
-    state.predictor = state.predictor_clone != nullptr
-                          ? state.predictor_clone.get()
-                          : config_.predictor;
+    state.predictor = clone != nullptr ? clone : config_.predictor;
   }
   return state;
 }
 
-LabelOutcome LabelingService::RunOne(const WorkItem& item,
-                                     DecisionState* state,
-                                     uint64_t stream_id) const {
+std::unique_ptr<LabelingService::ItemRun> LabelingService::PrepareItem(
+    const WorkItem& item, DecisionState* state, uint64_t stream_id,
+    DecisionPlane::Slot* slot) const {
   const bool stored = item.item >= 0;
   AMS_CHECK(stored || item.scene != nullptr,
             "WorkItem needs a scene or a stored item id");
   AMS_CHECK(!stored || config_.oracle != nullptr,
             "stored items need an oracle-backed session (WithOracle)");
 
-  std::unique_ptr<ExecutionContext> exec;
+  auto run = std::make_unique<ItemRun>();
   if (stored) {
-    exec = std::make_unique<ReplayExecutionContext>(config_.oracle, item.item);
+    if (replay_cache_ != nullptr) {
+      run->exec = replay_cache_->GetOrCreate(config_.oracle, item.item);
+    } else {
+      run->owned_exec =
+          std::make_unique<ReplayExecutionContext>(config_.oracle, item.item);
+      run->exec = run->owned_exec.get();
+    }
+    run->acc.emplace(config_.oracle, item.item);
   } else {
-    exec = std::make_unique<LiveExecutionContext>(config_.zoo, item.scene);
+    run->owned_exec =
+        std::make_unique<LiveExecutionContext>(config_.zoo, item.scene);
+    run->exec = run->owned_exec.get();
   }
-  std::optional<ValueAccumulator> acc;
-  if (stored) acc.emplace(config_.oracle, item.item);
 
-  std::unique_ptr<sched::PolicyAdapter> adapter;
-  ModelPicker picker;
   switch (config_.mode) {
     case ExecutionMode::kGreedy:
-      picker = MakeGreedyPicker(state->predictor);
+      run->picker = slot != nullptr ? MakeGreedyPicker(slot)
+                                    : MakeGreedyPicker(state->predictor);
       break;
     case ExecutionMode::kSerial:
       if (state->policy != nullptr) {
@@ -98,46 +179,123 @@ LabelOutcome LabelingService::RunOne(const WorkItem& item,
         ctx.zoo = config_.zoo;
         ctx.item = item.item;
         ctx.chunk_id = item.chunk_id;
-        adapter =
+        run->adapter =
             std::make_unique<sched::PolicyAdapter>(state->policy.get(), ctx);
-        picker = adapter->Picker();
+        run->picker = run->adapter->Picker();
       } else {
-        picker = MakeDeadlinePicker(state->predictor);
+        run->picker = slot != nullptr ? MakeDeadlinePicker(slot)
+                                      : MakeDeadlinePicker(state->predictor);
       }
       break;
     case ExecutionMode::kParallel:
-      picker = MakeDeadlineMemoryPicker(state->predictor);
+      run->picker = slot != nullptr
+                        ? MakeDeadlineMemoryPicker(slot)
+                        : MakeDeadlineMemoryPicker(state->predictor);
       break;
     case ExecutionMode::kParallelRandom:
-      picker = MakeRandomPackingPicker(
+      run->picker = MakeRandomPackingPicker(
           util::HashCombine(config_.seed, 0x9A7Au + stream_id));
       break;
   }
 
-  const auto target_reached = [&] {
-    return acc.has_value() &&
-           RecallTargetReached(*acc, config_.recall_target);
-  };
-  LabelOutcome outcome;
   // Items whose target is met before any execution (e.g. no valuable labels
   // at all) schedule nothing.
-  if (target_reached()) {
-    outcome.recall = acc->Recall();
-    return outcome;
+  ValueAccumulator* acc = run->acc.has_value() ? &*run->acc : nullptr;
+  const double target = config_.recall_target;
+  if (acc != nullptr && RecallTargetReached(*acc, target)) {
+    run->outcome.recall = acc->Recall();
+    run->skipped = true;
+    return run;
   }
-  KernelHooks hooks;
-  if (acc.has_value() || adapter != nullptr) {
-    hooks.on_executed = [&](const ExecutionRecord& record,
-                            const LabelingState&) {
-      if (acc.has_value()) acc->AddModel(record.model_id);
+  sched::PolicyAdapter* adapter = run->adapter.get();
+  if (acc != nullptr || adapter != nullptr) {
+    run->hooks.on_executed = [acc, adapter, target](
+                                 const ExecutionRecord& record,
+                                 const LabelingState&) {
+      if (acc != nullptr) acc->AddModel(record.model_id);
       if (adapter != nullptr) adapter->NotifyExecuted(record);
-      return target_reached();
+      return acc != nullptr && RecallTargetReached(*acc, target);
     };
   }
-  outcome.schedule =
-      RunScheduleKernel(*exec, config_.constraints, picker, hooks);
-  if (acc.has_value()) outcome.recall = acc->Recall();
-  return outcome;
+  return run;
+}
+
+LabelOutcome LabelingService::RunOne(const WorkItem& item,
+                                     DecisionState* state,
+                                     uint64_t stream_id) const {
+  std::unique_ptr<ItemRun> run =
+      PrepareItem(item, state, stream_id, /*slot=*/nullptr);
+  if (run->skipped) return std::move(run->outcome);
+  run->outcome.schedule = RunScheduleKernel(
+      *run->exec, config_.constraints, run->picker, run->hooks,
+      config_.kernel_mode);
+  if (run->acc.has_value()) run->outcome.recall = run->acc->Recall();
+  return std::move(run->outcome);
+}
+
+void LabelingService::RunCoScheduled(
+    const std::vector<const WorkItem*>& items,
+    const std::vector<uint64_t>& stream_ids,
+    const std::vector<LabelOutcome*>& outcomes, DecisionState* state) const {
+  const size_t n = items.size();
+  AMS_CHECK(stream_ids.size() == n && outcomes.size() == n);
+  AMS_CHECK(state->predictor != nullptr,
+            "co-scheduling batches predictor Q-queries");
+
+  // Items co-scheduled at once. Large enough to amortize a forward pass,
+  // small enough that the wave's kernel state (features, accumulators,
+  // running sets) stays cache-resident — co-scheduling a worker's entire
+  // block measurably thrashes once hundreds of items cycle per round.
+  constexpr size_t kWaveSize = 16;
+
+  DecisionPlane plane(state->predictor);
+  std::vector<DecisionPlane::SlotView> views;
+  for (size_t wave_begin = 0; wave_begin < n; wave_begin += kWaveSize) {
+    const size_t wave = std::min(kWaveSize, n - wave_begin);
+    std::vector<std::unique_ptr<ItemRun>> runs(wave);
+    std::vector<DecisionPlane::Slot*> slots(wave);
+    std::vector<std::unique_ptr<ScheduleKernel>> kernels(wave);
+    for (size_t i = 0; i < wave; ++i) {
+      const size_t k = wave_begin + i;
+      slots[i] = plane.NewSlot();
+      runs[i] = PrepareItem(*items[k], state, stream_ids[k], slots[i]);
+      if (runs[i]->skipped) {
+        *outcomes[k] = std::move(runs[i]->outcome);
+        continue;
+      }
+      kernels[i] = std::make_unique<ScheduleKernel>(
+          runs[i]->exec, config_.constraints, runs[i]->picker, runs[i]->hooks,
+          config_.kernel_mode);
+    }
+
+    // Event-round lockstep: refresh every picking kernel's Q-slot with ONE
+    // batched forward pass, then advance each live kernel past one finish
+    // event. Items are independent, so the interleaving cannot change any
+    // outcome — only how many forward passes the round costs.
+    for (bool any_live = true; any_live;) {
+      views.clear();
+      for (size_t i = 0; i < wave; ++i) {
+        if (kernels[i] != nullptr && kernels[i]->picking()) {
+          views.push_back({slots[i], &kernels[i]->state()});
+        }
+      }
+      plane.Prefetch(views);
+      any_live = false;
+      for (size_t i = 0; i < wave; ++i) {
+        if (kernels[i] == nullptr) continue;
+        if (kernels[i]->Step()) {
+          any_live = true;
+        } else {
+          runs[i]->outcome.schedule = kernels[i]->TakeResult();
+          if (runs[i]->acc.has_value()) {
+            runs[i]->outcome.recall = runs[i]->acc->Recall();
+          }
+          *outcomes[wave_begin + i] = std::move(runs[i]->outcome);
+          kernels[i].reset();
+        }
+      }
+    }
+  }
 }
 
 LabelOutcome LabelingService::Submit(const WorkItem& item) {
@@ -223,15 +381,30 @@ std::vector<LabelOutcome> LabelingService::SubmitBatch(
                              int worker_index) {
     DecisionState state =
         MakeDecisionState(/*clone_predictor=*/true, worker_index);
+    // Policies are stateful across a worker's items (chunk-adaptive
+    // history), so only predictor-driven sessions may co-schedule.
+    const bool coalesce = config_.batch_predictions &&
+                          state.predictor != nullptr &&
+                          state.policy == nullptr;
+    std::vector<const WorkItem*> block_items;
+    std::vector<uint64_t> stream_ids;
+    std::vector<LabelOutcome*> outcomes;
     for (size_t gi = block.first; gi < block.second; ++gi) {
       for (int k : groups[gi]) {
         const WorkItem& item = items[static_cast<size_t>(k)];
         const uint64_t stream_id =
             item.item >= 0 ? static_cast<uint64_t>(item.item)
                            : live_base + static_cast<uint64_t>(k);
-        results[static_cast<size_t>(k)] = RunOne(item, &state, stream_id);
+        if (coalesce) {
+          block_items.push_back(&item);
+          stream_ids.push_back(stream_id);
+          outcomes.push_back(&results[static_cast<size_t>(k)]);
+        } else {
+          results[static_cast<size_t>(k)] = RunOne(item, &state, stream_id);
+        }
       }
     }
+    if (coalesce) RunCoScheduled(block_items, stream_ids, outcomes, &state);
   };
 
   if (blocks.size() == 1) {
@@ -315,6 +488,23 @@ LabelingServiceBuilder& LabelingServiceBuilder::WithConstraints(
 
 LabelingServiceBuilder& LabelingServiceBuilder::WithMode(ExecutionMode mode) {
   config_.mode = mode;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithKernelMode(
+    KernelMode mode) {
+  config_.kernel_mode = mode;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithBatchedPrediction(
+    bool batch) {
+  config_.batch_predictions = batch;
+  return *this;
+}
+
+LabelingServiceBuilder& LabelingServiceBuilder::WithReplayCache(bool cache) {
+  config_.cache_replay = cache;
   return *this;
 }
 
@@ -412,6 +602,15 @@ LabelingService LabelingServiceBuilder::Build() const {
   if (config.recall_target >= 0.0) {
     AMS_CHECK(config.oracle != nullptr,
               "recall targets need stored ground truth (WithOracle)");
+  }
+  if (config.batch_predictions) {
+    AMS_CHECK(config.predictor != nullptr,
+              "batched prediction coalesces predictor Q-queries; configure "
+              "WithPredictor");
+  }
+  if (config.cache_replay) {
+    AMS_CHECK(config.oracle != nullptr,
+              "replay caching memoizes stored outputs; configure WithOracle");
   }
   if (config.workers <= 0) {
     config.workers = util::ThreadPool::DefaultThreads();

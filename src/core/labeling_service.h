@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/decision_plane.h"
 #include "core/predictor.h"
 #include "core/schedule_kernel.h"
 #include "data/oracle.h"
@@ -68,9 +69,19 @@ struct LabelOutcome {
 /// Threading model: Submit() runs inline and keeps one session-level policy
 /// instance, so chunked-stream policies accumulate knowledge across
 /// consecutive submissions. SubmitBatch()/Run() fan out over a
-/// util::ThreadPool with fresh per-worker policy/predictor instances and a
+/// util::ThreadPool with per-worker policy/predictor instances and a
 /// deterministic partition (whole chunks never split across workers), so
-/// results are reproducible for a fixed seed and worker count.
+/// results are reproducible for a fixed seed and worker count. A session
+/// parallelizes internally but is not itself thread-safe: issue
+/// Submit/SubmitBatch/Run calls one at a time (the live-item sequence and
+/// the pooled per-worker predictor clones are shared session state).
+///
+/// Execution plane knobs (see the builder): WithKernelMode(kLean) skips
+/// result materialization for recall-only paths, WithBatchedPrediction(true)
+/// lets each SubmitBatch/Run worker co-schedule its items and coalesce their
+/// Q-queries into one batched forward pass per event round, and
+/// WithReplayCache(true) shares memoized per-item replay contexts across
+/// workers and batches. None of the knobs changes any outcome — only cost.
 class LabelingService {
  public:
   using Sink = std::function<void(const WorkItem&, const LabelOutcome&)>;
@@ -98,6 +109,9 @@ class LabelingService {
   const zoo::ModelZoo& zoo() const { return *config_.zoo; }
   const data::Oracle* oracle() const { return config_.oracle; }
   ExecutionMode mode() const { return config_.mode; }
+  KernelMode kernel_mode() const { return config_.kernel_mode; }
+  bool batched_prediction() const { return config_.batch_predictions; }
+  bool replay_cache_enabled() const { return replay_cache_ != nullptr; }
   const ScheduleConstraints& constraints() const {
     return config_.constraints;
   }
@@ -128,22 +142,44 @@ class LabelingService {
     std::string policy_name;
     ScheduleConstraints constraints;
     ExecutionMode mode = ExecutionMode::kGreedy;
+    KernelMode kernel_mode = KernelMode::kFull;
+    bool batch_predictions = false;
+    bool cache_replay = false;
     int workers = 0;  // <= 0: resolved to hardware concurrency in Build()
     uint64_t seed = 1;
     double recall_target = -1.0;
   };
 
-  explicit LabelingService(Config config) : config_(std::move(config)) {}
+  explicit LabelingService(Config config);
 
   // One worker's decision-making state (policies and rl agents are stateful
-  // and must not be shared across threads).
+  // and must not be shared across threads). Predictor clones are owned by
+  // the session's PredictorPool, keyed by worker index.
   struct DecisionState {
-    std::unique_ptr<ModelValuePredictor> predictor_clone;
     ModelValuePredictor* predictor = nullptr;
     std::unique_ptr<sched::SchedulingPolicy> policy;
   };
   DecisionState MakeDecisionState(bool clone_predictor,
                                   int worker_index) const;
+
+  /// Everything one item's kernel run needs, heap-allocated so the hooks'
+  /// captured pointers stay stable (defined in the .cc).
+  struct ItemRun;
+  /// Session-level memoized replay contexts, shared across workers (defined
+  /// in the .cc).
+  struct ReplayCacheState;
+  /// Session-level per-worker predictor clones, reused across SubmitBatch
+  /// calls — cloning a Q-net serializes megabytes of weights, far too
+  /// expensive to repeat per batch (defined in the .cc).
+  struct PredictorPool;
+
+  /// Builds the execution context, picker and hooks for one item. `slot`
+  /// routes the picker's Q-queries through a shared DecisionPlane (batched
+  /// co-scheduling); null keeps a private scalar path.
+  std::unique_ptr<ItemRun> PrepareItem(const WorkItem& item,
+                                       DecisionState* state,
+                                       uint64_t stream_id,
+                                       DecisionPlane::Slot* slot) const;
 
   /// Labels one item with the given decision state. `stream_id` seeds the
   /// random-packing mode (the stored item id, or the submission sequence
@@ -151,7 +187,20 @@ class LabelingService {
   LabelOutcome RunOne(const WorkItem& item, DecisionState* state,
                       uint64_t stream_id) const;
 
+  /// Co-schedules one worker's items: steps every kernel in rounds and
+  /// refreshes a shared DecisionPlane between rounds, so each event round
+  /// costs one batched forward pass instead of one pass per item.
+  void RunCoScheduled(const std::vector<const WorkItem*>& items,
+                      const std::vector<uint64_t>& stream_ids,
+                      const std::vector<LabelOutcome*>& outcomes,
+                      DecisionState* state) const;
+
   Config config_;
+  /// Present iff the session caches replay contexts (Config::cache_replay);
+  /// shared_ptr so the service stays movable with an incomplete type.
+  std::shared_ptr<ReplayCacheState> replay_cache_;
+  /// Present iff the session has a clonable predictor.
+  std::shared_ptr<PredictorPool> predictor_pool_;
 
   // Session-level state for sequential Submit().
   DecisionState session_state_;
@@ -192,6 +241,19 @@ class LabelingServiceBuilder {
 
   LabelingServiceBuilder& WithConstraints(const ScheduleConstraints& c);
   LabelingServiceBuilder& WithMode(ExecutionMode mode);
+  /// KernelMode::kLean skips per-execution output copies and the
+  /// recalled-label map: LabelOutcome keeps makespan, value, execution count
+  /// and recall but `schedule.executions`/`recalled_labels` stay empty. The
+  /// offline recall-only paths (deadline/memory sweeps) run lean.
+  LabelingServiceBuilder& WithKernelMode(KernelMode mode);
+  /// Coalesces the Q-queries of each SubmitBatch/Run worker's items into one
+  /// batched forward pass per event round (predictor-driven sessions only;
+  /// outcomes are bitwise identical to the scalar path).
+  LabelingServiceBuilder& WithBatchedPrediction(bool batch);
+  /// Memoizes per-item replay contexts for the session's lifetime, shared
+  /// across workers and batches: each (item, model) execution is fetched
+  /// once and served by reference thereafter. Needs WithOracle.
+  LabelingServiceBuilder& WithReplayCache(bool cache);
   /// Worker threads for SubmitBatch/Run; <= 0 means hardware concurrency.
   LabelingServiceBuilder& WithWorkers(int workers);
   LabelingServiceBuilder& WithSeed(uint64_t seed);

@@ -20,23 +20,30 @@ void LabelingState::Reset() {
 
 std::vector<zoo::LabelOutput> LabelingState::Apply(
     int model_id, const std::vector<zoo::LabelOutput>& outputs) {
+  std::vector<zoo::LabelOutput> fresh;
+  ApplyInto(model_id, outputs, &fresh);
+  return fresh;
+}
+
+void LabelingState::ApplyInto(int model_id,
+                              const std::vector<zoo::LabelOutput>& outputs,
+                              std::vector<zoo::LabelOutput>* fresh) {
   AMS_CHECK(model_id >= 0 && model_id < num_models());
   AMS_CHECK(!executed_[static_cast<size_t>(model_id)],
             "model executed twice on one item");
   executed_[static_cast<size_t>(model_id)] = true;
   order_.push_back(model_id);
   ++num_executed_;
-  std::vector<zoo::LabelOutput> fresh;
+  if (fresh != nullptr) fresh->clear();
   for (const auto& out : outputs) {
     if (out.confidence < zoo::kValuableConfidence) continue;
     float& bit = labels_[static_cast<size_t>(out.label_id)];
     if (bit == 0.0f) {
       bit = 1.0f;
       ++num_labels_set_;
-      fresh.push_back(out);
+      if (fresh != nullptr) fresh->push_back(out);
     }
   }
-  return fresh;
 }
 
 }  // namespace ams::core

@@ -28,6 +28,12 @@ class LabelingState {
   std::vector<zoo::LabelOutput> Apply(int model_id,
                                       const std::vector<zoo::LabelOutput>& outputs);
 
+  /// Allocation-free form of Apply for hot loops: clears `*fresh` and fills
+  /// it with O'(m, d), reusing its capacity. `fresh` may be null when the
+  /// caller only needs the state transition.
+  void ApplyInto(int model_id, const std::vector<zoo::LabelOutput>& outputs,
+                 std::vector<zoo::LabelOutput>* fresh);
+
   bool label_set(int label_id) const {
     return labels_[static_cast<size_t>(label_id)] != 0.0f;
   }

@@ -43,6 +43,24 @@ class ModelValuePredictor {
   virtual std::vector<double> PredictValues(
       const std::vector<float>& state_features) = 0;
 
+  /// Predicted action values for a batch of states: returns one row of
+  /// `num_actions()` values per input state, in input order. States are
+  /// passed by pointer so callers batching live per-item feature vectors do
+  /// not copy them just to build the argument.
+  ///
+  /// The default loops the scalar path; implementations backed by a batched
+  /// forward pass (rl::Agent) override it with a single pass whose rows are
+  /// bitwise identical to the scalar results.
+  virtual std::vector<std::vector<double>> PredictValuesBatch(
+      const std::vector<const std::vector<float>*>& states) {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(states.size());
+    for (const std::vector<float>* state : states) {
+      rows.push_back(PredictValues(*state));
+    }
+    return rows;
+  }
+
   virtual int num_actions() const = 0;
 
   /// Independent copy for concurrent use, or nullptr when the predictor
@@ -51,6 +69,16 @@ class ModelValuePredictor {
   /// returning nullptr are shared across workers and must be thread-safe.
   virtual std::unique_ptr<ModelValuePredictor> ClonePredictor() const {
     return nullptr;
+  }
+
+  /// Updates this predictor's parameters in place from `source` (a
+  /// same-architecture original this one was cloned from). Lets clone pools
+  /// track a live source cheaply — rl::Agent copies raw weights instead of
+  /// re-cloning through the checkpoint format. Returns false when
+  /// unsupported; callers then rebuild the clone to pick up changes.
+  virtual bool SyncWeightsFrom(ModelValuePredictor* source) {
+    (void)source;
+    return false;
   }
 };
 

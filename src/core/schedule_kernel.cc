@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <memory>
 
 #include "core/reward.h"
@@ -10,63 +9,6 @@
 #include "util/rng.h"
 
 namespace ams::core {
-
-namespace {
-
-// Tracks the best-confidence union of valuable labels for f(S, d).
-class LiveValue {
- public:
-  double Add(const std::vector<zoo::LabelOutput>& outputs) {
-    double gain = 0.0;
-    for (const auto& out : outputs) {
-      if (out.confidence < zoo::kValuableConfidence) continue;
-      double& best = best_[out.label_id];
-      if (out.confidence > best) {
-        gain += out.confidence - best;
-        best = out.confidence;
-      }
-    }
-    value_ += gain;
-    return gain;
-  }
-
-  double value() const { return value_; }
-
-  std::vector<zoo::LabelOutput> RecalledLabels() const {
-    std::vector<zoo::LabelOutput> labels;
-    labels.reserve(best_.size());
-    for (const auto& [label, conf] : best_) labels.push_back({label, conf});
-    return labels;
-  }
-
- private:
-  std::map<int, double> best_;
-  double value_ = 0.0;
-};
-
-// Recomputes the predictor's Q values only when the labeling state changed
-// (it changes exactly at finish events), so a pick round costs one forward
-// pass no matter how many models it starts — same cost profile as the three
-// hand-written loops this kernel replaces.
-class CachedQ {
- public:
-  explicit CachedQ(ModelValuePredictor* predictor) : predictor_(predictor) {}
-
-  const std::vector<double>& Values(const LabelingState& state) {
-    if (state.num_executed() != executed_at_) {
-      q_ = predictor_->PredictValues(state.Features());
-      executed_at_ = state.num_executed();
-    }
-    return q_;
-  }
-
- private:
-  ModelValuePredictor* predictor_;
-  std::vector<double> q_;
-  int executed_at_ = -1;
-};
-
-}  // namespace
 
 void ScheduleConstraints::Validate() const {
   AMS_CHECK(!std::isnan(time_budget_s) && time_budget_s >= 0.0,
@@ -89,8 +31,10 @@ double LiveExecutionContext::RealizedTime(int model) const {
   return zoo_->SampleExecutionTime(model, *scene_);
 }
 
-std::vector<zoo::LabelOutput> LiveExecutionContext::Execute(int model) const {
-  return zoo_->Execute(model, *scene_);
+const std::vector<zoo::LabelOutput>& LiveExecutionContext::Execute(
+    int model) const {
+  last_outputs_ = zoo_->Execute(model, *scene_);
+  return last_outputs_;
 }
 
 ReplayExecutionContext::ReplayExecutionContext(const data::Oracle* oracle,
@@ -108,168 +52,325 @@ double ReplayExecutionContext::RealizedTime(int model) const {
   return oracle_->ExecutionTime(item_, model);
 }
 
-std::vector<zoo::LabelOutput> ReplayExecutionContext::Execute(
+const std::vector<zoo::LabelOutput>& ReplayExecutionContext::Execute(
     int model) const {
   return oracle_->Output(item_, model);
+}
+
+CachedReplayExecutionContext::CachedReplayExecutionContext(
+    const ExecutionContext* inner)
+    : inner_(inner) {
+  Init();
+}
+
+CachedReplayExecutionContext::CachedReplayExecutionContext(
+    std::unique_ptr<ExecutionContext> inner)
+    : owned_inner_(std::move(inner)), inner_(owned_inner_.get()) {
+  Init();
+}
+
+void CachedReplayExecutionContext::Init() {
+  AMS_CHECK(inner_ != nullptr);
+  num_entries_ = inner_->num_models();
+  entries_ = std::make_unique<Entry[]>(static_cast<size_t>(num_entries_));
+  planned_times_.reserve(static_cast<size_t>(num_entries_));
+  for (int m = 0; m < num_entries_; ++m) {
+    planned_times_.push_back(inner_->PlannedTime(m));
+  }
+}
+
+CachedReplayExecutionContext::CachedReplayExecutionContext(
+    const data::Oracle* oracle, int item)
+    : CachedReplayExecutionContext(
+          std::make_unique<ReplayExecutionContext>(oracle, item)) {}
+
+CachedReplayExecutionContext::Entry& CachedReplayExecutionContext::EntryFor(
+    int model) const {
+  AMS_CHECK(model >= 0 && model < num_entries_);
+  return entries_[static_cast<size_t>(model)];
+}
+
+double CachedReplayExecutionContext::PlannedTime(int model) const {
+  // Preloaded at construction: the feasibility loops of the pickers query
+  // planned times for every model every round.
+  return planned_times_[static_cast<size_t>(model)];
+}
+
+double CachedReplayExecutionContext::RealizedTime(int model) const {
+  Entry& entry = EntryFor(model);
+  if (!entry.time_ready.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!entry.time_ready.load(std::memory_order_relaxed)) {
+      entry.realized_time = inner_->RealizedTime(model);
+      entry.time_ready.store(true, std::memory_order_release);
+    }
+  }
+  return entry.realized_time;
+}
+
+const std::vector<zoo::LabelOutput>& CachedReplayExecutionContext::Execute(
+    int model) const {
+  Entry& entry = EntryFor(model);
+  if (!entry.outputs_ready.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!entry.outputs_ready.load(std::memory_order_relaxed)) {
+      // Stable-storage contexts (replay, nested caches) are served by
+      // reference; anything that may recycle its buffer is copied once.
+      if (inner_->StableOutputs()) {
+        entry.outputs = &inner_->Execute(model);
+      } else {
+        entry.owned_outputs = inner_->Execute(model);
+        entry.outputs = &entry.owned_outputs;
+      }
+      entry.outputs_ready.store(true, std::memory_order_release);
+    }
+  }
+  return *entry.outputs;
+}
+
+ScheduleKernel::ScheduleKernel(const ExecutionContext* exec,
+                               const ScheduleConstraints& constraints,
+                               ModelPicker picker, KernelHooks hooks,
+                               KernelMode mode)
+    : exec_(exec),
+      constraints_(constraints),
+      picker_(std::move(picker)),
+      hooks_(std::move(hooks)),
+      mode_(mode),
+      state_(exec->zoo().labels().total_labels(), exec->num_models()),
+      started_(static_cast<size_t>(exec->num_models()), false),
+      mem_free_(constraints.memory_budget_mb) {
+  constraints_.Validate();
+  AMS_CHECK(picker_ != nullptr);
+}
+
+void ScheduleKernel::StartModels() {
+  while (!stopped_) {
+    PickContext pick;
+    pick.exec = exec_;
+    pick.state = &state_;
+    pick.started = &started_;
+    pick.now = now_;
+    pick.deadline = constraints_.time_budget_s;
+    pick.mem_free = mem_free_;
+    pick.idle = running_.empty();
+    const int m = picker_(pick);
+    if (m < 0) break;
+    AMS_CHECK(m < exec_->num_models() && !started_[static_cast<size_t>(m)],
+              "picker returned an already-started model");
+    started_[static_cast<size_t>(m)] = true;
+    const double mem = exec_->model(m).mem_mb;
+    running_.push_back({m, now_, now_ + exec_->RealizedTime(m), mem});
+    mem_free_ -= mem;
+    mem_used_ += mem;
+    result_.peak_mem_mb = std::max(result_.peak_mem_mb, mem_used_);
+  }
+}
+
+bool ScheduleKernel::Step() {
+  if (done_) return false;
+
+  // (a) Start everything the picker wants at this instant.
+  StartModels();
+  if (running_.empty()) {
+    done_ = true;
+    return false;
+  }
+
+  // (b) Advance to the earliest finish event and apply its outputs.
+  size_t next = 0;
+  for (size_t i = 1; i < running_.size(); ++i) {
+    if (running_[i].finish_s < running_[next].finish_s) next = i;
+  }
+  const Running done_run = running_[next];
+  running_.erase(running_.begin() + static_cast<long>(next));
+  now_ = done_run.finish_s;
+  mem_free_ += done_run.mem_mb;
+  mem_used_ -= done_run.mem_mb;
+
+  const std::vector<zoo::LabelOutput>& outputs =
+      exec_->Execute(done_run.model_id);
+
+  // f(S, d): credit each valuable label with its best confidence so far.
+  for (const auto& out : outputs) {
+    if (out.confidence < zoo::kValuableConfidence) continue;
+    double& best = best_conf_[out.label_id];
+    if (out.confidence > best) {
+      result_.value += out.confidence - best;
+      best = out.confidence;
+    }
+  }
+  result_.makespan_s = std::max(result_.makespan_s, done_run.finish_s);
+  ++result_.num_executions;
+
+  const ExecutionRecord* record = nullptr;
+  if (mode_ == KernelMode::kFull) {
+    ExecutionRecord full;
+    full.model_id = done_run.model_id;
+    full.start_s = done_run.start_s;
+    full.finish_s = done_run.finish_s;
+    full.outputs = outputs;
+    full.fresh = state_.Apply(done_run.model_id, outputs);
+    full.reward = ModelReward(full.fresh, exec_->model(done_run.model_id).theta);
+    result_.executions.push_back(std::move(full));
+    record = &result_.executions.back();
+  } else {
+    // Lean: reuse one scratch record — no output copies, no reward, no
+    // per-event allocations once the fresh buffer has grown.
+    scratch_record_.model_id = done_run.model_id;
+    scratch_record_.start_s = done_run.start_s;
+    scratch_record_.finish_s = done_run.finish_s;
+    state_.ApplyInto(done_run.model_id, outputs, &scratch_record_.fresh);
+    record = &scratch_record_;
+  }
+
+  if (hooks_.on_executed && hooks_.on_executed(*record, state_)) {
+    stopped_ = true;
+  }
+  if (now_ >= constraints_.time_budget_s) stopped_ = true;
+
+  if (running_.empty() && stopped_) done_ = true;
+  return !done_;
+}
+
+ScheduleResult ScheduleKernel::TakeResult() {
+  AMS_CHECK(done_, "TakeResult before the schedule completed");
+  AMS_CHECK(!result_taken_, "TakeResult called twice");
+  result_taken_ = true;
+  if (mode_ == KernelMode::kFull) {
+    result_.recalled_labels.reserve(best_conf_.size());
+    for (const auto& [label, conf] : best_conf_) {
+      result_.recalled_labels.push_back({label, conf});
+    }
+  }
+  return std::move(result_);
 }
 
 ScheduleResult RunScheduleKernel(const ExecutionContext& exec,
                                  const ScheduleConstraints& constraints,
                                  const ModelPicker& picker,
-                                 const KernelHooks& hooks) {
-  constraints.Validate();
-  AMS_CHECK(picker != nullptr);
-
-  const int num_models = exec.num_models();
-  LabelingState state(exec.zoo().labels().total_labels(), num_models);
-  LiveValue value;
-  ScheduleResult result;
-
-  struct Running {
-    int model_id;
-    double start_s;
-    double finish_s;
-    double mem_mb;
-  };
-  std::vector<Running> running;
-  std::vector<bool> started(static_cast<size_t>(num_models), false);
-  const double deadline = constraints.time_budget_s;
-  double mem_free = constraints.memory_budget_mb;
-  double mem_used = 0.0;
-  double now = 0.0;
-  bool stopped = false;
-
-  for (;;) {
-    // (a) Start everything the picker wants at this instant.
-    while (!stopped) {
-      PickContext pick;
-      pick.exec = &exec;
-      pick.state = &state;
-      pick.started = &started;
-      pick.now = now;
-      pick.deadline = deadline;
-      pick.mem_free = mem_free;
-      pick.idle = running.empty();
-      const int m = picker(pick);
-      if (m < 0) break;
-      AMS_CHECK(m < num_models && !started[static_cast<size_t>(m)],
-                "picker returned an already-started model");
-      started[static_cast<size_t>(m)] = true;
-      const double mem = exec.model(m).mem_mb;
-      running.push_back({m, now, now + exec.RealizedTime(m), mem});
-      mem_free -= mem;
-      mem_used += mem;
-      result.peak_mem_mb = std::max(result.peak_mem_mb, mem_used);
-    }
-    if (running.empty()) break;
-
-    // (b) Advance to the earliest finish event and apply its outputs.
-    size_t next = 0;
-    for (size_t i = 1; i < running.size(); ++i) {
-      if (running[i].finish_s < running[next].finish_s) next = i;
-    }
-    const Running done = running[next];
-    running.erase(running.begin() + static_cast<long>(next));
-    now = done.finish_s;
-    mem_free += done.mem_mb;
-    mem_used -= done.mem_mb;
-
-    ExecutionRecord record;
-    record.model_id = done.model_id;
-    record.start_s = done.start_s;
-    record.finish_s = done.finish_s;
-    record.outputs = exec.Execute(done.model_id);
-    record.fresh = state.Apply(done.model_id, record.outputs);
-    record.reward =
-        ModelReward(record.fresh, exec.model(done.model_id).theta);
-    value.Add(record.outputs);
-    result.makespan_s = std::max(result.makespan_s, record.finish_s);
-    result.executions.push_back(std::move(record));
-    if (hooks.on_executed &&
-        hooks.on_executed(result.executions.back(), state)) {
-      stopped = true;
-    }
-    if (now >= deadline) stopped = true;
+                                 const KernelHooks& hooks, KernelMode mode) {
+  ScheduleKernel kernel(&exec, constraints, picker, hooks, mode);
+  while (kernel.Step()) {
   }
-  result.value = value.value();
-  result.recalled_labels = value.RecalledLabels();
-  return result;
+  return kernel.TakeResult();
 }
+
+namespace {
+
+// Adapts the predictor-taking picker factories to the slot-based ones: each
+// legacy call site gets a private single-slot DecisionPlane, so its cost
+// profile stays one forward pass per event round, exactly as before.
+struct PrivateSlot {
+  explicit PrivateSlot(ModelValuePredictor* predictor)
+      : plane(predictor), slot(plane.NewSlot()) {}
+  DecisionPlane plane;
+  DecisionPlane::Slot* slot;
+};
+
+int GreedyPick(DecisionPlane::Slot* slot, const PickContext& pick) {
+  if (!pick.idle) return -1;
+  const std::vector<double>& q = slot->Values(*pick.state);
+  const int end_action = pick.exec->num_models();
+  int best = -1;
+  double best_q = q[static_cast<size_t>(end_action)];
+  for (int m = 0; m < pick.exec->num_models(); ++m) {
+    if ((*pick.started)[static_cast<size_t>(m)]) continue;
+    if (best == -1 || q[static_cast<size_t>(m)] > best_q) {
+      best = m;
+      best_q = q[static_cast<size_t>(m)];
+    }
+  }
+  // Stop when END outranks every remaining model.
+  if (best == -1 || q[static_cast<size_t>(end_action)] >= best_q) return -1;
+  return best;
+}
+
+int DeadlinePick(DecisionPlane::Slot* slot, const PickContext& pick) {
+  if (!pick.idle) return -1;
+  const std::vector<double>& q = slot->Values(*pick.state);
+  // Algorithm 1 lines 3-4: among models that still fit the budget, pick
+  // the one maximizing Q / time.
+  int best = -1;
+  double best_ratio = 0.0;
+  for (int m = 0; m < pick.exec->num_models(); ++m) {
+    if ((*pick.started)[static_cast<size_t>(m)]) continue;
+    const double planned = pick.exec->PlannedTime(m);
+    if (planned > pick.remaining_time()) continue;
+    const double ratio = SchedulingProfit(q[static_cast<size_t>(m)]) / planned;
+    if (best == -1 || ratio > best_ratio) {
+      best = m;
+      best_ratio = ratio;
+    }
+  }
+  return best;
+}
+
+int DeadlineMemoryPick(DecisionPlane::Slot* slot, const PickContext& pick) {
+  const std::vector<double>& q = slot->Values(*pick.state);
+  int best = -1;
+  double best_score = 0.0;
+  for (int m = 0; m < pick.exec->num_models(); ++m) {
+    if ((*pick.started)[static_cast<size_t>(m)]) continue;
+    const auto& spec = pick.exec->model(m);
+    if (spec.mem_mb > pick.mem_free) continue;
+    if (pick.now + pick.exec->PlannedTime(m) > pick.deadline) continue;
+    // Algorithm 2 line 4 (idle: anchor by Q / (time * mem)) or lines 7-12
+    // (fill remaining memory by Q / mem). Fills are bounded by the global
+    // deadline rather than the literal anchor window: taken literally the
+    // filter degenerates to near-serial execution whenever the
+    // value-density anchor is a short model.
+    const double profit = SchedulingProfit(q[static_cast<size_t>(m)]);
+    const double score = pick.idle ? profit / (spec.time_s * spec.mem_mb)
+                                   : profit / spec.mem_mb;
+    if (best == -1 || score > best_score) {
+      best = m;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 ModelPicker MakeGreedyPicker(ModelValuePredictor* predictor) {
   AMS_CHECK(predictor != nullptr);
-  auto cache = std::make_shared<CachedQ>(predictor);
-  return [cache](const PickContext& pick) -> int {
-    if (!pick.idle) return -1;
-    const std::vector<double>& q = cache->Values(*pick.state);
-    const int end_action = pick.exec->num_models();
-    int best = -1;
-    double best_q = q[static_cast<size_t>(end_action)];
-    for (int m = 0; m < pick.exec->num_models(); ++m) {
-      if ((*pick.started)[static_cast<size_t>(m)]) continue;
-      if (best == -1 || q[static_cast<size_t>(m)] > best_q) {
-        best = m;
-        best_q = q[static_cast<size_t>(m)];
-      }
-    }
-    // Stop when END outranks every remaining model.
-    if (best == -1 || q[static_cast<size_t>(end_action)] >= best_q) return -1;
-    return best;
+  auto owned = std::make_shared<PrivateSlot>(predictor);
+  return [owned](const PickContext& pick) {
+    return GreedyPick(owned->slot, pick);
   };
+}
+
+ModelPicker MakeGreedyPicker(DecisionPlane::Slot* slot) {
+  AMS_CHECK(slot != nullptr);
+  return [slot](const PickContext& pick) { return GreedyPick(slot, pick); };
 }
 
 ModelPicker MakeDeadlinePicker(ModelValuePredictor* predictor) {
   AMS_CHECK(predictor != nullptr);
-  auto cache = std::make_shared<CachedQ>(predictor);
-  return [cache](const PickContext& pick) -> int {
-    if (!pick.idle) return -1;
-    const std::vector<double>& q = cache->Values(*pick.state);
-    // Algorithm 1 lines 3-4: among models that still fit the budget, pick
-    // the one maximizing Q / time.
-    int best = -1;
-    double best_ratio = 0.0;
-    for (int m = 0; m < pick.exec->num_models(); ++m) {
-      if ((*pick.started)[static_cast<size_t>(m)]) continue;
-      const double planned = pick.exec->PlannedTime(m);
-      if (planned > pick.remaining_time()) continue;
-      const double ratio =
-          SchedulingProfit(q[static_cast<size_t>(m)]) / planned;
-      if (best == -1 || ratio > best_ratio) {
-        best = m;
-        best_ratio = ratio;
-      }
-    }
-    return best;
+  auto owned = std::make_shared<PrivateSlot>(predictor);
+  return [owned](const PickContext& pick) {
+    return DeadlinePick(owned->slot, pick);
   };
+}
+
+ModelPicker MakeDeadlinePicker(DecisionPlane::Slot* slot) {
+  AMS_CHECK(slot != nullptr);
+  return [slot](const PickContext& pick) { return DeadlinePick(slot, pick); };
 }
 
 ModelPicker MakeDeadlineMemoryPicker(ModelValuePredictor* predictor) {
   AMS_CHECK(predictor != nullptr);
-  auto cache = std::make_shared<CachedQ>(predictor);
-  return [cache](const PickContext& pick) -> int {
-    const std::vector<double>& q = cache->Values(*pick.state);
-    int best = -1;
-    double best_score = 0.0;
-    for (int m = 0; m < pick.exec->num_models(); ++m) {
-      if ((*pick.started)[static_cast<size_t>(m)]) continue;
-      const auto& spec = pick.exec->model(m);
-      if (spec.mem_mb > pick.mem_free) continue;
-      if (pick.now + pick.exec->PlannedTime(m) > pick.deadline) continue;
-      // Algorithm 2 line 4 (idle: anchor by Q / (time * mem)) or lines 7-12
-      // (fill remaining memory by Q / mem). Fills are bounded by the global
-      // deadline rather than the literal anchor window: taken literally the
-      // filter degenerates to near-serial execution whenever the
-      // value-density anchor is a short model.
-      const double profit = SchedulingProfit(q[static_cast<size_t>(m)]);
-      const double score =
-          pick.idle ? profit / (spec.time_s * spec.mem_mb)
-                    : profit / spec.mem_mb;
-      if (best == -1 || score > best_score) {
-        best = m;
-        best_score = score;
-      }
-    }
-    return best;
+  auto owned = std::make_shared<PrivateSlot>(predictor);
+  return [owned](const PickContext& pick) {
+    return DeadlineMemoryPick(owned->slot, pick);
+  };
+}
+
+ModelPicker MakeDeadlineMemoryPicker(DecisionPlane::Slot* slot) {
+  AMS_CHECK(slot != nullptr);
+  return [slot](const PickContext& pick) {
+    return DeadlineMemoryPick(slot, pick);
   };
 }
 

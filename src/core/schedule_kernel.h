@@ -1,10 +1,15 @@
 #ifndef AMS_CORE_SCHEDULE_KERNEL_H_
 #define AMS_CORE_SCHEDULE_KERNEL_H_
 
+#include <atomic>
 #include <functional>
 #include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "core/decision_plane.h"
 #include "core/labeling_state.h"
 #include "core/predictor.h"
 #include "data/oracle.h"
@@ -31,22 +36,27 @@ struct ExecutionRecord {
   double start_s = 0.0;
   double finish_s = 0.0;
   /// Raw model output (labels + confidences, incl. low-confidence ones).
+  /// Empty in lean kernel mode (outputs are never materialized there).
   std::vector<zoo::LabelOutput> outputs;
   /// O'(m, d): newly emitted valuable labels.
   std::vector<zoo::LabelOutput> fresh;
-  /// Reward of Eq. (3) for this execution.
+  /// Reward of Eq. (3) for this execution; 0 in lean kernel mode.
   double reward = 0.0;
 };
 
 /// Outcome of scheduling one item.
 struct ScheduleResult {
   /// Executions in finish order (serial schedules: also start order).
+  /// Empty in lean kernel mode; use num_executions for the count.
   std::vector<ExecutionRecord> executions;
+  /// Number of executions, maintained in both kernel modes.
+  int num_executions = 0;
   /// Serial total time (Algorithm 1) or parallel makespan (Algorithm 2).
   double makespan_s = 0.0;
   /// f(S, d): sum over recalled labels of the best confidence obtained.
   double value = 0.0;
-  /// Union of valuable labels with their best confidences.
+  /// Union of valuable labels with their best confidences. Empty in lean
+  /// kernel mode (the map is never exported there).
   std::vector<zoo::LabelOutput> recalled_labels;
   /// Peak simultaneous memory use, for asserting the constraint held.
   double peak_mem_mb = 0.0;
@@ -55,7 +65,8 @@ struct ScheduleResult {
 /// Execution substrate of the scheduling kernel: where model outputs and
 /// execution times come from. Two implementations cover the repo's two
 /// information patterns — live inference on a scene (production) and replay
-/// of stored oracle outputs (offline evaluation, §VI-A).
+/// of stored oracle outputs (offline evaluation, §VI-A) — plus a memoizing
+/// decorator for contexts that are replayed repeatedly.
 class ExecutionContext {
  public:
   virtual ~ExecutionContext() = default;
@@ -72,8 +83,15 @@ class ExecutionContext {
   /// Realized duration charged when the model actually runs.
   virtual double RealizedTime(int model) const = 0;
 
-  /// Runs the model and returns its raw outputs.
-  virtual std::vector<zoo::LabelOutput> Execute(int model) const = 0;
+  /// Runs the model and returns its raw outputs by reference: replay serves
+  /// the oracle's stored vectors directly (no copies), live contexts return
+  /// an internal buffer that stays valid until the next Execute call.
+  virtual const std::vector<zoo::LabelOutput>& Execute(int model) const = 0;
+
+  /// True when every Execute reference stays valid for the context's whole
+  /// lifetime (backing storage, not a recycled buffer). Memoizing wrappers
+  /// keep such references instead of copying.
+  virtual bool StableOutputs() const { return false; }
 };
 
 /// Live inference on one scene via ModelZoo::Execute. Never peeks at outputs
@@ -85,15 +103,19 @@ class LiveExecutionContext : public ExecutionContext {
   const zoo::ModelZoo& zoo() const override { return *zoo_; }
   double PlannedTime(int model) const override;
   double RealizedTime(int model) const override;
-  std::vector<zoo::LabelOutput> Execute(int model) const override;
+  const std::vector<zoo::LabelOutput>& Execute(int model) const override;
 
  private:
   const zoo::ModelZoo* zoo_;
   const zoo::LatentScene* scene_;
+  /// Holds the last Execute result so outputs can be served by reference
+  /// (the kernel consumes them before the next execution).
+  mutable std::vector<zoo::LabelOutput> last_outputs_;
 };
 
 /// Replay of one stored item: outputs and times come from the oracle, so
-/// planned and realized times coincide.
+/// planned and realized times coincide and Execute serves the oracle's
+/// stored vectors by reference without any intermediate copy.
 class ReplayExecutionContext : public ExecutionContext {
  public:
   ReplayExecutionContext(const data::Oracle* oracle, int item);
@@ -101,7 +123,9 @@ class ReplayExecutionContext : public ExecutionContext {
   const zoo::ModelZoo& zoo() const override { return oracle_->zoo(); }
   double PlannedTime(int model) const override;
   double RealizedTime(int model) const override;
-  std::vector<zoo::LabelOutput> Execute(int model) const override;
+  const std::vector<zoo::LabelOutput>& Execute(int model) const override;
+  /// Outputs are the oracle's own storage.
+  bool StableOutputs() const override { return true; }
 
   const data::Oracle& oracle() const { return *oracle_; }
   int item() const { return item_; }
@@ -109,6 +133,59 @@ class ReplayExecutionContext : public ExecutionContext {
  private:
   const data::Oracle* oracle_;
   int item_;
+};
+
+/// Memoizing decorator over any ExecutionContext: Execute(model) and
+/// RealizedTime(model) hit the inner context once per model and are served
+/// by reference thereafter. Two uses: (a) one item replayed under many
+/// budgets (the deadline/memory sweeps) executes each model's data exactly
+/// once across all runs, and (b) a stochastic live context becomes a fixed
+/// replay of its first realization, so repeated runs are comparable.
+///
+/// Thread-safe: entries are filled under a mutex into preallocated slots, so
+/// concurrent kernel runs (LabelingService workers) may share one instance.
+class CachedReplayExecutionContext : public ExecutionContext {
+ public:
+  /// Borrows `inner`; it must outlive this context.
+  explicit CachedReplayExecutionContext(const ExecutionContext* inner);
+  /// Owns `inner`.
+  explicit CachedReplayExecutionContext(std::unique_ptr<ExecutionContext> inner);
+  /// Convenience: caches a replay of one stored item.
+  CachedReplayExecutionContext(const data::Oracle* oracle, int item);
+
+  const zoo::ModelZoo& zoo() const override { return inner_->zoo(); }
+  double PlannedTime(int model) const override;
+  double RealizedTime(int model) const override;
+  const std::vector<zoo::LabelOutput>& Execute(int model) const override;
+  /// Memoized entries live as long as this context, so nesting works.
+  bool StableOutputs() const override { return true; }
+
+  const ExecutionContext& inner() const { return *inner_; }
+
+ private:
+  /// Shared tail of the constructors: entry slots + planned-time preload.
+  void Init();
+  /// Filled once under the mutex, then served lock-free: `ready` is the
+  /// release/acquire gate for the payload, so steady-state reads (every
+  /// replay after the first) cost one atomic load.
+  struct Entry {
+    std::atomic<bool> time_ready{false};
+    std::atomic<bool> outputs_ready{false};
+    double realized_time = 0.0;
+    /// Points at the inner context's storage when it is stable (replay);
+    /// otherwise `owned_outputs` holds a copy made once.
+    const std::vector<zoo::LabelOutput>* outputs = nullptr;
+    std::vector<zoo::LabelOutput> owned_outputs;
+  };
+
+  Entry& EntryFor(int model) const;
+
+  std::unique_ptr<ExecutionContext> owned_inner_;
+  const ExecutionContext* inner_;
+  std::vector<double> planned_times_;  // preloaded per model
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<Entry[]> entries_;  // preallocated: stable addresses
+  int num_entries_ = 0;
 };
 
 /// A scheduling decision point: everything a picker may inspect.
@@ -139,30 +216,106 @@ struct KernelHooks {
   /// Returning true stops the kernel from starting further models; work
   /// already in flight still drains (its outputs count, exactly as in
   /// Algorithm 2's final window).
+  ///
+  /// In lean kernel mode the record passed here is a reused scratch whose
+  /// `outputs` are empty and `reward` is 0; `model_id`, `start_s`,
+  /// `finish_s` and `fresh` are always valid.
   std::function<bool(const ExecutionRecord&, const LabelingState&)>
       on_executed;
 };
 
-/// The shared scheduling kernel: a single event-driven loop under which the
-/// greedy, Algorithm-1 and Algorithm-2 schedules (and the offline runners)
-/// are just different pickers. Per iteration it (a) asks the picker for
-/// models to start at the current instant, (b) advances to the earliest
-/// finish event, applies its outputs and accounts value/reward, and (c)
-/// stops when nothing runs and nothing new starts. Memory is charged at
-/// start and released at finish; executions past the deadline are never
-/// started but started work always drains.
+/// How much the kernel materializes per run.
+enum class KernelMode {
+  /// Full ScheduleResult: per-execution records (with output copies) and
+  /// the recalled-label union. The default.
+  kFull,
+  /// Lean: accumulates only makespan, value, execution count and peak
+  /// memory — no per-execution output copies, no recalled-label map. The
+  /// offline recall-only paths (deadline/memory sweeps) run here.
+  kLean,
+};
+
+/// The shared scheduling kernel in resumable form: construct it, then Step()
+/// until false. Each Step (a) asks the picker for models to start at the
+/// current instant, (b) advances to the earliest finish event, applies its
+/// outputs and accounts value/reward, and (c) reports completion once
+/// nothing runs and nothing new starts. Memory is charged at start and
+/// released at finish; executions past the deadline are never started but
+/// started work always drains.
+///
+/// Single-shot callers use the RunScheduleKernel wrapper below; co-scheduling
+/// drivers (LabelingService workers batching Q-predictions across items)
+/// interleave Step() calls of many kernels and refresh a shared
+/// DecisionPlane between event rounds.
+class ScheduleKernel {
+ public:
+  ScheduleKernel(const ExecutionContext* exec,
+                 const ScheduleConstraints& constraints, ModelPicker picker,
+                 KernelHooks hooks = {}, KernelMode mode = KernelMode::kFull);
+
+  /// Advances past the next finish event. Returns false once the schedule is
+  /// complete (and on every later call).
+  bool Step();
+
+  bool done() const { return done_; }
+  /// True while the picker may still be consulted (not stopped, not done) —
+  /// i.e. the next Step will open with a pick round.
+  bool picking() const { return !done_ && !stopped_; }
+  const LabelingState& state() const { return state_; }
+
+  /// The accumulated result; call once done() (checked).
+  ScheduleResult TakeResult();
+
+ private:
+  void StartModels();
+
+  const ExecutionContext* exec_;
+  ScheduleConstraints constraints_;
+  ModelPicker picker_;
+  KernelHooks hooks_;
+  KernelMode mode_;
+
+  struct Running {
+    int model_id;
+    double start_s;
+    double finish_s;
+    double mem_mb;
+  };
+
+  LabelingState state_;
+  ScheduleResult result_;
+  std::vector<Running> running_;
+  std::vector<bool> started_;
+  double mem_free_;
+  double mem_used_ = 0.0;
+  double now_ = 0.0;
+  bool stopped_ = false;
+  bool done_ = false;
+  bool result_taken_ = false;
+  // Lean-mode scratch reused across events (no per-event allocations).
+  ExecutionRecord scratch_record_;
+  // Best-confidence union of valuable labels, for f(S, d).
+  std::map<int, double> best_conf_;
+};
+
+/// Runs one schedule start to finish (the single-shot form of the kernel).
 ScheduleResult RunScheduleKernel(const ExecutionContext& exec,
                                  const ScheduleConstraints& constraints,
                                  const ModelPicker& picker,
-                                 const KernelHooks& hooks = {});
+                                 const KernelHooks& hooks = {},
+                                 KernelMode mode = KernelMode::kFull);
 
 /// Q-value greedy picker (§V intro): when idle, starts the unexecuted model
-/// with maximal predicted Q; stops once END has the highest value.
+/// with maximal predicted Q; stops once END has the highest value. The Slot
+/// overloads draw Q values through a shared DecisionPlane (so a co-scheduling
+/// driver can batch them); the predictor overloads keep a private plane.
 ModelPicker MakeGreedyPicker(ModelValuePredictor* predictor);
+ModelPicker MakeGreedyPicker(DecisionPlane::Slot* slot);
 
 /// Algorithm 1 picker: when idle, starts the feasible model maximizing
 /// SchedulingProfit(Q) / planned time.
 ModelPicker MakeDeadlinePicker(ModelValuePredictor* predictor);
+ModelPicker MakeDeadlinePicker(DecisionPlane::Slot* slot);
 
 /// Algorithm 2 picker: when idle, anchors the window with the feasible model
 /// maximizing Q / (time * mem); otherwise fills remaining memory with the
@@ -171,6 +324,7 @@ ModelPicker MakeDeadlinePicker(ModelValuePredictor* predictor);
 /// implementation: the literal filter degenerates to serial execution when
 /// the value-density anchor is a short model).
 ModelPicker MakeDeadlineMemoryPicker(ModelValuePredictor* predictor);
+ModelPicker MakeDeadlineMemoryPicker(DecisionPlane::Slot* slot);
 
 /// Random feasible packing baseline (§VI-G): reshuffles the model order at
 /// every event round and packs feasible models in that order.

@@ -33,7 +33,9 @@ DeadlineSweep ComputeDeadlineSweep(const PolicyFactory& factory,
   for (int item : items) work.push_back(core::WorkItem::Stored(item));
 
   // One session per deadline; the session fans the batch out over its
-  // workers with a fresh policy instance per worker.
+  // workers with a fresh policy instance per worker. Only recall is read
+  // here, so the sessions run on the lean kernel path (no per-execution
+  // output copies, no recalled-label maps).
   for (size_t d = 0; d < deadlines.size(); ++d) {
     core::ScheduleConstraints constraints;
     constraints.time_budget_s = deadlines[d];
@@ -43,6 +45,7 @@ DeadlineSweep ComputeDeadlineSweep(const PolicyFactory& factory,
             .WithMode(core::ExecutionMode::kSerial)
             .WithPolicyFactory(factory)
             .WithConstraints(constraints)
+            .WithKernelMode(core::KernelMode::kLean)
             .WithWorkers(num_threads)
             .Build();
     const std::vector<core::LabelOutcome> outcomes =

@@ -32,7 +32,9 @@ MemorySweep ComputeMemorySweep(rl::Agent* agent, const data::Oracle& oracle,
   for (int item : items) work.push_back(core::WorkItem::Stored(item));
 
   // One Algorithm-2 (or random-packing) session per deadline; agents are
-  // cloned per worker by the session.
+  // cloned per worker by the session. Only recall is read here, so the
+  // sessions run on the lean kernel path, and agent sessions batch their
+  // Q-queries across each worker's co-scheduled items.
   for (size_t d = 0; d < deadlines.size(); ++d) {
     core::ScheduleConstraints constraints;
     constraints.time_budget_s = deadlines[d];
@@ -40,9 +42,12 @@ MemorySweep ComputeMemorySweep(rl::Agent* agent, const data::Oracle& oracle,
     core::LabelingServiceBuilder builder(&oracle.zoo());
     builder.WithOracle(&oracle)
         .WithConstraints(constraints)
+        .WithKernelMode(core::KernelMode::kLean)
         .WithWorkers(num_threads);
     if (agent != nullptr) {
-      builder.WithMode(core::ExecutionMode::kParallel).WithPredictor(agent);
+      builder.WithMode(core::ExecutionMode::kParallel)
+          .WithPredictor(agent)
+          .WithBatchedPrediction(true);
     } else {
       builder.WithMode(core::ExecutionMode::kParallelRandom)
           .WithSeed(util::HashCombine(seed, static_cast<uint64_t>(d)));

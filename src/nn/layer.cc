@@ -21,6 +21,30 @@ void DenseLayer::Forward(const Matrix& x, Matrix* y) const {
   AddRowVector(y, b_);
 }
 
+void DenseLayer::ForwardSparseRows(
+    const std::vector<const std::vector<float>*>& rows, Matrix* y) const {
+  const int n = static_cast<int>(rows.size());
+  const int in = w_.rows();
+  const int out = w_.cols();
+  y->Resize(n, out);
+  y->Fill(0.0f);
+  for (int i = 0; i < n; ++i) {
+    const std::vector<float>& x = *rows[static_cast<size_t>(i)];
+    AMS_CHECK(static_cast<int>(x.size()) == in,
+              "dense layer input dim mismatch");
+    float* __restrict y_row = y->Row(i);
+    const float* __restrict x_data = x.data();
+    for (int kk = 0; kk < in; ++kk) {
+      const float v = x_data[kk];
+      if (v == 0.0f) continue;
+      const float* __restrict w_row = w_.Row(kk);
+      for (int j = 0; j < out; ++j) y_row[j] += v * w_row[j];
+    }
+    const float* __restrict bias = b_.data();
+    for (int j = 0; j < out; ++j) y_row[j] += bias[j];
+  }
+}
+
 void DenseLayer::Backward(const Matrix& x, const Matrix& grad_y, Matrix* grad_x) {
   AMS_CHECK(grad_y.cols() == w_.cols());
   AMS_CHECK(x.rows() == grad_y.rows());

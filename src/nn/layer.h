@@ -29,6 +29,14 @@ class DenseLayer {
   /// y = x*W + b. x is [batch, in_dim]; y becomes [batch, out_dim].
   void Forward(const Matrix& x, Matrix* y) const;
 
+  /// Forward for a batch of sparse rows passed by pointer, skipping the
+  /// dense input-matrix build entirely (the scheduling states feeding the
+  /// Q-net are near-empty binary vectors, so materializing them dominates
+  /// the actual math). Bitwise identical to Forward on the stacked rows:
+  /// contributions accumulate in the same kk order, bias is added last.
+  void ForwardSparseRows(const std::vector<const std::vector<float>*>& rows,
+                         Matrix* y) const;
+
   /// Given the input batch `x` used in Forward and dL/dy, computes dW, db and
   /// (if grad_x != nullptr) dL/dx.
   void Backward(const Matrix& x, const Matrix& grad_y, Matrix* grad_x);

@@ -18,6 +18,19 @@ void QValueNet::CopyWeightsFrom(QValueNet* src) {
   }
 }
 
+void QValueNet::PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                             Matrix* q) {
+  const int n = static_cast<int>(rows.size());
+  Matrix x;
+  x.Resize(n, input_dim());  // no zero-fill: every row is overwritten
+  for (int i = 0; i < n; ++i) {
+    const std::vector<float>& row = *rows[static_cast<size_t>(i)];
+    AMS_CHECK(static_cast<int>(row.size()) == input_dim());
+    std::copy(row.begin(), row.end(), x.Row(i));
+  }
+  Forward(x, q);
+}
+
 std::vector<float> QValueNet::Predict1(const std::vector<float>& x) {
   AMS_CHECK(static_cast<int>(x.size()) == input_dim());
   Matrix in = Matrix::FromRowVector(x);
@@ -65,6 +78,20 @@ void Mlp::Forward(const Matrix& x, Matrix* q) {
     }
   }
   *q = pre_act_.back();  // linear output layer
+}
+
+void Mlp::PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                       Matrix* q) {
+  // Inference only: the sparse rows feed the first layer directly — no
+  // dense input build, no input_ cache copy. Later layers run the normal
+  // dense path on the (small) hidden activations.
+  const size_t n = layers_.size();
+  layers_[0].ForwardSparseRows(rows, &pre_act_[0]);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) layers_[i].Forward(post_act_[i - 1], &pre_act_[i]);
+    if (i + 1 < n) ReluForward(pre_act_[i], &post_act_[i]);
+  }
+  *q = pre_act_.back();
 }
 
 void Mlp::Backward(const Matrix& grad_q) {
@@ -140,17 +167,7 @@ DuelingMlp::DuelingMlp(const MlpConfig& config, uint64_t seed) : config_(config)
   grad_pre_.resize(trunk_.size());
 }
 
-void DuelingMlp::Forward(const Matrix& x, Matrix* q) {
-  input_ = x;
-  const Matrix* cur = &input_;
-  for (size_t i = 0; i < trunk_.size(); ++i) {
-    trunk_[i].Forward(*cur, &pre_act_[i]);
-    ReluForward(pre_act_[i], &post_act_[i]);
-    cur = &post_act_[i];
-  }
-  value_head_->Forward(*cur, &value_out_);
-  advantage_head_->Forward(*cur, &advantage_out_);
-  const int batch = x.rows();
+void DuelingMlp::CombineHeads(int batch, Matrix* q) const {
   const int out = config_.output_dim;
   q->Resize(batch, out);
   for (int b = 0; b < batch; ++b) {
@@ -162,6 +179,35 @@ void DuelingMlp::Forward(const Matrix& x, Matrix* q) {
     float* q_row = q->Row(b);
     for (int j = 0; j < out; ++j) q_row[j] = v + adv[j] - mean_adv;
   }
+}
+
+void DuelingMlp::Forward(const Matrix& x, Matrix* q) {
+  input_ = x;
+  const Matrix* cur = &input_;
+  for (size_t i = 0; i < trunk_.size(); ++i) {
+    trunk_[i].Forward(*cur, &pre_act_[i]);
+    ReluForward(pre_act_[i], &post_act_[i]);
+    cur = &post_act_[i];
+  }
+  value_head_->Forward(*cur, &value_out_);
+  advantage_head_->Forward(*cur, &advantage_out_);
+  CombineHeads(x.rows(), q);
+}
+
+void DuelingMlp::PredictBatch(
+    const std::vector<const std::vector<float>*>& rows, Matrix* q) {
+  // Inference only: sparse rows feed the first trunk layer directly (see
+  // Mlp::PredictBatch).
+  trunk_[0].ForwardSparseRows(rows, &pre_act_[0]);
+  ReluForward(pre_act_[0], &post_act_[0]);
+  for (size_t i = 1; i < trunk_.size(); ++i) {
+    trunk_[i].Forward(post_act_[i - 1], &pre_act_[i]);
+    ReluForward(pre_act_[i], &post_act_[i]);
+  }
+  const Matrix& trunk_out = post_act_.back();
+  value_head_->Forward(trunk_out, &value_out_);
+  advantage_head_->Forward(trunk_out, &advantage_out_);
+  CombineHeads(static_cast<int>(rows.size()), q);
 }
 
 void DuelingMlp::Backward(const Matrix& grad_q) {

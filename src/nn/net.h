@@ -41,6 +41,16 @@ class QValueNet {
   /// networks.
   void CopyWeightsFrom(QValueNet* src);
 
+  /// Inference-only batched forward over sparse state rows: q becomes
+  /// [rows.size(), output_dim], bitwise identical to Forward on the stacked
+  /// rows. Implementations skip the dense input build and the
+  /// activation-caching copies that only Backward needs, so this is the fast
+  /// path for batched prediction. Clobbers cached activations — do not call
+  /// Backward for a batch forwarded this way. The base implementation stacks
+  /// the rows and calls Forward.
+  virtual void PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                            Matrix* q);
+
   /// Convenience single-state forward pass.
   std::vector<float> Predict1(const std::vector<float>& x);
 
@@ -65,6 +75,8 @@ class Mlp : public QValueNet {
   int output_dim() const override { return config_.output_dim; }
 
   void Forward(const Matrix& x, Matrix* q) override;
+  void PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                    Matrix* q) override;
   void Backward(const Matrix& grad_q) override;
   void CollectParams(std::vector<ParamGrad>* out) override;
   void Save(util::BinaryWriter* w) const override;
@@ -97,6 +109,8 @@ class DuelingMlp : public QValueNet {
   int output_dim() const override { return config_.output_dim; }
 
   void Forward(const Matrix& x, Matrix* q) override;
+  void PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                    Matrix* q) override;
   void Backward(const Matrix& grad_q) override;
   void CollectParams(std::vector<ParamGrad>* out) override;
   void Save(util::BinaryWriter* w) const override;
@@ -104,6 +118,9 @@ class DuelingMlp : public QValueNet {
   std::unique_ptr<QValueNet> Clone() const override;
 
  private:
+  /// Q = V + A - mean(A) per row, shared by Forward and PredictBatch.
+  void CombineHeads(int batch, Matrix* q) const;
+
   MlpConfig config_;
   std::vector<DenseLayer> trunk_;
   std::unique_ptr<DenseLayer> value_head_;      // trunk_out -> 1

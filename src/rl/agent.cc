@@ -22,6 +22,19 @@ std::vector<double> Agent::PredictValues(
   return std::vector<double>(q.begin(), q.end());
 }
 
+std::vector<std::vector<double>> Agent::PredictValuesBatch(
+    const std::vector<const std::vector<float>*>& states) {
+  const int n = static_cast<int>(states.size());
+  if (n == 0) return {};
+  nn::Matrix q;
+  net_->PredictBatch(states, &q);
+  std::vector<std::vector<double>> rows(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows[static_cast<size_t>(i)].assign(q.Row(i), q.Row(i) + q.cols());
+  }
+  return rows;
+}
+
 void Agent::Save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   AMS_CHECK(out.good(), "cannot open checkpoint for writing: " + path);
@@ -44,6 +57,17 @@ std::unique_ptr<Agent> Agent::Load(const std::string& path) {
 
 std::unique_ptr<Agent> Agent::Clone() const {
   return std::make_unique<Agent>(net_->Clone(), kind_);
+}
+
+bool Agent::SyncWeightsFrom(core::ModelValuePredictor* source) {
+  auto* other = dynamic_cast<Agent*>(source);
+  if (other == nullptr || other->kind_ != kind_ ||
+      other->net_->input_dim() != net_->input_dim() ||
+      other->net_->output_dim() != net_->output_dim()) {
+    return false;
+  }
+  net_->CopyWeightsFrom(other->net_.get());
+  return true;
 }
 
 }  // namespace ams::rl

@@ -20,6 +20,12 @@ class Agent : public core::ModelValuePredictor {
   std::vector<double> PredictValues(
       const std::vector<float>& state_features) override;
 
+  /// One [n, input_dim] forward pass through the Q-network. Each row is
+  /// bitwise identical to the scalar PredictValues result (the net's Gemm
+  /// computes rows independently in the same operation order).
+  std::vector<std::vector<double>> PredictValuesBatch(
+      const std::vector<const std::vector<float>*>& states) override;
+
   int num_actions() const override { return net_->output_dim(); }
   int feature_dim() const { return net_->input_dim(); }
 
@@ -37,6 +43,10 @@ class Agent : public core::ModelValuePredictor {
   std::unique_ptr<core::ModelValuePredictor> ClonePredictor() const override {
     return Clone();
   }
+
+  /// Raw weight copy from a same-architecture agent (no checkpoint
+  /// round-trip), so pooled clones can track a live source per batch.
+  bool SyncWeightsFrom(core::ModelValuePredictor* source) override;
 
  private:
   std::unique_ptr<nn::QValueNet> net_;
