@@ -50,16 +50,11 @@ struct BenchResult {
   long executions = 0;
 };
 
-int EnvInt(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  return value != nullptr ? std::atoi(value) : fallback;
-}
-
 void Run() {
-  const int num_items = EnvInt("AMS_BENCH_ITEMS", 400);
-  const int repeats = EnvInt("AMS_BENCH_REPEATS", 7);
+  const int num_items = bench::EnvInt("AMS_BENCH_ITEMS", 400);
+  const int repeats = bench::EnvInt("AMS_BENCH_REPEATS", 7);
   // <= 0: hardware concurrency (the builder resolves it).
-  int workers = EnvInt("AMS_BENCH_WORKERS", 0);
+  int workers = bench::EnvInt("AMS_BENCH_WORKERS", 0);
   if (workers <= 0) workers = util::ThreadPool::DefaultThreads();
   // Default to the densest-label profile: the more valuable labels a
   // workload yields, the more decision points and label-state growth per
@@ -69,18 +64,16 @@ void Run() {
       profile_env != nullptr ? profile_env : "stanford40";
 
   zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
-  data::DatasetProfile profile = data::DatasetProfile::MsCoco();
-  for (const data::DatasetProfile& p : data::DatasetProfile::AllProfiles()) {
-    if (p.name == profile_name) profile = p;
-  }
+  const data::DatasetProfile profile =
+      data::DatasetProfile::ByName(profile_name);
   data::Dataset dataset =
       data::Dataset::Generate(profile, zoo.labels(), num_items, /*seed=*/11);
   data::Oracle oracle(&zoo, &dataset);
 
   // Untrained agent with the paper's architecture: identical per-decision
   // cost to a trained one, deterministic decisions for free.
-  const int hidden = EnvInt("AMS_BENCH_HIDDEN", 256);
-  const int depth = EnvInt("AMS_BENCH_DEPTH", 1);
+  const int hidden = bench::EnvInt("AMS_BENCH_HIDDEN", 256);
+  const int depth = bench::EnvInt("AMS_BENCH_DEPTH", 1);
   nn::MlpConfig net_config;
   net_config.input_dim = zoo.labels().total_labels();
   net_config.hidden_dims.assign(static_cast<size_t>(depth), hidden);
@@ -89,8 +82,8 @@ void Run() {
                   nn::NetKind::kMlp);
 
   core::ScheduleConstraints constraints;
-  constraints.time_budget_s = EnvInt("AMS_BENCH_DEADLINE_MS", 2000) / 1000.0;
-  constraints.memory_budget_mb = EnvInt("AMS_BENCH_MEM_MB", 8000);
+  constraints.time_budget_s = bench::EnvInt("AMS_BENCH_DEADLINE_MS", 2000) / 1000.0;
+  constraints.memory_budget_mb = bench::EnvInt("AMS_BENCH_MEM_MB", 8000);
 
   std::vector<core::WorkItem> work;
   work.reserve(static_cast<size_t>(num_items));

@@ -2,6 +2,7 @@
 #define AMS_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -10,6 +11,12 @@
 #include "util/table.h"
 
 namespace ams::bench {
+
+/// Integer env-var knob with a fallback (the benches' AMS_BENCH_* scaling).
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
 
 /// Prints a section banner so bench output reads like the paper's figures.
 inline void Banner(const std::string& title) {

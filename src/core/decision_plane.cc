@@ -1,34 +1,70 @@
 #include "core/decision_plane.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace ams::core {
 
-DecisionPlane::DecisionPlane(ModelValuePredictor* predictor)
-    : predictor_(predictor) {
+DecisionPlane::DecisionPlane(ModelValuePredictor* predictor, bool memoize_rows)
+    : predictor_(predictor), memoize_rows_(memoize_rows) {
   AMS_CHECK(predictor != nullptr);
+}
+
+bool DecisionPlane::ServeFromMemo(Slot* slot, const LabelingState& state) {
+  if (!memoize_rows_) return false;
+  const auto it = row_memo_.find(state.SetIndices());
+  if (it == row_memo_.end()) return false;
+  slot->q_ = it->second;
+  slot->labels_at_ = state.num_labels_set();
+  ++memo_hits_;
+  return true;
+}
+
+void DecisionPlane::MemoizeRow(const std::vector<int>& indices,
+                               const double* row, size_t stride) {
+  if (!memoize_rows_ || row_memo_.size() >= kRowMemoCap) return;
+  std::vector<double>& entry = row_memo_[indices];
+  if (entry.empty()) entry.assign(row, row + stride);
 }
 
 const std::vector<double>& DecisionPlane::Slot::Values(
     const LabelingState& state) {
-  if (!Fresh(state)) {
+  if (!Fresh(state) && !plane_->ServeFromMemo(this, state)) {
     q_ = plane_->predictor_->PredictValues(state.Features());
     labels_at_ = state.num_labels_set();
     ++plane_->scalar_predictions_;
+    plane_->MemoizeRow(state.SetIndices(), q_.data(), q_.size());
   }
   return q_;
 }
 
 DecisionPlane::Slot* DecisionPlane::NewSlot() {
+  if (!free_slots_.empty()) {
+    Slot* slot = free_slots_.back();
+    free_slots_.pop_back();
+    slot->labels_at_ = -1;  // stale until its first query
+    return slot;
+  }
   slots_.emplace_back(Slot(this));
   return &slots_.back();
+}
+
+void DecisionPlane::ReleaseSlot(Slot* slot) {
+  AMS_CHECK(slot != nullptr && slot->plane_ == this,
+            "slot released to a foreign plane");
+  free_slots_.push_back(slot);
 }
 
 void DecisionPlane::Prefetch(const std::vector<SlotView>& views) {
   stale_.clear();
   for (const SlotView& view : views) {
     AMS_CHECK(view.first != nullptr && view.second != nullptr);
-    if (!view.first->Fresh(*view.second)) stale_.push_back(view);
+    if (view.first->Fresh(*view.second)) continue;
+    // States seen before — by any item, any time in the plane's life — are
+    // served straight from the row memo without a forward pass.
+    if (ServeFromMemo(view.first, *view.second)) continue;
+    stale_.push_back(view);
   }
   if (stale_.empty()) return;
 
@@ -36,39 +72,43 @@ void DecisionPlane::Prefetch(const std::vector<SlotView>& views) {
   // feature vectors often (every item starts all-zero, and sparse label
   // states collide), and the predictor is a pure function of the features,
   // so duplicates ride along on one forward row. This cross-item sharing is
-  // exactly what per-item caches cannot see.
+  // exactly what per-item caches cannot see. States are compared through
+  // their sorted set-index lists — tens of ints instead of the full
+  // 1000+-entry feature vector — which fully determine the binary features.
   features_.clear();
-  row_labels_.clear();
+  indices_.clear();
   row_of_.assign(stale_.size(), 0);
   for (size_t i = 0; i < stale_.size(); ++i) {
-    const std::vector<float>& f = stale_[i].second->Features();
-    const int labels = stale_[i].second->num_labels_set();
+    const std::vector<int>& idx = stale_[i].second->SetIndices();
     size_t row = features_.size();
     for (size_t u = 0; u < features_.size(); ++u) {
-      // Count first: states with different label counts can never be equal,
-      // so the full compare only runs on genuine candidates.
-      if (row_labels_[u] == labels && features_[u]->size() == f.size() &&
-          std::equal(f.begin(), f.end(), features_[u]->begin())) {
+      if (indices_[u]->size() == idx.size() &&
+          std::equal(idx.begin(), idx.end(), indices_[u]->begin())) {
         row = u;
         break;
       }
     }
     if (row == features_.size()) {
-      features_.push_back(&f);
-      row_labels_.push_back(labels);
+      features_.push_back(&stale_[i].second->Features());
+      indices_.push_back(&idx);
     }
     row_of_[i] = row;
   }
 
-  std::vector<std::vector<double>> rows =
-      predictor_->PredictValuesBatch(features_);
-  AMS_CHECK(rows.size() == features_.size(),
+  // One batched pass into the plane's flat buffer, reused across refreshes
+  // (the per-pass vector-of-rows allocation used to show up in profiles).
+  predictor_->PredictValuesBatchInto(features_, indices_, &flat_q_);
+  const size_t stride = static_cast<size_t>(predictor_->num_actions());
+  AMS_CHECK(flat_q_.size() == features_.size() * stride,
             "predictor returned a wrong-sized batch");
   ++batched_predictions_;
   batched_rows_ += static_cast<long>(features_.size());
+  for (size_t u = 0; u < features_.size(); ++u) {
+    MemoizeRow(*indices_[u], flat_q_.data() + u * stride, stride);
+  }
   for (size_t i = 0; i < stale_.size(); ++i) {
-    const std::vector<double>& row = rows[row_of_[i]];
-    stale_[i].first->q_.assign(row.begin(), row.end());
+    const double* row = flat_q_.data() + row_of_[i] * stride;
+    stale_[i].first->q_.assign(row, row + stride);
     stale_[i].first->labels_at_ = stale_[i].second->num_labels_set();
   }
 }

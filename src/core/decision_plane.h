@@ -1,7 +1,9 @@
 #ifndef AMS_CORE_DECISION_PLANE_H_
 #define AMS_CORE_DECISION_PLANE_H_
 
+#include <cstddef>
 #include <deque>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -17,15 +19,23 @@ namespace ams::core {
 /// labeling state changes exactly at finish events), so a pick round costs at
 /// most one forward pass regardless of how many models it starts. On top of
 /// that, a driver co-scheduling many items (LabelingService::SubmitBatch
-/// workers) calls Prefetch() between event rounds to coalesce all stale
-/// slots into ONE batched forward pass — one prediction per round instead of
-/// one per item. Slots left stale still fall back to the scalar path, so
-/// Prefetch is an optimization, never a correctness requirement.
+/// workers, the serve:: runtime's steppers) calls Prefetch() between event
+/// rounds to coalesce all stale slots into ONE batched forward pass — one
+/// prediction per round instead of one per item. Slots left stale still fall
+/// back to the scalar path, so Prefetch is an optimization, never a
+/// correctness requirement.
 ///
 /// Not thread-safe: one plane per worker, like the predictor it wraps.
 class DecisionPlane {
  public:
-  explicit DecisionPlane(ModelValuePredictor* predictor);
+  /// `memoize_rows` opts into the plane-lifetime Q-row memo (see row_memo_
+  /// below): computed rows are kept keyed by state signature and later
+  /// queries for the same state skip the forward pass entirely. Worth it
+  /// only for long-lived planes (the serve runtime's steppers, where steady
+  /// state becomes mostly memo hits); per-call planes (SubmitBatch blocks)
+  /// pay the insert cost without living long enough to profit.
+  explicit DecisionPlane(ModelValuePredictor* predictor,
+                         bool memoize_rows = false);
 
   /// One item's cached view of the predictor.
   class Slot {
@@ -56,12 +66,21 @@ class DecisionPlane {
   using SlotView = std::pair<Slot*, const LabelingState*>;
 
   /// Creates a slot owned by the plane (pointer stays valid for the plane's
-  /// lifetime).
+  /// lifetime). Released slots are recycled, so a long-lived driver admitting
+  /// an unbounded stream of items (serve::ServerRuntime) keeps a bounded
+  /// resident slot set instead of growing the plane forever.
   Slot* NewSlot();
+
+  /// Returns a slot to the plane's free list once its item completed. The
+  /// pointer must have come from NewSlot() and must not be used afterwards.
+  void ReleaseSlot(Slot* slot);
 
   /// Refreshes every stale slot among `views` with one batched forward pass
   /// (fresh slots are skipped; an all-fresh call costs nothing). Rows are
-  /// bitwise identical to the scalar path for batch-capable predictors.
+  /// bitwise identical to the scalar path for batch-capable predictors. The
+  /// batched pass reuses one flat Q buffer across refreshes and hands the
+  /// predictor each state's sparse set-index list, so neither side rescans
+  /// or reallocates per round.
   void Prefetch(const std::vector<SlotView>& views);
 
   ModelValuePredictor* predictor() const { return predictor_; }
@@ -70,18 +89,57 @@ class DecisionPlane {
   long scalar_predictions() const { return scalar_predictions_; }
   long batched_predictions() const { return batched_predictions_; }
   long batched_rows() const { return batched_rows_; }
+  /// Q rows served from the plane-lifetime row memo without any forward.
+  long memo_hits() const { return memo_hits_; }
 
  private:
+  /// FNV-1a over a state's sorted set-index list — the state's identity
+  /// (the binary features are fully determined by the set indices).
+  struct IndexListHash {
+    size_t operator()(const std::vector<int>& indices) const {
+      size_t h = 1469598103934665603ull;
+      for (const int i : indices) {
+        h ^= static_cast<size_t>(i) + 0x9E3779B9u;
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+
+  /// Serves `slot` from the plane-lifetime row memo; false on miss.
+  bool ServeFromMemo(Slot* slot, const LabelingState& state);
+  /// Memoizes a computed row (first-come bounded; see kRowMemoCap).
+  void MemoizeRow(const std::vector<int>& indices, const double* row,
+                  size_t stride);
+
+  /// Bound on memoized rows. ~31 doubles + key per entry keeps the memo in
+  /// the tens of MB at the cap; beyond it new states simply stay unmemoized
+  /// (first-come: the common early states are exactly the hot ones).
+  static constexpr size_t kRowMemoCap = 32768;
+
   ModelValuePredictor* predictor_;
   std::deque<Slot> slots_;  // deque: slot pointers must stay stable
+  std::vector<Slot*> free_slots_;  // recycled by ReleaseSlot
   // Prefetch scratch, reused across rounds to avoid per-round allocations.
   std::vector<SlotView> stale_;
   std::vector<const std::vector<float>*> features_;  // deduplicated rows
-  std::vector<int> row_labels_;  // num_labels_set per deduplicated row
+  std::vector<const std::vector<int>*> indices_;  // set-index list per row
   std::vector<size_t> row_of_;   // stale slot index -> row in features_
+  std::vector<double> flat_q_;   // one flat [rows x actions] result buffer
+  /// Plane-lifetime Q-row memo keyed by state signature: items pass through
+  /// shared sparse label-states (every item starts all-zero, common label
+  /// combinations recur across items), so a long-lived driver — the serve
+  /// runtime's steppers above all — serves most decision points without any
+  /// forward pass at steady state. Sound because a plane wraps one frozen
+  /// predictor instance (the same assumption every slot cache already
+  /// makes), and rows are bitwise identical however they were computed.
+  std::unordered_map<std::vector<int>, std::vector<double>, IndexListHash>
+      row_memo_;
+  bool memoize_rows_ = false;
   long scalar_predictions_ = 0;
   long batched_predictions_ = 0;
   long batched_rows_ = 0;
+  long memo_hits_ = 0;
 };
 
 }  // namespace ams::core

@@ -298,6 +298,100 @@ void LabelingService::RunCoScheduled(
   }
 }
 
+LabelingService::ItemStepper::ItemStepper(const LabelingService* session,
+                                          int worker_index)
+    : session_(session),
+      state_(session->MakeDecisionState(/*clone_predictor=*/true,
+                                        worker_index)) {
+  if (state_.predictor != nullptr) {
+    // Steppers live for the serving runtime's lifetime over a frozen
+    // predictor clone, the regime the plane's row memo exists for: at
+    // steady state most decision points are served without a forward pass.
+    plane_ = std::make_unique<DecisionPlane>(state_.predictor,
+                                             /*memoize_rows=*/true);
+  }
+}
+
+LabelingService::ItemStepper::~ItemStepper() = default;
+
+uint64_t LabelingService::ItemStepper::Admit(const WorkItem& item,
+                                             uint64_t stream_id) {
+  const uint64_t ticket = next_ticket_++;
+  DecisionPlane::Slot* slot = plane_ != nullptr ? plane_->NewSlot() : nullptr;
+  std::unique_ptr<ItemRun> run =
+      session_->PrepareItem(item, &state_, stream_id, slot);
+  if (run->skipped) {
+    if (slot != nullptr) plane_->ReleaseSlot(slot);
+    Completion done;
+    done.ticket = ticket;
+    done.outcome = std::move(run->outcome);
+    pending_.push_back(std::move(done));
+    return ticket;
+  }
+  InFlight flight;
+  flight.ticket = ticket;
+  flight.kernel = std::make_unique<ScheduleKernel>(
+      run->exec, session_->config_.constraints, run->picker, run->hooks,
+      session_->config_.kernel_mode);
+  flight.run = std::move(run);
+  flight.slot = slot;
+  inflight_.push_back(std::move(flight));
+  return ticket;
+}
+
+void LabelingService::ItemStepper::Tick(std::vector<Completion>* completed) {
+  for (Completion& done : pending_) completed->push_back(std::move(done));
+  pending_.clear();
+  if (inflight_.empty()) return;
+
+  // One deduplicated batched forward pass refreshes every resident item
+  // still consulting the picker; items mid-drain (stopped, or nothing new
+  // to start) skip the Q refresh entirely.
+  if (plane_ != nullptr) {
+    views_.clear();
+    for (const InFlight& flight : inflight_) {
+      if (flight.kernel->picking()) {
+        views_.push_back({flight.slot, &flight.kernel->state()});
+      }
+    }
+    plane_->Prefetch(views_);
+  }
+
+  // Advance every kernel past one finish event, compacting the resident set
+  // in place as items complete.
+  size_t live = 0;
+  for (size_t i = 0; i < inflight_.size(); ++i) {
+    InFlight& flight = inflight_[i];
+    if (flight.kernel->Step()) {
+      if (live != i) inflight_[live] = std::move(flight);
+      ++live;
+      continue;
+    }
+    Completion done;
+    done.ticket = flight.ticket;
+    done.outcome.schedule = flight.kernel->TakeResult();
+    if (flight.run->acc.has_value()) {
+      done.outcome.recall = flight.run->acc->Recall();
+    }
+    completed->push_back(std::move(done));
+    if (flight.slot != nullptr) plane_->ReleaseSlot(flight.slot);
+  }
+  inflight_.resize(live);
+}
+
+int LabelingService::ItemStepper::resident() const {
+  return static_cast<int>(inflight_.size() + pending_.size());
+}
+
+std::unique_ptr<LabelingService::ItemStepper> LabelingService::NewItemStepper(
+    int worker_index) {
+  AMS_CHECK(config_.policy_factory == nullptr,
+            "item steppers multiplex items event-by-event; stateful policies "
+            "need sequential submission (Submit/SubmitBatch)");
+  AMS_CHECK(worker_index >= 0);
+  return std::unique_ptr<ItemStepper>(new ItemStepper(this, worker_index));
+}
+
 LabelOutcome LabelingService::Submit(const WorkItem& item) {
   if (!session_state_ready_) {
     session_state_ =

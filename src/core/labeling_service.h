@@ -126,6 +126,31 @@ class LabelingService {
   /// instances, which are not observable here.
   sched::SchedulingPolicy* session_policy();
 
+  /// The session hand-off point for asynchronous backends: a worker-scoped
+  /// stepper that multiplexes a dynamic set of in-flight items by advancing
+  /// their resumable ScheduleKernels event-by-event. Admit() prepares an
+  /// item and assigns it a ticket; each Tick() refreshes every resident
+  /// item's Q slot with ONE batched DecisionPlane forward pass, then steps
+  /// every kernel past one finish event and reports completed items. Items
+  /// are independent, so interleaving them cannot change any outcome — per
+  /// item, a stepper run is bit-identical to Submit() with the same
+  /// stream_id.
+  ///
+  /// A stepper is single-threaded (one per serve worker, like a SubmitBatch
+  /// worker); distinct steppers of one session may run concurrently. Create
+  /// via NewItemStepper. (Defined below the class — it uses the session's
+  /// private decision-state machinery.)
+  class ItemStepper;
+
+  /// Creates a stepper bound to this session's configuration. Stateful
+  /// policy sessions are rejected (a policy accumulates knowledge across an
+  /// item sequence; multiplexed stepping would interleave that history) —
+  /// steppers serve predictor-driven and random-packing sessions.
+  /// `worker_index` keys the per-worker predictor clone pool; concurrent
+  /// steppers must use distinct indices. Do not run SubmitBatch/Run on the
+  /// session while steppers are live (they share the clone pool).
+  std::unique_ptr<ItemStepper> NewItemStepper(int worker_index);
+
  private:
   friend class LabelingServiceBuilder;
 
@@ -206,6 +231,56 @@ class LabelingService {
   DecisionState session_state_;
   bool session_state_ready_ = false;
   uint64_t live_sequence_ = 0;
+};
+
+class LabelingService::ItemStepper {
+ public:
+  /// A finished item: the ticket Admit() returned and its outcome.
+  struct Completion {
+    uint64_t ticket = 0;
+    LabelOutcome outcome;
+  };
+
+  ~ItemStepper();
+  ItemStepper(const ItemStepper&) = delete;
+  ItemStepper& operator=(const ItemStepper&) = delete;
+
+  /// Takes an item in flight and returns its ticket. `stream_id` seeds
+  /// stream-dependent pickers; pass the stored item id for replayed items
+  /// (Submit() parity) or a unique admission sequence number for live
+  /// scenes. Items whose work is already done (recall target met before any
+  /// execution) complete at the next Tick().
+  uint64_t Admit(const WorkItem& item, uint64_t stream_id);
+
+  /// One cooperative tick over the resident set: batched Q refresh, one
+  /// kernel step each, completions appended to `completed`.
+  void Tick(std::vector<Completion>* completed);
+
+  /// Items currently in flight (including ones finishing next Tick).
+  int resident() const;
+  bool idle() const { return resident() == 0; }
+
+ private:
+  friend class LabelingService;
+  ItemStepper(const LabelingService* session, int worker_index);
+
+  struct InFlight {
+    uint64_t ticket = 0;
+    std::unique_ptr<ItemRun> run;
+    std::unique_ptr<ScheduleKernel> kernel;
+    DecisionPlane::Slot* slot = nullptr;  // owned by plane_
+  };
+
+  const LabelingService* session_;
+  DecisionState state_;
+  /// Present iff the session is predictor-driven: the coalescing point for
+  /// the per-tick batched forward pass.
+  std::unique_ptr<DecisionPlane> plane_;
+  std::vector<InFlight> inflight_;
+  /// Completions waiting for the next Tick (items skipped at admission).
+  std::vector<Completion> pending_;
+  std::vector<DecisionPlane::SlotView> views_;  // Tick scratch
+  uint64_t next_ticket_ = 0;
 };
 
 /// Builder of LabelingService sessions. Exactly one decision source —

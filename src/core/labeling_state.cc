@@ -1,5 +1,7 @@
 #include "core/labeling_state.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace ams::core {
@@ -12,6 +14,7 @@ LabelingState::LabelingState(int num_labels, int num_models)
 
 void LabelingState::Reset() {
   std::fill(labels_.begin(), labels_.end(), 0.0f);
+  set_indices_.clear();
   std::fill(executed_.begin(), executed_.end(), false);
   order_.clear();
   num_executed_ = 0;
@@ -41,6 +44,11 @@ void LabelingState::ApplyInto(int model_id,
     if (bit == 0.0f) {
       bit = 1.0f;
       ++num_labels_set_;
+      // Sorted insert keeps SetIndices ascending; states carry tens of set
+      // labels at most, so the shift stays cheap.
+      set_indices_.insert(std::lower_bound(set_indices_.begin(),
+                                           set_indices_.end(), out.label_id),
+                          out.label_id);
       if (fresh != nullptr) fresh->push_back(out);
     }
   }

@@ -48,11 +48,18 @@ class LabelingState {
   /// The binary feature vector fed to the Q-network (size = num_labels).
   const std::vector<float>& Features() const { return labels_; }
 
+  /// Indices of the set labels in ascending order — the sparse complement of
+  /// Features(). Kept sorted so a sparse consumer accumulating in index
+  /// order (DenseLayer::ForwardSparseRows) is bitwise identical to the dense
+  /// ascending scan over Features().
+  const std::vector<int>& SetIndices() const { return set_indices_; }
+
   /// Model ids in execution order.
   const std::vector<int>& execution_order() const { return order_; }
 
  private:
   std::vector<float> labels_;   // 0/1 floats: directly usable as NN input
+  std::vector<int> set_indices_;  // ascending indices of set bits
   std::vector<bool> executed_;
   std::vector<int> order_;
   int num_executed_ = 0;

@@ -43,20 +43,47 @@ class ModelValuePredictor {
   virtual std::vector<double> PredictValues(
       const std::vector<float>& state_features) = 0;
 
-  /// Predicted action values for a batch of states: returns one row of
-  /// `num_actions()` values per input state, in input order. States are
-  /// passed by pointer so callers batching live per-item feature vectors do
-  /// not copy them just to build the argument.
+  /// Predicted action values for a batch of states, written row-major into a
+  /// caller-owned flat buffer: `*out` is resized to
+  /// `states.size() * num_actions()` and row i occupies
+  /// [i * num_actions(), (i+1) * num_actions()). The flat form lets hot
+  /// drivers (core::DecisionPlane) reuse one buffer across refreshes instead
+  /// of allocating a vector-of-vectors per batched pass. States are passed by
+  /// pointer so callers batching live per-item feature vectors do not copy
+  /// them just to build the argument.
+  ///
+  /// `set_indices` may be empty or parallel to `states`: a non-null
+  /// set_indices[i] lists the nonzero positions of states[i] in ascending
+  /// order (LabelingState::SetIndices), letting sparse-aware backends skip
+  /// the dense feature scan. Indices are an optimization hint only — rows
+  /// must be bitwise identical with and without them.
   ///
   /// The default loops the scalar path; implementations backed by a batched
   /// forward pass (rl::Agent) override it with a single pass whose rows are
   /// bitwise identical to the scalar results.
-  virtual std::vector<std::vector<double>> PredictValuesBatch(
+  virtual void PredictValuesBatchInto(
+      const std::vector<const std::vector<float>*>& states,
+      const std::vector<const std::vector<int>*>& set_indices,
+      std::vector<double>* out) {
+    (void)set_indices;
+    const size_t stride = static_cast<size_t>(num_actions());
+    out->resize(states.size() * stride);
+    for (size_t i = 0; i < states.size(); ++i) {
+      const std::vector<double> row = PredictValues(*states[i]);
+      std::copy(row.begin(), row.end(), out->begin() + i * stride);
+    }
+  }
+
+  /// Convenience vector-of-rows form of PredictValuesBatchInto (same rows,
+  /// one allocation per row — use the Into form in hot loops).
+  std::vector<std::vector<double>> PredictValuesBatch(
       const std::vector<const std::vector<float>*>& states) {
-    std::vector<std::vector<double>> rows;
-    rows.reserve(states.size());
-    for (const std::vector<float>* state : states) {
-      rows.push_back(PredictValues(*state));
+    std::vector<double> flat;
+    PredictValuesBatchInto(states, {}, &flat);
+    const size_t stride = static_cast<size_t>(num_actions());
+    std::vector<std::vector<double>> rows(states.size());
+    for (size_t i = 0; i < states.size(); ++i) {
+      rows[i].assign(flat.begin() + i * stride, flat.begin() + (i + 1) * stride);
     }
     return rows;
   }

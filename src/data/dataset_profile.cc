@@ -103,6 +103,18 @@ DatasetProfile DatasetProfile::DogsOnly() {
   return p;
 }
 
+DatasetProfile DatasetProfile::ByName(const std::string& name,
+                                      DatasetProfile fallback, bool* found) {
+  for (const DatasetProfile& profile : AllProfiles()) {
+    if (profile.name == name) {
+      if (found != nullptr) *found = true;
+      return profile;
+    }
+  }
+  if (found != nullptr) *found = false;
+  return fallback;
+}
+
 DatasetProfile DatasetProfile::ActionsOnly() {
   DatasetProfile p;
   p.name = "actions_only";

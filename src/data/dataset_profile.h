@@ -56,6 +56,13 @@ struct DatasetProfile {
   /// All five factory profiles in a fixed order.
   static std::vector<DatasetProfile> AllProfiles();
 
+  /// The factory profile with the given name, or `fallback` when unknown
+  /// (tools that must reject unknown names pass `found`). One lookup shared
+  /// by every name-keyed tool/bench front end.
+  static DatasetProfile ByName(const std::string& name,
+                               DatasetProfile fallback = MsCoco(),
+                               bool* found = nullptr);
+
   /// An intentionally degenerate profile (only dog photos, no persons) used
   /// by the transfer-limits ablation (§VI-D "extreme cases").
   static DatasetProfile DogsOnly();

@@ -22,10 +22,13 @@ void DenseLayer::Forward(const Matrix& x, Matrix* y) const {
 }
 
 void DenseLayer::ForwardSparseRows(
-    const std::vector<const std::vector<float>*>& rows, Matrix* y) const {
+    const std::vector<const std::vector<float>*>& rows,
+    const std::vector<const std::vector<int>*>& indices, Matrix* y) const {
   const int n = static_cast<int>(rows.size());
   const int in = w_.rows();
   const int out = w_.cols();
+  AMS_CHECK(indices.empty() || indices.size() == rows.size(),
+            "sparse index lists must be absent or parallel to the rows");
   y->Resize(n, out);
   y->Fill(0.0f);
   for (int i = 0; i < n; ++i) {
@@ -34,11 +37,25 @@ void DenseLayer::ForwardSparseRows(
               "dense layer input dim mismatch");
     float* __restrict y_row = y->Row(i);
     const float* __restrict x_data = x.data();
-    for (int kk = 0; kk < in; ++kk) {
-      const float v = x_data[kk];
-      if (v == 0.0f) continue;
-      const float* __restrict w_row = w_.Row(kk);
-      for (int j = 0; j < out; ++j) y_row[j] += v * w_row[j];
+    const std::vector<int>* idx =
+        indices.empty() ? nullptr : indices[static_cast<size_t>(i)];
+    if (idx != nullptr) {
+      // Set positions are known: touch only those weight rows. Ascending
+      // index order keeps the float accumulation identical to the dense
+      // scan below (zero entries contribute nothing there).
+      for (const int kk : *idx) {
+        const float v = x_data[kk];
+        if (v == 0.0f) continue;
+        const float* __restrict w_row = w_.Row(kk);
+        for (int j = 0; j < out; ++j) y_row[j] += v * w_row[j];
+      }
+    } else {
+      for (int kk = 0; kk < in; ++kk) {
+        const float v = x_data[kk];
+        if (v == 0.0f) continue;
+        const float* __restrict w_row = w_.Row(kk);
+        for (int j = 0; j < out; ++j) y_row[j] += v * w_row[j];
+      }
     }
     const float* __restrict bias = b_.data();
     for (int j = 0; j < out; ++j) y_row[j] += bias[j];

@@ -34,8 +34,18 @@ class DenseLayer {
   /// Q-net are near-empty binary vectors, so materializing them dominates
   /// the actual math). Bitwise identical to Forward on the stacked rows:
   /// contributions accumulate in the same kk order, bias is added last.
+  ///
+  /// `indices` may be empty (every row is scanned densely) or parallel to
+  /// `rows`; a non-null indices[i] lists the nonzero positions of rows[i] in
+  /// ascending order (LabelingState::SetIndices), letting that row skip the
+  /// dense zero scan entirely while keeping the same accumulation order.
   void ForwardSparseRows(const std::vector<const std::vector<float>*>& rows,
+                         const std::vector<const std::vector<int>*>& indices,
                          Matrix* y) const;
+  void ForwardSparseRows(const std::vector<const std::vector<float>*>& rows,
+                         Matrix* y) const {
+    ForwardSparseRows(rows, {}, y);
+  }
 
   /// Given the input batch `x` used in Forward and dL/dy, computes dW, db and
   /// (if grad_x != nullptr) dL/dx.

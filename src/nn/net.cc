@@ -19,7 +19,9 @@ void QValueNet::CopyWeightsFrom(QValueNet* src) {
 }
 
 void QValueNet::PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                             const std::vector<const std::vector<int>*>& indices,
                              Matrix* q) {
+  (void)indices;  // the dense fallback stacks every row in full
   const int n = static_cast<int>(rows.size());
   Matrix x;
   x.Resize(n, input_dim());  // no zero-fill: every row is overwritten
@@ -81,12 +83,13 @@ void Mlp::Forward(const Matrix& x, Matrix* q) {
 }
 
 void Mlp::PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                       const std::vector<const std::vector<int>*>& indices,
                        Matrix* q) {
   // Inference only: the sparse rows feed the first layer directly — no
   // dense input build, no input_ cache copy. Later layers run the normal
   // dense path on the (small) hidden activations.
   const size_t n = layers_.size();
-  layers_[0].ForwardSparseRows(rows, &pre_act_[0]);
+  layers_[0].ForwardSparseRows(rows, indices, &pre_act_[0]);
   for (size_t i = 0; i < n; ++i) {
     if (i > 0) layers_[i].Forward(post_act_[i - 1], &pre_act_[i]);
     if (i + 1 < n) ReluForward(pre_act_[i], &post_act_[i]);
@@ -195,10 +198,11 @@ void DuelingMlp::Forward(const Matrix& x, Matrix* q) {
 }
 
 void DuelingMlp::PredictBatch(
-    const std::vector<const std::vector<float>*>& rows, Matrix* q) {
+    const std::vector<const std::vector<float>*>& rows,
+    const std::vector<const std::vector<int>*>& indices, Matrix* q) {
   // Inference only: sparse rows feed the first trunk layer directly (see
   // Mlp::PredictBatch).
-  trunk_[0].ForwardSparseRows(rows, &pre_act_[0]);
+  trunk_[0].ForwardSparseRows(rows, indices, &pre_act_[0]);
   ReluForward(pre_act_[0], &post_act_[0]);
   for (size_t i = 1; i < trunk_.size(); ++i) {
     trunk_[i].Forward(post_act_[i - 1], &pre_act_[i]);

@@ -47,9 +47,18 @@ class QValueNet {
   /// activation-caching copies that only Backward needs, so this is the fast
   /// path for batched prediction. Clobbers cached activations — do not call
   /// Backward for a batch forwarded this way. The base implementation stacks
-  /// the rows and calls Forward.
+  /// the rows and calls Forward (ignoring `indices`).
+  ///
+  /// `indices` may be empty or parallel to `rows`: a non-null indices[i]
+  /// lists the nonzero positions of rows[i] in ascending order, so the first
+  /// layer skips the dense feature scan (DenseLayer::ForwardSparseRows).
   virtual void PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                            const std::vector<const std::vector<int>*>& indices,
                             Matrix* q);
+  void PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                    Matrix* q) {
+    PredictBatch(rows, {}, q);
+  }
 
   /// Convenience single-state forward pass.
   std::vector<float> Predict1(const std::vector<float>& x);
@@ -75,7 +84,9 @@ class Mlp : public QValueNet {
   int output_dim() const override { return config_.output_dim; }
 
   void Forward(const Matrix& x, Matrix* q) override;
+  using QValueNet::PredictBatch;
   void PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                    const std::vector<const std::vector<int>*>& indices,
                     Matrix* q) override;
   void Backward(const Matrix& grad_q) override;
   void CollectParams(std::vector<ParamGrad>* out) override;
@@ -109,7 +120,9 @@ class DuelingMlp : public QValueNet {
   int output_dim() const override { return config_.output_dim; }
 
   void Forward(const Matrix& x, Matrix* q) override;
+  using QValueNet::PredictBatch;
   void PredictBatch(const std::vector<const std::vector<float>*>& rows,
+                    const std::vector<const std::vector<int>*>& indices,
                     Matrix* q) override;
   void Backward(const Matrix& grad_q) override;
   void CollectParams(std::vector<ParamGrad>* out) override;

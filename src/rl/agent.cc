@@ -22,17 +22,21 @@ std::vector<double> Agent::PredictValues(
   return std::vector<double>(q.begin(), q.end());
 }
 
-std::vector<std::vector<double>> Agent::PredictValuesBatch(
-    const std::vector<const std::vector<float>*>& states) {
+void Agent::PredictValuesBatchInto(
+    const std::vector<const std::vector<float>*>& states,
+    const std::vector<const std::vector<int>*>& set_indices,
+    std::vector<double>* out) {
   const int n = static_cast<int>(states.size());
-  if (n == 0) return {};
-  nn::Matrix q;
-  net_->PredictBatch(states, &q);
-  std::vector<std::vector<double>> rows(static_cast<size_t>(n));
+  const size_t stride = static_cast<size_t>(num_actions());
+  out->resize(static_cast<size_t>(n) * stride);
+  if (n == 0) return;
+  net_->PredictBatch(states, set_indices, &batch_q_);
+  double* dst = out->data();
   for (int i = 0; i < n; ++i) {
-    rows[static_cast<size_t>(i)].assign(q.Row(i), q.Row(i) + q.cols());
+    const float* row = batch_q_.Row(i);
+    for (size_t j = 0; j < stride; ++j) dst[j] = row[j];
+    dst += stride;
   }
-  return rows;
 }
 
 void Agent::Save(const std::string& path) const {

@@ -22,9 +22,13 @@ class Agent : public core::ModelValuePredictor {
 
   /// One [n, input_dim] forward pass through the Q-network. Each row is
   /// bitwise identical to the scalar PredictValues result (the net's Gemm
-  /// computes rows independently in the same operation order).
-  std::vector<std::vector<double>> PredictValuesBatch(
-      const std::vector<const std::vector<float>*>& states) override;
+  /// computes rows independently in the same operation order). Set-index
+  /// lists, when provided, route the first layer through the sparse-row
+  /// fast path; the batch Matrix scratch is reused across calls.
+  void PredictValuesBatchInto(
+      const std::vector<const std::vector<float>*>& states,
+      const std::vector<const std::vector<int>*>& set_indices,
+      std::vector<double>* out) override;
 
   int num_actions() const override { return net_->output_dim(); }
   int feature_dim() const { return net_->input_dim(); }
@@ -51,6 +55,8 @@ class Agent : public core::ModelValuePredictor {
  private:
   std::unique_ptr<nn::QValueNet> net_;
   nn::NetKind kind_;
+  /// Scratch for PredictValuesBatchInto, reused across calls.
+  nn::Matrix batch_q_;
 };
 
 }  // namespace ams::rl

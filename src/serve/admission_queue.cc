@@ -1,0 +1,152 @@
+#include "serve/admission_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ams::serve {
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kRejected:
+      return "rejected";
+    case ServeStatus::kShed:
+      return "shed";
+    case ServeStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kReject:
+      return "reject";
+    case OverloadPolicy::kShedOldest:
+      return "shed_oldest";
+  }
+  return "unknown";
+}
+
+AdmissionQueue::AdmissionQueue(int capacity, OverloadPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  AMS_CHECK(capacity >= 1, "admission queue needs capacity >= 1");
+  heap_.reserve(static_cast<size_t>(capacity));
+}
+
+AdmitOutcome AdmissionQueue::Enqueue(QueuedRequest&& request,
+                                     std::vector<QueuedRequest>* bounced) {
+  AMS_CHECK(bounced != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (policy_ == OverloadPolicy::kBlock) {
+    ++waiting_enqueuers_;
+    not_full_.wait(lock, [this] {
+      return closed_ || heap_.size() < static_cast<size_t>(capacity_);
+    });
+    --waiting_enqueuers_;
+  }
+  if (closed_) {
+    lock.unlock();
+    bounced->push_back(std::move(request));
+    return AdmitOutcome::kClosed;
+  }
+  if (heap_.size() >= static_cast<size_t>(capacity_)) {
+    if (policy_ == OverloadPolicy::kReject) {
+      lock.unlock();
+      bounced->push_back(std::move(request));
+      return AdmitOutcome::kRejected;
+    }
+    // kShedOldest: evict the stalest entry (smallest admission sequence).
+    // Linear scan over the bounded heap; eviction breaks the heap property
+    // at one position, so re-heapify.
+    size_t victim = 0;
+    for (size_t i = 1; i < heap_.size(); ++i) {
+      if (heap_[i].sequence < heap_[victim].sequence) victim = i;
+    }
+    bounced->push_back(std::move(heap_[victim]));
+    heap_[victim] = std::move(heap_.back());
+    heap_.pop_back();
+    std::make_heap(heap_.begin(), heap_.end(), Later);
+  }
+  heap_.push_back(std::move(request));
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+  depth_.store(heap_.size(), std::memory_order_relaxed);
+  const bool wake = waiting_poppers_ > 0;
+  lock.unlock();
+  if (wake) not_empty_.notify_one();
+  return AdmitOutcome::kAccepted;
+}
+
+bool AdmissionQueue::PopLocked(QueuedRequest* out) {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  *out = std::move(heap_.back());
+  heap_.pop_back();
+  depth_.store(heap_.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool AdmissionQueue::TryPop(QueuedRequest* out) {
+  AMS_CHECK(out != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!PopLocked(out)) return false;
+  const bool wake = waiting_enqueuers_ > 0;
+  lock.unlock();
+  if (wake) not_full_.notify_one();
+  return true;
+}
+
+int AdmissionQueue::TryPopBatch(int max_requests,
+                                std::vector<QueuedRequest>* out) {
+  AMS_CHECK(out != nullptr);
+  int popped = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (popped < max_requests && !heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    out->push_back(std::move(heap_.back()));
+    heap_.pop_back();
+    ++popped;
+  }
+  depth_.store(heap_.size(), std::memory_order_relaxed);
+  const bool wake = popped > 0 && waiting_enqueuers_ > 0;
+  lock.unlock();
+  if (wake) {
+    // Several slots may have opened at once.
+    not_full_.notify_all();
+  }
+  return popped;
+}
+
+bool AdmissionQueue::WaitPop(QueuedRequest* out) {
+  AMS_CHECK(out != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_poppers_;
+  not_empty_.wait(lock, [this] { return closed_ || !heap_.empty(); });
+  --waiting_poppers_;
+  if (!PopLocked(out)) return false;  // closed and empty: no more work, ever
+  const bool wake = waiting_enqueuers_ > 0;
+  lock.unlock();
+  if (wake) not_full_.notify_one();
+  return true;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace ams::serve

@@ -1,0 +1,111 @@
+#ifndef AMS_SERVE_ADMISSION_QUEUE_H_
+#define AMS_SERVE_ADMISSION_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace ams::serve {
+
+/// What a full admission queue does with new work.
+enum class OverloadPolicy {
+  /// Enqueue blocks until a worker frees a slot (backpressure onto the
+  /// caller; nothing is ever refused or dropped).
+  kBlock,
+  /// Enqueue refuses immediately (fail-fast admission control; the caller
+  /// gets ServeStatus::kRejected and decides whether to retry).
+  kReject,
+  /// The oldest queued request is dropped (ServeStatus::kShed) to admit the
+  /// new one — freshest-work-wins load shedding for streams where stale
+  /// items lose their value.
+  kShedOldest,
+};
+
+const char* OverloadPolicyName(OverloadPolicy policy);
+
+/// How AdmissionQueue::Enqueue disposed of a request.
+enum class AdmitOutcome {
+  /// Queued; the request was consumed.
+  kAccepted,
+  /// Refused (kReject policy, full queue); the request is handed back via
+  /// `bounced` for the caller to resolve.
+  kRejected,
+  /// Refused because Close() had been called; handed back via `bounced`.
+  kClosed,
+};
+
+/// Bounded, deadline-ordered (EDF) admission queue in front of the serving
+/// runtime: requests pop earliest-deadline-first with FIFO tie-break, and a
+/// full queue applies the configured overload policy. Thread-safe; the
+/// blocking operations (kBlock enqueues, WaitPop) are condition-variable
+/// based and wake on Close().
+class AdmissionQueue {
+ public:
+  /// `capacity` >= 1 bounds the number of queued (not yet popped) requests.
+  AdmissionQueue(int capacity, OverloadPolicy policy);
+
+  /// Applies the overload policy and queues the request.
+  ///  - kAccepted: the request was consumed; any shed victims (kShedOldest)
+  ///    are appended to `bounced` with their original promises intact.
+  ///  - kRejected / kClosed: the request itself is appended to `bounced`.
+  /// The caller resolves every bounced promise — the queue never touches
+  /// result semantics.
+  AdmitOutcome Enqueue(QueuedRequest&& request,
+                       std::vector<QueuedRequest>* bounced);
+
+  /// Pops the earliest-deadline request without blocking; false when empty.
+  bool TryPop(QueuedRequest* out);
+
+  /// Pops up to `max_requests` in EDF order under one lock (the worker
+  /// refill path: one acquisition per tick instead of one per item).
+  /// Returns the number appended to `out`.
+  int TryPopBatch(int max_requests, std::vector<QueuedRequest>* out);
+
+  /// Blocks until a request is available or the queue is closed AND empty
+  /// (drain-then-stop: queued work survives Close). False means "no more
+  /// work, ever" — the worker run-loops' exit signal.
+  bool WaitPop(QueuedRequest* out);
+
+  /// Stops admission (subsequent Enqueues return kClosed) and wakes every
+  /// blocked enqueuer and popper. Queued requests remain poppable.
+  void Close();
+
+  bool closed() const;
+  /// Current queued count; lock-free (updated under the queue mutex, read
+  /// relaxed — a gauge, not a synchronization point).
+  size_t size() const { return depth_.load(std::memory_order_relaxed); }
+  int capacity() const { return capacity_; }
+  OverloadPolicy policy() const { return policy_; }
+
+ private:
+  /// Min-heap comparator on (deadline, sequence). Implemented as a
+  /// std::push_heap/pop_heap max-heap with inverted comparison.
+  static bool Later(const QueuedRequest& a, const QueuedRequest& b) {
+    if (a.deadline_s != b.deadline_s) return a.deadline_s > b.deadline_s;
+    return a.sequence > b.sequence;
+  }
+
+  bool PopLocked(QueuedRequest* out);
+
+  const int capacity_;
+  const OverloadPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<QueuedRequest> heap_;
+  std::atomic<size_t> depth_{0};  // mirrors heap_.size()
+  /// Sleeper counts, so the hot paths skip the condition-variable notify
+  /// (a potential futex syscall) entirely while everyone is busy — the
+  /// steady-state throughput regime.
+  int waiting_poppers_ = 0;
+  int waiting_enqueuers_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ams::serve
+
+#endif  // AMS_SERVE_ADMISSION_QUEUE_H_

@@ -1,0 +1,124 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ams::serve {
+
+namespace {
+
+/// Relaxed CAS max for atomic<double> (no fetch_max in C++17).
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current < value && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatSeconds(double s) {
+  std::ostringstream out;
+  out.precision(6);
+  out << s;
+  return out.str();
+}
+
+}  // namespace
+
+int LatencyHistogram::BucketOf(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN/negative
+  // Growth factor sqrt(2): bucket = floor(2 * log2(s / min)).
+  const int b = static_cast<int>(2.0 * std::log2(seconds / kMinSeconds));
+  return std::min(b, kBuckets - 1);
+}
+
+double LatencyHistogram::BucketLow(int b) {
+  return kMinSeconds * std::exp2(0.5 * b);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  buckets_[static_cast<size_t>(BucketOf(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(static_cast<int64_t>(std::llround(seconds * 1e9)),
+                    std::memory_order_relaxed);
+  AtomicMax(&max_, seconds);
+}
+
+double LatencyHistogram::sum() const {
+  return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+double LatencyHistogram::mean() const {
+  const long n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double LatencyHistogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  const long n = count();
+  if (n == 0) return 0.0;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(n);
+  long seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const long in_bucket = buckets_[static_cast<size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      // Linear interpolation inside the winning bucket, clamped to the
+      // recorded maximum (the top bucket is open-ended).
+      const double frac =
+          std::clamp((target - static_cast<double>(seen)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      const double low = BucketLow(b);
+      const double high = std::min(BucketLow(b + 1), std::max(max(), low));
+      return low + frac * (high - low);
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+std::string LatencyHistogram::SnapshotJson() const {
+  std::ostringstream out;
+  out << "{\"count\": " << count() << ", \"mean_s\": " << FormatSeconds(mean())
+      << ", \"p50_s\": " << FormatSeconds(Percentile(50))
+      << ", \"p95_s\": " << FormatSeconds(Percentile(95))
+      << ", \"p99_s\": " << FormatSeconds(Percentile(99))
+      << ", \"max_s\": " << FormatSeconds(max()) << "}";
+  return out.str();
+}
+
+std::string Metrics::SnapshotJson(double uptime_s) const {
+  const long done = completed.load(std::memory_order_relaxed);
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"counters\": {\"enqueued\": "
+      << enqueued.load(std::memory_order_relaxed) << ", \"completed\": " << done
+      << ", \"rejected\": " << rejected.load(std::memory_order_relaxed)
+      << ", \"shed\": " << shed.load(std::memory_order_relaxed)
+      << ", \"shutdown_refused\": "
+      << shutdown_refused.load(std::memory_order_relaxed)
+      << ", \"deadline_misses\": "
+      << deadline_misses.load(std::memory_order_relaxed) << "},\n";
+  out << "  \"gauges\": {\"queue_depth\": "
+      << queue_depth.load(std::memory_order_relaxed) << ", \"in_flight\": "
+      << in_flight.load(std::memory_order_relaxed) << "},\n";
+  out << "  \"uptime_s\": " << FormatSeconds(uptime_s)
+      << ", \"completed_per_s\": "
+      << FormatSeconds(uptime_s > 0.0 ? static_cast<double>(done) / uptime_s
+                                      : 0.0)
+      << ",\n";
+  out << "  \"latency\": {\"queue_delay\": " << queue_delay.SnapshotJson()
+      << ", \"service\": " << service_time.SnapshotJson()
+      << ", \"total\": " << total_latency.SnapshotJson() << "}\n";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace ams::serve

@@ -1,0 +1,87 @@
+#ifndef AMS_SERVE_METRICS_H_
+#define AMS_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ams::serve {
+
+/// Lock-free latency histogram: values land in geometrically spaced buckets
+/// (sqrt(2) growth from 1 microsecond, covering beyond an hour), recorded
+/// with relaxed atomic increments so the serving hot path never serializes
+/// on a stats mutex. Percentiles interpolate within the winning bucket, so
+/// they are exact to one bucket's resolution (~+-20%) — the right trade for
+/// an operational p50/p95/p99, not for microbenchmarks.
+class LatencyHistogram {
+ public:
+  void Record(double seconds);
+
+  long count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of recorded values; mean() = sum()/count().
+  double sum() const;
+  double mean() const;
+  double max() const;
+
+  /// p in [0, 100]; 0 when nothing was recorded.
+  double Percentile(double p) const;
+
+  /// {"count":N,"mean_s":...,"p50_s":...,"p95_s":...,"p99_s":...,"max_s":...}
+  std::string SnapshotJson() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  static constexpr double kMinSeconds = 1e-6;
+
+  static int BucketOf(double seconds);
+  /// Lower bound of bucket b (kMinSeconds * 2^(b/2)).
+  static double BucketLow(int b);
+
+  std::array<std::atomic<long>, kBuckets> buckets_{};
+  std::atomic<long> count_{0};
+  /// Integer nanoseconds: fetch_add is wait-free, where an atomic<double>
+  /// sum would need a CAS loop on a contended line (C++17 has no
+  /// fetch_add for atomic<double>).
+  std::atomic<int64_t> sum_ns_{0};
+  /// CAS max; the loop body only runs while the maximum actually grows, so
+  /// steady state is a single relaxed load.
+  std::atomic<double> max_{0.0};
+};
+
+/// The serving runtime's metrics registry: throughput counters, queue/flight
+/// gauges, and latency histograms, all safely updatable from every worker
+/// and enqueuer concurrently. Exported as one JSON snapshot for scraping.
+///
+/// Counter semantics: every request increments `enqueued` exactly once and
+/// then exactly one of {completed, rejected, shed, shutdown_refused}; at any
+/// quiescent instant enqueued == completed + rejected + shed +
+/// shutdown_refused.
+class Metrics {
+ public:
+  // --- counters ---
+  std::atomic<long> enqueued{0};
+  std::atomic<long> completed{0};
+  std::atomic<long> rejected{0};
+  std::atomic<long> shed{0};
+  std::atomic<long> shutdown_refused{0};
+  /// Completions that landed after their request deadline.
+  std::atomic<long> deadline_misses{0};
+
+  // --- gauges (sampled by the runtime at queue transitions) ---
+  std::atomic<long> queue_depth{0};
+  std::atomic<long> in_flight{0};
+
+  // --- latency histograms ---
+  LatencyHistogram queue_delay;
+  LatencyHistogram service_time;
+  LatencyHistogram total_latency;
+
+  /// One JSON object with counters, gauges, histograms, and the completion
+  /// throughput over `uptime_s` (pass the runtime's clock reading).
+  std::string SnapshotJson(double uptime_s) const;
+};
+
+}  // namespace ams::serve
+
+#endif  // AMS_SERVE_METRICS_H_

@@ -1,0 +1,67 @@
+#ifndef AMS_SERVE_REQUEST_H_
+#define AMS_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <future>
+#include <limits>
+
+#include "core/labeling_service.h"
+
+namespace ams::serve {
+
+/// Terminal state of one serving request.
+enum class ServeStatus {
+  /// Labeled; `outcome` is valid.
+  kOk,
+  /// Refused at admission: the queue was full under OverloadPolicy::kReject.
+  kRejected,
+  /// Accepted, then dropped from a full queue to admit newer work
+  /// (OverloadPolicy::kShedOldest).
+  kShed,
+  /// Refused because the runtime had already shut down.
+  kShutdown,
+};
+
+const char* ServeStatusName(ServeStatus status);
+
+/// What a request's future resolves to. Latency fields are measured on the
+/// runtime's monotonic clock; only `kOk` results carry a valid outcome and
+/// full timing breakdown.
+struct ServeResult {
+  ServeStatus status = ServeStatus::kOk;
+  core::LabelOutcome outcome;
+  /// Enqueue -> dequeued by a worker.
+  double queue_delay_s = 0.0;
+  /// Dequeued -> completed (multiplexed stepping time, wall clock).
+  double service_s = 0.0;
+  /// Enqueue -> completed (or refusal/shed instant for non-kOk results).
+  double latency_s = 0.0;
+  /// Completion-time slack against the request deadline; negative = missed.
+  /// Infinity for requests without a deadline.
+  double slack_s = std::numeric_limits<double>::infinity();
+
+  bool ok() const { return status == ServeStatus::kOk; }
+  bool deadline_met() const { return slack_s >= 0.0; }
+};
+
+/// One request resident in the admission queue. Ordered by (deadline,
+/// sequence): earliest deadline first, FIFO among equal deadlines — EDF with
+/// deadline-less requests (infinite deadline) draining last, in order.
+struct QueuedRequest {
+  core::WorkItem item;
+  /// Absolute deadline on the runtime clock; infinity when the request has
+  /// no latency budget.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// Admission sequence number (FIFO tie-break, shed-oldest victim order).
+  uint64_t sequence = 0;
+  /// Seed for stream-dependent pickers: the stored item id, or a live
+  /// admission sequence number (core::LabelingService::ItemStepper::Admit).
+  uint64_t stream_id = 0;
+  /// When the request entered the queue, runtime clock.
+  double enqueue_time_s = 0.0;
+  std::promise<ServeResult> promise;
+};
+
+}  // namespace ams::serve
+
+#endif  // AMS_SERVE_REQUEST_H_

@@ -1,0 +1,217 @@
+#include "serve/server_runtime.h"
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ams::serve {
+
+ServerRuntime::ServerRuntime(core::LabelingService* session,
+                             ServeOptions options)
+    : session_(session),
+      options_(options),
+      queue_(options.queue_capacity, options.overload) {
+  AMS_CHECK(session != nullptr);
+  if (options_.workers <= 0) options_.workers = session->worker_count();
+  AMS_CHECK(options_.max_resident_per_worker >= 1,
+            "a worker must hold at least one resident item");
+  AMS_CHECK(options_.default_slack_s > 0.0, "deadline slack must be positive");
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back(&ServerRuntime::WorkerLoop, this, w);
+  }
+}
+
+ServerRuntime::~ServerRuntime() { Shutdown(); }
+
+std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item) {
+  return Enqueue(item, options_.default_slack_s);
+}
+
+std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item,
+                                                double slack_s) {
+  AMS_CHECK(slack_s > 0.0, "deadline slack must be positive");
+  QueuedRequest request;
+  request.item = item;
+  request.sequence = sequence_.fetch_add(1, std::memory_order_relaxed);
+  request.stream_id =
+      item.item >= 0
+          ? static_cast<uint64_t>(item.item)
+          : live_sequence_.fetch_add(1, std::memory_order_relaxed);
+  request.enqueue_time_s = clock_.ElapsedSeconds();
+  request.deadline_s = request.enqueue_time_s + slack_s;
+  std::future<ServeResult> future = request.promise.get_future();
+
+  metrics_.enqueued.fetch_add(1, std::memory_order_relaxed);
+  // Count the request as outstanding BEFORE it becomes poppable, so Drain()
+  // can never observe zero while a worker races us to completion; every
+  // refusal path undoes this through FinishOne().
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<QueuedRequest> bounced;
+  const AdmitOutcome outcome = queue_.Enqueue(std::move(request), &bounced);
+  metrics_.queue_depth.store(static_cast<long>(queue_.size()),
+                             std::memory_order_relaxed);
+  switch (outcome) {
+    case AdmitOutcome::kAccepted:
+      // Anything bounced is a shed victim displaced by this request.
+      for (QueuedRequest& victim : bounced) {
+        ResolveBounced(std::move(victim), ServeStatus::kShed);
+      }
+      break;
+    case AdmitOutcome::kRejected:
+      ResolveBounced(std::move(bounced.back()), ServeStatus::kRejected);
+      break;
+    case AdmitOutcome::kClosed:
+      ResolveBounced(std::move(bounced.back()), ServeStatus::kShutdown);
+      break;
+  }
+  return future;
+}
+
+void ServerRuntime::ResolveBounced(QueuedRequest&& request,
+                                   ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kRejected:
+      metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kShed:
+      metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kShutdown:
+      metrics_.shutdown_refused.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kOk:
+      AMS_CHECK(false, "completed requests are not bounced");
+  }
+  ServeResult result;
+  result.status = status;
+  result.latency_s = clock_.ElapsedSeconds() - request.enqueue_time_s;
+  result.queue_delay_s = result.latency_s;
+  result.slack_s = request.deadline_s - clock_.ElapsedSeconds();
+  request.promise.set_value(std::move(result));
+  FinishOne();
+}
+
+void ServerRuntime::FinishOne() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last one out: wake Drain() under the lock so the wakeup cannot fall
+    // between a waiter's predicate check and its wait.
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void ServerRuntime::WorkerLoop(int worker_index) {
+  using Stepper = core::LabelingService::ItemStepper;
+  const std::unique_ptr<Stepper> stepper =
+      session_->NewItemStepper(worker_index);
+  // Tracked requests keyed by stepper ticket. A flat swap-pop slab instead
+  // of a map: the resident set is tens of items, so a linear scan beats
+  // hashing and — on the serving hot path — spares a node allocation per
+  // request.
+  std::vector<std::pair<uint64_t, InFlightRequest>> in_flight;
+  in_flight.reserve(static_cast<size_t>(options_.max_resident_per_worker));
+  std::vector<Stepper::Completion> done;
+  std::vector<QueuedRequest> refill;
+
+  while (true) {
+    // Refill the resident set from the admission queue. An idle worker
+    // parks in WaitPop; a busy one tops up its remaining capacity under one
+    // queue lock, so admitted items keep stepping at full batch width while
+    // traffic flows.
+    const int space = options_.max_resident_per_worker - stepper->resident();
+    if (space > 0) {
+      refill.clear();
+      if (stepper->idle() && in_flight.empty()) {
+        QueuedRequest first;
+        if (!queue_.WaitPop(&first)) return;  // closed and fully drained
+        refill.push_back(std::move(first));
+        if (space > 1) queue_.TryPopBatch(space - 1, &refill);
+      } else if (queue_.size() > 0) {
+        // The lock-free depth gauge gates the pop: a busy worker over an
+        // empty queue never touches the queue mutex (a stale read costs one
+        // tick of admission latency, never correctness — the queue is
+        // re-checked every tick).
+        queue_.TryPopBatch(space, &refill);
+      }
+      if (!refill.empty()) {
+        metrics_.queue_depth.store(static_cast<long>(queue_.size()),
+                                   std::memory_order_relaxed);
+        metrics_.in_flight.fetch_add(static_cast<long>(refill.size()),
+                                     std::memory_order_relaxed);
+        const double now = clock_.ElapsedSeconds();
+        for (QueuedRequest& request : refill) {
+          InFlightRequest tracked;
+          tracked.promise = std::move(request.promise);
+          tracked.deadline_s = request.deadline_s;
+          tracked.enqueue_time_s = request.enqueue_time_s;
+          tracked.admit_time_s = now;
+          metrics_.queue_delay.Record(now - request.enqueue_time_s);
+          const uint64_t ticket =
+              stepper->Admit(request.item, request.stream_id);
+          in_flight.emplace_back(ticket, std::move(tracked));
+        }
+      }
+    }
+
+    // One cooperative tick: one deduplicated batched Q-forward across every
+    // resident item, then each kernel advances past one finish event.
+    done.clear();
+    stepper->Tick(&done);
+    if (done.empty()) continue;
+    const double now = clock_.ElapsedSeconds();
+    for (Stepper::Completion& completion : done) {
+      size_t slot = in_flight.size();
+      for (size_t i = 0; i < in_flight.size(); ++i) {
+        if (in_flight[i].first == completion.ticket) {
+          slot = i;
+          break;
+        }
+      }
+      AMS_CHECK(slot < in_flight.size(), "completion for an unknown ticket");
+      InFlightRequest tracked = std::move(in_flight[slot].second);
+      in_flight[slot] = std::move(in_flight.back());
+      in_flight.pop_back();
+
+      ServeResult result;
+      result.status = ServeStatus::kOk;
+      result.outcome = std::move(completion.outcome);
+      result.queue_delay_s = tracked.admit_time_s - tracked.enqueue_time_s;
+      result.service_s = now - tracked.admit_time_s;
+      result.latency_s = now - tracked.enqueue_time_s;
+      result.slack_s = tracked.deadline_s - now;
+      metrics_.service_time.Record(result.service_s);
+      metrics_.total_latency.Record(result.latency_s);
+      metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+      if (!result.deadline_met()) {
+        metrics_.deadline_misses.fetch_add(1, std::memory_order_relaxed);
+      }
+      metrics_.in_flight.fetch_sub(1, std::memory_order_relaxed);
+      tracked.promise.set_value(std::move(result));
+      FinishOne();
+    }
+  }
+}
+
+void ServerRuntime::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ServerRuntime::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::string ServerRuntime::MetricsJson() const {
+  return metrics_.SnapshotJson(clock_.ElapsedSeconds());
+}
+
+}  // namespace ams::serve

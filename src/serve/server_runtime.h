@@ -1,0 +1,132 @@
+#ifndef AMS_SERVE_SERVER_RUNTIME_H_
+#define AMS_SERVE_SERVER_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/labeling_service.h"
+#include "serve/admission_queue.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+#include "util/timer.h"
+
+namespace ams::serve {
+
+/// Serving-runtime knobs. Defaults favor throughput with backpressure.
+struct ServeOptions {
+  /// Worker run-loops; <= 0 resolves to the session's worker count.
+  int workers = 0;
+  /// Bound on queued-but-not-admitted requests (admission control).
+  int queue_capacity = 1024;
+  /// Items one worker multiplexes at once. Larger than the SubmitBatch wave
+  /// size (16): the run-loop refills continuously, so unlike a wave there
+  /// are no straggler rounds, and a fuller resident set keeps amortizing
+  /// the per-tick batched forward and bookkeeping (32 measures fastest in
+  /// bench_serve_runtime; beyond that the working set stops fitting cache).
+  int max_resident_per_worker = 32;
+  /// What a full queue does with new work.
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Deadline slack granted to Enqueue() calls that do not pass their own:
+  /// deadline = arrival + slack. Infinity = no deadline (pure FIFO order).
+  double default_slack_s = std::numeric_limits<double>::infinity();
+};
+
+/// The asynchronous serving runtime over a labeling session: admission in
+/// front, long-lived worker run-loops behind. Each worker multiplexes up to
+/// `max_resident_per_worker` in-flight items through a
+/// core::LabelingService::ItemStepper, issuing one deduplicated batched
+/// Q-forward per loop tick across all items resident on that worker — the
+/// open-loop steady-state generalization of SubmitBatch's fixed waves. The
+/// admission queue releases work earliest-deadline-first and applies the
+/// configured overload policy when full.
+///
+/// Per-item outcomes are identical to Submit() on the same session: items
+/// are independent and the batched Q-path is bitwise identical to scalar,
+/// so multiplexing changes scheduling cost, never results.
+///
+/// Lifecycle: construction spawns the workers; Enqueue() hands back a
+/// future; Drain() waits for all accepted work; Shutdown() (also run by the
+/// destructor) stops admission, completes accepted work, and joins. The
+/// session must outlive the runtime and must not serve SubmitBatch/Run
+/// calls while the runtime is live (both sides share the session's
+/// per-worker predictor clone pool).
+class ServerRuntime {
+ public:
+  /// `session` must be predictor-driven or random-packing (stateful policy
+  /// sessions cannot be multiplexed; see LabelingService::NewItemStepper).
+  explicit ServerRuntime(core::LabelingService* session,
+                         ServeOptions options = {});
+  ~ServerRuntime();
+
+  ServerRuntime(const ServerRuntime&) = delete;
+  ServerRuntime& operator=(const ServerRuntime&) = delete;
+
+  /// Submits one item with the default deadline slack. The future always
+  /// resolves — with the labeling outcome, or with a rejected/shed/shutdown
+  /// status. Under OverloadPolicy::kBlock this call blocks while the queue
+  /// is full. Thread-safe; any number of concurrent enqueuers.
+  std::future<ServeResult> Enqueue(const core::WorkItem& item);
+
+  /// Same, with a per-request deadline of now + `slack_s` (EDF priority:
+  /// tighter slack pops sooner).
+  std::future<ServeResult> Enqueue(const core::WorkItem& item, double slack_s);
+
+  /// Blocks until every request accepted so far has completed (queue empty
+  /// and nothing in flight). The runtime keeps serving afterwards.
+  void Drain();
+
+  /// Stops admission, completes all accepted work, joins the workers.
+  /// Idempotent; implied by destruction. Enqueues after (or racing with)
+  /// shutdown resolve to ServeStatus::kShutdown.
+  void Shutdown();
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  /// Metrics snapshot stamped with the runtime's uptime.
+  std::string MetricsJson() const;
+
+  const ServeOptions& options() const { return options_; }
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  /// A request a worker has admitted into its stepper, keyed by ticket.
+  struct InFlightRequest {
+    std::promise<ServeResult> promise;
+    double deadline_s = std::numeric_limits<double>::infinity();
+    double enqueue_time_s = 0.0;
+    double admit_time_s = 0.0;
+  };
+
+  void WorkerLoop(int worker_index);
+  /// Resolves a bounced (rejected / shed / post-shutdown) request.
+  void ResolveBounced(QueuedRequest&& request, ServeStatus status);
+  /// Completed-work accounting shared by every resolution path.
+  void FinishOne();
+
+  core::LabelingService* session_;
+  ServeOptions options_;
+  Metrics metrics_;
+  util::Timer clock_;
+  AdmissionQueue queue_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> sequence_{0};
+  std::atomic<uint64_t> live_sequence_{0};
+  /// Accepted but not yet finished (queued + in flight). Drain() waits on
+  /// this reaching zero.
+  std::atomic<long> outstanding_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  /// Serializes Shutdown() calls (idempotent join); the queue's closed flag
+  /// is the shutdown signal the workers and enqueuers observe.
+  std::mutex shutdown_mu_;
+};
+
+}  // namespace ams::serve
+
+#endif  // AMS_SERVE_SERVER_RUNTIME_H_

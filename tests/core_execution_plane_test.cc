@@ -56,10 +56,15 @@ class CountingPredictor : public ModelValuePredictor {
     ++*scalar_calls_;
     return q_;
   }
-  std::vector<std::vector<double>> PredictValuesBatch(
-      const std::vector<const std::vector<float>*>& states) override {
+  void PredictValuesBatchInto(
+      const std::vector<const std::vector<float>*>& states,
+      const std::vector<const std::vector<int>*>&,
+      std::vector<double>* out) override {
     ++*batch_calls_;
-    return std::vector<std::vector<double>>(states.size(), q_);
+    out->clear();
+    for (size_t i = 0; i < states.size(); ++i) {
+      out->insert(out->end(), q_.begin(), q_.end());
+    }
   }
   int num_actions() const override { return static_cast<int>(q_.size()); }
   std::unique_ptr<ModelValuePredictor> ClonePredictor() const override {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/labeling_state.h"
 #include "core/value.h"
 #include "data/dataset.h"
@@ -44,6 +46,28 @@ TEST(LabelingStateTest, FeaturesAreBinaryAndSized) {
   EXPECT_FLOAT_EQ(f[0], 1.0f);
   EXPECT_FLOAT_EQ(f[1], 0.0f);
   EXPECT_FLOAT_EQ(f[4], 1.0f);
+}
+
+TEST(LabelingStateTest, SetIndicesMirrorFeaturesInAscendingOrder) {
+  LabelingState state(10, 3);
+  EXPECT_TRUE(state.SetIndices().empty());
+  // Outputs arrive out of label order; the sparse view must stay sorted
+  // (ForwardSparseRows relies on ascending accumulation for bitwise parity
+  // with the dense scan).
+  state.Apply(0, {{7, 0.9}, {2, 0.8}});
+  EXPECT_EQ(state.SetIndices(), (std::vector<int>{2, 7}));
+  state.Apply(1, {{4, 0.95}, {7, 0.99} /*dup*/, {1, 0.2} /*low conf*/});
+  EXPECT_EQ(state.SetIndices(), (std::vector<int>{2, 4, 7}));
+  ASSERT_EQ(state.num_labels_set(),
+            static_cast<int>(state.SetIndices().size()));
+  for (int label = 0; label < state.num_labels(); ++label) {
+    const bool in_sparse =
+        std::find(state.SetIndices().begin(), state.SetIndices().end(),
+                  label) != state.SetIndices().end();
+    EXPECT_EQ(in_sparse, state.label_set(label)) << "label " << label;
+  }
+  state.Reset();
+  EXPECT_TRUE(state.SetIndices().empty());
 }
 
 TEST(LabelingStateTest, ResetClearsEverything) {

@@ -80,6 +80,50 @@ TEST(MlpTest, Predict1MatchesBatchForward) {
   for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(single[static_cast<size_t>(j)], q.At(0, j));
 }
 
+TEST(PredictBatchTest, SetIndexListsAreBitwiseIdenticalToDenseScan) {
+  // Sparse binary rows like the scheduling states: the index-list fast path
+  // must be bit-for-bit the dense zero-skipping scan, per architecture.
+  const MlpConfig config{24, {16}, 5};
+  std::vector<std::vector<float>> rows;
+  std::vector<std::vector<int>> index_lists;
+  util::Rng rng(21);
+  for (int r = 0; r < 6; ++r) {
+    std::vector<float> row(24, 0.0f);
+    std::vector<int> indices;
+    for (int k = 0; k < 24; ++k) {
+      if (rng.Uniform(0.0, 1.0) < 0.2) {
+        row[static_cast<size_t>(k)] = 1.0f;
+        indices.push_back(k);  // ascending by construction
+      }
+    }
+    rows.push_back(std::move(row));
+    index_lists.push_back(std::move(indices));  // row 0 may be all-zero
+  }
+  std::vector<const std::vector<float>*> row_ptrs;
+  std::vector<const std::vector<int>*> index_ptrs;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    row_ptrs.push_back(&rows[r]);
+    index_ptrs.push_back(&index_lists[r]);
+  }
+  for (const bool dueling : {false, true}) {
+    std::unique_ptr<QValueNet> net;
+    if (dueling) {
+      net = std::make_unique<DuelingMlp>(config, 13);
+    } else {
+      net = std::make_unique<Mlp>(config, 13);
+    }
+    Matrix dense_q, sparse_q;
+    net->PredictBatch(row_ptrs, &dense_q);
+    net->PredictBatch(row_ptrs, index_ptrs, &sparse_q);
+    ASSERT_EQ(sparse_q.rows(), dense_q.rows());
+    ASSERT_EQ(sparse_q.cols(), dense_q.cols());
+    for (int i = 0; i < dense_q.size(); ++i) {
+      EXPECT_EQ(sparse_q.data()[i], dense_q.data()[i])
+          << "dueling=" << dueling << " flat index " << i;
+    }
+  }
+}
+
 TEST(DuelingTest, QDecomposesIntoValuePlusCenteredAdvantage) {
   // Property of the dueling head: mean_a Q(s, a) equals the value head
   // output, because the advantage is mean-centered.

@@ -1,0 +1,459 @@
+// Tests of the serve:: subsystem: admission-queue ordering and all three
+// overload policies, seeded parity between the asynchronous runtime and
+// offline Submit(), Drain() under concurrent enqueuers, shutdown semantics,
+// and the metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/labeling_service.h"
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "nn/net.h"
+#include "rl/agent.h"
+#include "serve/admission_queue.h"
+#include "serve/metrics.h"
+#include "serve/server_runtime.h"
+
+namespace ams::serve {
+namespace {
+
+// --- admission queue -------------------------------------------------------
+
+QueuedRequest MakeRequest(uint64_t sequence, double deadline_s) {
+  QueuedRequest request;
+  request.item = core::WorkItem::Stored(static_cast<int>(sequence));
+  request.sequence = sequence;
+  request.deadline_s = deadline_s;
+  return request;
+}
+
+TEST(AdmissionQueueTest, PopsEarliestDeadlineFirstWithFifoTieBreak) {
+  AdmissionQueue queue(8, OverloadPolicy::kReject);
+  std::vector<QueuedRequest> bounced;
+  // Out-of-order deadlines, plus two deadline-less (infinite) requests.
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const auto& [seq, deadline] :
+       std::vector<std::pair<uint64_t, double>>{
+           {0, inf}, {1, 5.0}, {2, 1.0}, {3, inf}, {4, 3.0}, {5, 1.0}}) {
+    ASSERT_EQ(queue.Enqueue(MakeRequest(seq, deadline), &bounced),
+              AdmitOutcome::kAccepted);
+  }
+  // EDF: 1.0s deadlines first (seq 2 before 5: FIFO tie-break), then 3.0,
+  // 5.0, then the deadline-less pair in arrival order.
+  const std::vector<uint64_t> expected = {2, 5, 4, 1, 0, 3};
+  for (const uint64_t want : expected) {
+    QueuedRequest popped;
+    ASSERT_TRUE(queue.TryPop(&popped));
+    EXPECT_EQ(popped.sequence, want);
+  }
+  QueuedRequest popped;
+  EXPECT_FALSE(queue.TryPop(&popped));
+  EXPECT_TRUE(bounced.empty());
+}
+
+TEST(AdmissionQueueTest, RejectPolicyBouncesNewWorkWhenFull) {
+  AdmissionQueue queue(2, OverloadPolicy::kReject);
+  std::vector<QueuedRequest> bounced;
+  EXPECT_EQ(queue.Enqueue(MakeRequest(0, 1.0), &bounced),
+            AdmitOutcome::kAccepted);
+  EXPECT_EQ(queue.Enqueue(MakeRequest(1, 2.0), &bounced),
+            AdmitOutcome::kAccepted);
+  EXPECT_EQ(queue.Enqueue(MakeRequest(2, 0.5), &bounced),
+            AdmitOutcome::kRejected);
+  // The rejected request itself bounced back, even though its deadline was
+  // the tightest — kReject is strict arrival-order admission control.
+  ASSERT_EQ(bounced.size(), 1u);
+  EXPECT_EQ(bounced[0].sequence, 2u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(AdmissionQueueTest, ShedOldestPolicyEvictsStalestAcceptedWork) {
+  AdmissionQueue queue(2, OverloadPolicy::kShedOldest);
+  std::vector<QueuedRequest> bounced;
+  EXPECT_EQ(queue.Enqueue(MakeRequest(0, 1.0), &bounced),
+            AdmitOutcome::kAccepted);
+  EXPECT_EQ(queue.Enqueue(MakeRequest(1, 2.0), &bounced),
+            AdmitOutcome::kAccepted);
+  // Full: admitting seq 2 sheds the oldest entry (seq 0), not the one with
+  // the loosest deadline.
+  EXPECT_EQ(queue.Enqueue(MakeRequest(2, 3.0), &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(bounced.size(), 1u);
+  EXPECT_EQ(bounced[0].sequence, 0u);
+  // Remaining pops are still EDF over the survivors.
+  QueuedRequest popped;
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 1u);
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 2u);
+}
+
+TEST(AdmissionQueueTest, BlockPolicyAppliesBackpressureUntilAPop) {
+  AdmissionQueue queue(1, OverloadPolicy::kBlock);
+  std::vector<QueuedRequest> bounced;
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, 1.0), &bounced),
+            AdmitOutcome::kAccepted);
+  std::atomic<bool> second_accepted{false};
+  std::thread enqueuer([&] {
+    std::vector<QueuedRequest> thread_bounced;
+    const AdmitOutcome outcome =
+        queue.Enqueue(MakeRequest(1, 2.0), &thread_bounced);
+    EXPECT_EQ(outcome, AdmitOutcome::kAccepted);
+    second_accepted.store(true);
+  });
+  // The enqueuer must not get through while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_accepted.load());
+  EXPECT_EQ(queue.size(), 1u);
+  QueuedRequest popped;
+  ASSERT_TRUE(queue.TryPop(&popped));
+  enqueuer.join();
+  EXPECT_TRUE(second_accepted.load());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(AdmissionQueueTest, CloseWakesBlockedCallersAndKeepsQueuedWork) {
+  AdmissionQueue queue(1, OverloadPolicy::kBlock);
+  std::vector<QueuedRequest> bounced;
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, 1.0), &bounced),
+            AdmitOutcome::kAccepted);
+  std::thread blocked_enqueuer([&] {
+    std::vector<QueuedRequest> thread_bounced;
+    EXPECT_EQ(queue.Enqueue(MakeRequest(1, 2.0), &thread_bounced),
+              AdmitOutcome::kClosed);
+    EXPECT_EQ(thread_bounced.size(), 1u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  blocked_enqueuer.join();
+  // Queued work survives Close (drain-then-stop) and WaitPop serves it
+  // before reporting exhaustion.
+  QueuedRequest popped;
+  EXPECT_TRUE(queue.WaitPop(&popped));
+  EXPECT_EQ(popped.sequence, 0u);
+  EXPECT_FALSE(queue.WaitPop(&popped)) << "closed and empty: no more work";
+}
+
+// --- serving runtime -------------------------------------------------------
+
+std::unique_ptr<rl::Agent> MakeAgent(const zoo::ModelZoo& zoo, uint64_t seed) {
+  nn::MlpConfig config;
+  config.input_dim = zoo.labels().total_labels();
+  config.hidden_dims = {64};
+  config.output_dim = zoo.num_models() + 1;
+  return std::make_unique<rl::Agent>(std::make_unique<nn::Mlp>(config, seed),
+                                     nn::NetKind::kMlp);
+}
+
+class ServerRuntimeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    zoo_ = new zoo::ModelZoo(zoo::ModelZoo::CreateDefault());
+    dataset_ = new data::Dataset(data::Dataset::Generate(
+        data::DatasetProfile::MirFlickr25(), zoo_->labels(), 48, 31));
+    oracle_ = new data::Oracle(zoo_, dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete dataset_;
+    delete zoo_;
+  }
+
+  static core::ScheduleConstraints ParallelConstraints() {
+    core::ScheduleConstraints constraints;
+    constraints.time_budget_s = 1.0;
+    constraints.memory_budget_mb = 8000.0;
+    return constraints;
+  }
+
+  static core::LabelingService BuildPredictorSession(rl::Agent* agent,
+                                                     int workers) {
+    return core::LabelingServiceBuilder(zoo_)
+        .WithOracle(oracle_)
+        .WithPredictor(agent)
+        .WithMode(core::ExecutionMode::kParallel)
+        .WithConstraints(ParallelConstraints())
+        .WithWorkers(workers)
+        .Build();
+  }
+
+  // The acceptance fields: serving must not change what gets labeled.
+  static void ExpectSameOutcome(const core::LabelOutcome& offline,
+                                const core::LabelOutcome& served) {
+    EXPECT_EQ(offline.recall, served.recall);
+    EXPECT_EQ(offline.schedule.makespan_s, served.schedule.makespan_s);
+    EXPECT_EQ(offline.schedule.num_executions, served.schedule.num_executions);
+    EXPECT_EQ(offline.schedule.value, served.schedule.value);
+    EXPECT_EQ(offline.schedule.peak_mem_mb, served.schedule.peak_mem_mb);
+  }
+
+  static zoo::ModelZoo* zoo_;
+  static data::Dataset* dataset_;
+  static data::Oracle* oracle_;
+};
+
+zoo::ModelZoo* ServerRuntimeTest::zoo_ = nullptr;
+data::Dataset* ServerRuntimeTest::dataset_ = nullptr;
+data::Oracle* ServerRuntimeTest::oracle_ = nullptr;
+
+TEST_F(ServerRuntimeTest, ServedOutcomesMatchOfflineSubmitExactly) {
+  const int num_items = 40;
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 7);
+
+  core::LabelingService offline = BuildPredictorSession(agent.get(), 1);
+  std::vector<core::LabelOutcome> expected;
+  for (int i = 0; i < num_items; ++i) {
+    expected.push_back(offline.Submit(core::WorkItem::Stored(i)));
+  }
+
+  core::LabelingService session = BuildPredictorSession(agent.get(), 3);
+  ServeOptions options;
+  options.workers = 3;
+  options.max_resident_per_worker = 4;
+  ServerRuntime runtime(&session, options);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < num_items; ++i) {
+    futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i)));
+  }
+  for (int i = 0; i < num_items; ++i) {
+    const ServeResult result = futures[static_cast<size_t>(i)].get();
+    ASSERT_EQ(result.status, ServeStatus::kOk) << "item " << i;
+    ExpectSameOutcome(expected[static_cast<size_t>(i)], result.outcome);
+  }
+}
+
+TEST_F(ServerRuntimeTest, RandomPackingSessionsServeIdenticallyToo) {
+  // The predictor-less baseline (seeded random packing) multiplexes as
+  // well: stored items key their packing sequence by item id, so serving
+  // order cannot change outcomes.
+  const int num_items = 24;
+  const auto build = [&] {
+    return core::LabelingServiceBuilder(zoo_)
+        .WithOracle(oracle_)
+        .WithMode(core::ExecutionMode::kParallelRandom)
+        .WithConstraints(ParallelConstraints())
+        .WithSeed(91)
+        .WithWorkers(2)
+        .Build();
+  };
+  core::LabelingService offline = build();
+  std::vector<core::LabelOutcome> expected;
+  for (int i = 0; i < num_items; ++i) {
+    expected.push_back(offline.Submit(core::WorkItem::Stored(i)));
+  }
+  core::LabelingService session = build();
+  ServerRuntime runtime(&session, ServeOptions{});
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < num_items; ++i) {
+    futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i)));
+  }
+  for (int i = 0; i < num_items; ++i) {
+    const ServeResult result = futures[static_cast<size_t>(i)].get();
+    ASSERT_EQ(result.status, ServeStatus::kOk);
+    ExpectSameOutcome(expected[static_cast<size_t>(i)], result.outcome);
+  }
+}
+
+TEST_F(ServerRuntimeTest, DrainCompletesAllAcceptedWorkUnderConcurrentEnqueuers) {
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 11);
+  core::LabelingService session = BuildPredictorSession(agent.get(), 2);
+  ServeOptions options;
+  options.workers = 2;
+  options.queue_capacity = 8;  // enqueuers outpace this: kBlock backpressure
+  options.overload = OverloadPolicy::kBlock;
+  ServerRuntime runtime(&session, options);
+
+  constexpr int kEnqueuers = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::future<ServeResult>> futures[kEnqueuers];
+  std::vector<std::thread> enqueuers;
+  for (int t = 0; t < kEnqueuers; ++t) {
+    enqueuers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(
+            runtime.Enqueue(core::WorkItem::Stored((t * kPerThread + i) % 48)));
+      }
+    });
+  }
+  for (std::thread& thread : enqueuers) thread.join();
+  runtime.Drain();
+
+  // Everything accepted (kBlock never refuses) is complete by the time
+  // Drain returns: every future must be immediately ready and ok.
+  for (int t = 0; t < kEnqueuers; ++t) {
+    for (std::future<ServeResult>& future : futures[t]) {
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      EXPECT_TRUE(future.get().ok());
+    }
+  }
+  EXPECT_EQ(runtime.metrics().completed.load(), kEnqueuers * kPerThread);
+  EXPECT_EQ(runtime.metrics().enqueued.load(), kEnqueuers * kPerThread);
+  EXPECT_EQ(runtime.metrics().rejected.load(), 0);
+  EXPECT_EQ(runtime.metrics().shed.load(), 0);
+}
+
+TEST_F(ServerRuntimeTest, RejectOverloadResolvesEveryFutureOneWayOrAnother) {
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 13);
+  core::LabelingService session = BuildPredictorSession(agent.get(), 1);
+  ServeOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.max_resident_per_worker = 1;
+  options.overload = OverloadPolicy::kReject;
+  ServerRuntime runtime(&session, options);
+
+  constexpr int kRequests = 60;
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i % 48)));
+  }
+  runtime.Drain();
+  int ok = 0, refused = 0;
+  for (std::future<ServeResult>& future : futures) {
+    const ServeResult result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(result.status, ServeStatus::kRejected);
+      ++refused;
+    }
+  }
+  EXPECT_EQ(ok + refused, kRequests);
+  EXPECT_GE(ok, 1) << "admitted work must still complete under overload";
+  EXPECT_EQ(runtime.metrics().completed.load(), ok);
+  EXPECT_EQ(runtime.metrics().rejected.load(), refused);
+}
+
+TEST_F(ServerRuntimeTest, ShedOldestOverloadDropsStaleWorkButCompletesRest) {
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 17);
+  core::LabelingService session = BuildPredictorSession(agent.get(), 1);
+  ServeOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.max_resident_per_worker = 1;
+  options.overload = OverloadPolicy::kShedOldest;
+  ServerRuntime runtime(&session, options);
+
+  constexpr int kRequests = 60;
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i % 48)));
+  }
+  runtime.Drain();
+  int ok = 0, shed = 0;
+  for (std::future<ServeResult>& future : futures) {
+    const ServeResult result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(result.status, ServeStatus::kShed);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kRequests);
+  EXPECT_GE(ok, 1);
+  // Nothing is ever refused at the door under shed-oldest; the queue trades
+  // stale accepted work for fresh arrivals instead.
+  EXPECT_EQ(runtime.metrics().rejected.load(), 0);
+  EXPECT_EQ(runtime.metrics().shed.load(), shed);
+  EXPECT_EQ(runtime.metrics().completed.load(), ok);
+}
+
+TEST_F(ServerRuntimeTest, ShutdownCompletesAcceptedWorkAndRefusesNewWork) {
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 19);
+  core::LabelingService session = BuildPredictorSession(agent.get(), 2);
+  ServeOptions options;
+  options.workers = 2;
+  ServerRuntime runtime(&session, options);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i)));
+  }
+  runtime.Shutdown();
+  for (std::future<ServeResult>& future : futures) {
+    EXPECT_TRUE(future.get().ok()) << "accepted work survives shutdown";
+  }
+  const ServeResult refused =
+      runtime.Enqueue(core::WorkItem::Stored(0)).get();
+  EXPECT_EQ(refused.status, ServeStatus::kShutdown);
+  EXPECT_EQ(runtime.metrics().shutdown_refused.load(), 1);
+  runtime.Shutdown();  // idempotent
+}
+
+TEST_F(ServerRuntimeTest, MetricsSnapshotExportsCountersAndPercentiles) {
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 23);
+  core::LabelingService session = BuildPredictorSession(agent.get(), 2);
+  ServeOptions options;
+  options.workers = 2;
+  options.default_slack_s = 30.0;  // generous: no misses expected
+  ServerRuntime runtime(&session, options);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 30; ++i) {
+    futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i)));
+  }
+  runtime.Drain();
+  for (std::future<ServeResult>& future : futures) {
+    const ServeResult result = future.get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.deadline_met());
+    EXPECT_GE(result.latency_s, result.service_s);
+  }
+
+  const Metrics& metrics = runtime.metrics();
+  EXPECT_EQ(metrics.completed.load(), 30);
+  EXPECT_EQ(metrics.deadline_misses.load(), 0);
+  EXPECT_EQ(metrics.total_latency.count(), 30);
+  // Percentiles are monotone and bracketed by the recorded extremes.
+  const double p50 = metrics.total_latency.Percentile(50);
+  const double p95 = metrics.total_latency.Percentile(95);
+  const double p99 = metrics.total_latency.Percentile(99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, metrics.total_latency.max() * 1.0001);
+
+  const std::string json = runtime.MetricsJson();
+  for (const char* key :
+       {"\"counters\"", "\"completed\": 30", "\"gauges\"", "\"queue_delay\"",
+        "\"p99_s\"", "\"completed_per_s\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key
+                                                 << " in:\n" << json;
+  }
+}
+
+TEST_F(ServerRuntimeTest, LatencyHistogramPercentilesApproximateSamples) {
+  LatencyHistogram histogram;
+  // 1..100 ms uniform: p50 ~ 50ms, p99 ~ 99ms (bucket resolution ~20%).
+  for (int i = 1; i <= 100; ++i) histogram.Record(i * 1e-3);
+  EXPECT_EQ(histogram.count(), 100);
+  EXPECT_NEAR(histogram.mean(), 0.0505, 1e-9);
+  EXPECT_NEAR(histogram.Percentile(50), 0.050, 0.015);
+  EXPECT_NEAR(histogram.Percentile(99), 0.099, 0.025);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.100);
+}
+
+TEST_F(ServerRuntimeTest, SteppersRejectStatefulPolicySessions) {
+  core::LabelingService session =
+      core::LabelingServiceBuilder(zoo_)
+          .WithOracle(oracle_)
+          .WithMode(core::ExecutionMode::kSerial)
+          .WithPolicy("random", {})
+          .WithConstraints({/*time*/ 1.0})
+          .Build();
+  EXPECT_DEATH(session.NewItemStepper(0), "stateful policies");
+}
+
+}  // namespace
+}  // namespace ams::serve

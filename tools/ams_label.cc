@@ -146,11 +146,15 @@ rl::DrlScheme SchemeFromName(const std::string& name) {
 }
 
 data::DatasetProfile ProfileFromName(const std::string& name) {
-  for (const auto& profile : data::DatasetProfile::AllProfiles()) {
-    if (profile.name == name) return profile;
+  bool found = false;
+  data::DatasetProfile profile =
+      data::DatasetProfile::ByName(name, data::DatasetProfile::MsCoco(),
+                                   &found);
+  if (!found) {
+    std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+    std::exit(2);
   }
-  std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
-  std::exit(2);
+  return profile;
 }
 
 }  // namespace

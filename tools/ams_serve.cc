@@ -1,0 +1,277 @@
+// ams_serve — open-loop serving driver for the serve::ServerRuntime: builds
+// a corpus and an agent, stands up the asynchronous runtime over a labeling
+// session, replays seeded Poisson arrivals against it, and reports
+// admission/latency/throughput metrics.
+//
+// Usage:
+//   ams_serve [--dataset NAME] [--items N] [--requests N] [--rate R]
+//             [--workers N] [--queue-cap N] [--resident N]
+//             [--overload block|reject|shed] [--slack S]
+//             [--deadline S] [--memory GB] [--hidden N] [--seed N]
+//             [--json PATH]
+//
+// `--rate` is the open-loop arrival rate in requests/second (Poisson, seeded
+// by --seed); 0 enqueues everything at once (closed burst). `--slack` grants
+// each request a latency deadline of arrival + S seconds (EDF admission
+// order, misses counted); 0 means no deadlines. The scheduling agent is an
+// untrained net with the paper's architecture — per-decision cost matches a
+// trained agent while setup stays in milliseconds (train and serve real
+// checkpoints through ams_label's cache if needed).
+//
+// Examples:
+//   ams_serve --rate 2000 --workers 4 --slack 0.05
+//   ams_serve --rate 8000 --queue-cap 64 --overload shed --requests 20000
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/labeling_service.h"
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "nn/net.h"
+#include "rl/agent.h"
+#include "serve/server_runtime.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ams;
+
+struct Options {
+  std::string dataset = "mscoco";
+  int items = 400;        // corpus size; requests cycle through it
+  int requests = 2000;    // total requests to replay
+  double rate = 0.0;      // arrivals/s; 0 = closed burst
+  int workers = 0;        // <= 0: hardware concurrency
+  int queue_cap = 1024;
+  int resident = 16;
+  std::string overload = "block";
+  double slack_s = 0.0;   // 0 = no deadlines
+  double deadline = 1.0;  // per-item scheduling time budget (simulated)
+  double memory_gb = 8.0; // per-item memory budget (Algorithm 2)
+  int hidden = 256;
+  uint64_t seed = 7;
+  std::string json_path;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--dataset mscoco|places365|mirflickr25|stanford40|voc2012]\n"
+      "          [--items N] [--requests N] [--rate R] [--workers N]\n"
+      "          [--queue-cap N] [--resident N] [--overload block|reject|shed]\n"
+      "          [--slack S] [--deadline S] [--memory GB] [--hidden N]\n"
+      "          [--seed N] [--json PATH]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--dataset")) {
+      opts.dataset = next();
+    } else if (!std::strcmp(argv[i], "--items")) {
+      opts.items = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--requests")) {
+      opts.requests = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--rate")) {
+      opts.rate = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      opts.workers = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--queue-cap")) {
+      opts.queue_cap = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--resident")) {
+      opts.resident = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--overload")) {
+      opts.overload = next();
+    } else if (!std::strcmp(argv[i], "--slack")) {
+      opts.slack_s = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--deadline")) {
+      opts.deadline = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--memory")) {
+      opts.memory_gb = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--hidden")) {
+      opts.hidden = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      opts.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (!std::strcmp(argv[i], "--json")) {
+      opts.json_path = next();
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (opts.overload != "block" && opts.overload != "reject" &&
+      opts.overload != "shed") {
+    std::fprintf(stderr, "unknown overload policy: %s\n",
+                 opts.overload.c_str());
+    Usage(argv[0]);
+  }
+  return opts;
+}
+
+data::DatasetProfile ProfileFromName(const std::string& name) {
+  bool found = false;
+  data::DatasetProfile profile =
+      data::DatasetProfile::ByName(name, data::DatasetProfile::MsCoco(),
+                                   &found);
+  if (!found) {
+    std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+    std::exit(2);
+  }
+  return profile;
+}
+
+serve::OverloadPolicy PolicyFromName(const std::string& name) {
+  if (name == "reject") return serve::OverloadPolicy::kReject;
+  if (name == "shed") return serve::OverloadPolicy::kShedOldest;
+  return serve::OverloadPolicy::kBlock;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Parse(argc, argv);
+
+  std::printf("building zoo + %s corpus (%d items, seed %llu)...\n",
+              opts.dataset.c_str(), opts.items,
+              static_cast<unsigned long long>(opts.seed));
+  const zoo::ModelZoo zoo = zoo::ModelZoo::CreateDefault();
+  const data::Dataset dataset = data::Dataset::Generate(
+      ProfileFromName(opts.dataset), zoo.labels(), opts.items, opts.seed);
+  const data::Oracle oracle(&zoo, &dataset);
+
+  nn::MlpConfig net_config;
+  net_config.input_dim = zoo.labels().total_labels();
+  net_config.hidden_dims = {opts.hidden};
+  net_config.output_dim = zoo.num_models() + 1;
+  rl::Agent agent(std::make_unique<nn::Mlp>(net_config, opts.seed),
+                  nn::NetKind::kMlp);
+
+  core::ScheduleConstraints constraints;
+  constraints.time_budget_s = opts.deadline;
+  constraints.memory_budget_mb = opts.memory_gb * 1024.0;
+  core::LabelingService session = core::LabelingServiceBuilder(&zoo)
+                                      .WithOracle(&oracle)
+                                      .WithPredictor(&agent)
+                                      .WithMode(core::ExecutionMode::kParallel)
+                                      .WithConstraints(constraints)
+                                      .WithKernelMode(core::KernelMode::kLean)
+                                      .WithWorkers(opts.workers)
+                                      .WithSeed(opts.seed)
+                                      .Build();
+
+  serve::ServeOptions serve_options;
+  serve_options.workers = opts.workers;
+  serve_options.queue_capacity = opts.queue_cap;
+  serve_options.max_resident_per_worker = opts.resident;
+  serve_options.overload = PolicyFromName(opts.overload);
+  if (opts.slack_s > 0.0) serve_options.default_slack_s = opts.slack_s;
+  serve::ServerRuntime runtime(&session, serve_options);
+
+  std::printf(
+      "serving %d requests (rate %s/s, %d workers, queue %d, overload %s, "
+      "slack %s)...\n",
+      opts.requests,
+      opts.rate > 0.0 ? util::FormatDouble(opts.rate, 0).c_str() : "inf",
+      runtime.worker_count(), opts.queue_cap, opts.overload.c_str(),
+      opts.slack_s > 0.0 ? util::FormatDouble(opts.slack_s, 3).c_str()
+                         : "inf");
+
+  // Open-loop arrivals: exponential inter-arrival gaps at --rate, paced
+  // against the wall clock so service-time jitter never slows admission.
+  std::mt19937_64 rng(opts.seed);
+  std::exponential_distribution<double> gap(opts.rate > 0.0 ? opts.rate : 1.0);
+  util::Timer wall;
+  double next_arrival_s = 0.0;
+  std::vector<std::future<serve::ServeResult>> futures;
+  futures.reserve(static_cast<size_t>(opts.requests));
+  for (int r = 0; r < opts.requests; ++r) {
+    if (opts.rate > 0.0) {
+      next_arrival_s += gap(rng);
+      const double ahead = next_arrival_s - wall.ElapsedSeconds();
+      if (ahead > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+      }
+    }
+    futures.push_back(
+        runtime.Enqueue(core::WorkItem::Stored(r % opts.items)));
+  }
+  runtime.Drain();
+  const double wall_s = wall.ElapsedSeconds();
+
+  long ok = 0, rejected = 0, shed = 0, misses = 0;
+  util::RunningStat recall;
+  for (std::future<serve::ServeResult>& future : futures) {
+    const serve::ServeResult result = future.get();
+    switch (result.status) {
+      case serve::ServeStatus::kOk:
+        ++ok;
+        recall.Add(result.outcome.recall);
+        if (!result.deadline_met()) ++misses;
+        break;
+      case serve::ServeStatus::kRejected:
+        ++rejected;
+        break;
+      case serve::ServeStatus::kShed:
+        ++shed;
+        break;
+      case serve::ServeStatus::kShutdown:
+        break;
+    }
+  }
+
+  const serve::Metrics& metrics = runtime.metrics();
+  util::AsciiTable table;
+  table.SetHeader({"metric", "value"});
+  table.AddRow("completed", {static_cast<double>(ok)});
+  table.AddRow("rejected", {static_cast<double>(rejected)});
+  table.AddRow("shed", {static_cast<double>(shed)});
+  table.AddRow("deadline misses", {static_cast<double>(misses)});
+  table.AddRow("wall (s)", {wall_s});
+  table.AddRow("completed/s", {static_cast<double>(ok) / wall_s});
+  table.AddRow("mean recall", {recall.mean()});
+  table.AddRow("queue delay p50 (ms)",
+               {metrics.queue_delay.Percentile(50) * 1e3});
+  table.AddRow("queue delay p99 (ms)",
+               {metrics.queue_delay.Percentile(99) * 1e3});
+  table.AddRow("total latency p50 (ms)",
+               {metrics.total_latency.Percentile(50) * 1e3});
+  table.AddRow("total latency p95 (ms)",
+               {metrics.total_latency.Percentile(95) * 1e3});
+  table.AddRow("total latency p99 (ms)",
+               {metrics.total_latency.Percentile(99) * 1e3});
+  table.Print(std::cout);
+
+  const std::string snapshot = runtime.MetricsJson();
+  if (!opts.json_path.empty()) {
+    std::FILE* out = std::fopen(opts.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+      return 1;
+    }
+    std::fputs(snapshot.c_str(), out);
+    std::fputs("\n", out);
+    std::fclose(out);
+    std::printf("metrics snapshot written to %s\n", opts.json_path.c_str());
+  } else {
+    std::printf("%s\n", snapshot.c_str());
+  }
+  runtime.Shutdown();
+  return 0;
+}
