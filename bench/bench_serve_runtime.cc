@@ -12,6 +12,13 @@
 // asserted): the runtime changes scheduling cost, never outcomes. The
 // workload is Algorithm 2 (deadline + memory) driven by an untrained
 // DQN-architecture agent, as in bench_service_throughput.
+//
+// A third scenario replays the same workload through the runtime with a
+// seeded 20/60/20 interactive/standard/batch priority-class mix: classes
+// reorder admission (weighted round-robin between bands) but items are
+// independent, so the label results must again be identical, and the
+// mixed-class throughput must stay within noise of the single-class run —
+// the multi-tenant scheduler's bookkeeping is a few integer ops per pop.
 
 #include <cmath>
 #include <cstdlib>
@@ -20,6 +27,7 @@
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -97,6 +105,7 @@ void Run() {
   };
   core::LabelingService batch_session = build_session();
   core::LabelingService serve_session = build_session();
+  core::LabelingService mixed_session = build_session();
 
   serve::ServeOptions serve_options;
   serve_options.workers = workers;
@@ -105,11 +114,26 @@ void Run() {
   serve_options.max_resident_per_worker =
       bench::EnvInt("AMS_BENCH_RESIDENT", serve_options.max_resident_per_worker);
   serve::ServerRuntime runtime(&serve_session, serve_options);
+  serve::ServerRuntime mixed_runtime(&mixed_session, serve_options);
+
+  // Seeded 20/60/20 class assignment, fixed across trials.
+  std::vector<serve::PriorityClass> mixed_classes;
+  mixed_classes.reserve(work.size());
+  {
+    std::mt19937_64 class_rng(17);
+    std::discrete_distribution<int> class_of({2.0, 6.0, 2.0});
+    for (size_t i = 0; i < work.size(); ++i) {
+      mixed_classes.push_back(
+          static_cast<serve::PriorityClass>(class_of(class_rng)));
+    }
+  }
 
   BenchResult batch_result;
   batch_result.name = "submit_batch";
   BenchResult serve_result;
   serve_result.name = "serve_runtime";
+  BenchResult mixed_result;
+  mixed_result.name = "serve_runtime_mixed";
 
   const auto run_batch = [&](bool record) {
     util::Timer timer;
@@ -125,46 +149,59 @@ void Run() {
       }
     }
   };
-  const auto run_serve = [&](bool record) {
+  const auto run_serve = [&](serve::ServerRuntime* target,
+                             BenchResult* result_out, bool mixed,
+                             bool record) {
     std::vector<std::future<serve::ServeResult>> futures;
     futures.reserve(work.size());
     util::Timer timer;
-    for (const core::WorkItem& item : work) {
-      futures.push_back(runtime.Enqueue(item));
+    for (size_t i = 0; i < work.size(); ++i) {
+      futures.push_back(mixed ? target->Enqueue(work[i], mixed_classes[i])
+                              : target->Enqueue(work[i]));
     }
-    runtime.Drain();
+    target->Drain();
     const double wall = timer.ElapsedSeconds();
     if (!record) return;
-    serve_result.wall_s = std::min(serve_result.wall_s, wall);
-    if (serve_result.executions == 0) {
+    result_out->wall_s = std::min(result_out->wall_s, wall);
+    if (result_out->executions == 0) {
       for (std::future<serve::ServeResult>& future : futures) {
         const serve::ServeResult result = future.get();
         AMS_CHECK(result.ok(), "closed-burst serve run dropped an item");
-        serve_result.recall_sum += result.outcome.recall;
-        serve_result.executions += result.outcome.schedule.num_executions;
+        result_out->recall_sum += result.outcome.recall;
+        result_out->executions += result.outcome.schedule.num_executions;
       }
     }
   };
 
-  // Warm-up both paths (predictor clone pools, allocator), then interleave
-  // trials so machine noise hits both alike; each reports its best trial.
+  // Warm-up every path (predictor clone pools, allocator), then interleave
+  // trials so machine noise hits all alike; each reports its best trial.
   run_batch(false);
-  run_serve(false);
+  run_serve(&runtime, &serve_result, false, false);
+  run_serve(&mixed_runtime, &mixed_result, true, false);
   for (int r = 0; r < repeats; ++r) {
     run_batch(true);
-    run_serve(true);
+    run_serve(&runtime, &serve_result, false, true);
+    run_serve(&mixed_runtime, &mixed_result, true, true);
   }
   batch_result.items_per_s =
       static_cast<double>(num_items) / batch_result.wall_s;
   serve_result.items_per_s =
       static_cast<double>(num_items) / serve_result.wall_s;
+  mixed_result.items_per_s =
+      static_cast<double>(num_items) / mixed_result.wall_s;
 
   AMS_CHECK(std::abs(serve_result.recall_sum - batch_result.recall_sum) < 1e-9,
             "serve runtime changed recall vs SubmitBatch");
   AMS_CHECK(serve_result.executions == batch_result.executions,
             "serve runtime changed the schedules vs SubmitBatch");
+  AMS_CHECK(std::abs(mixed_result.recall_sum - batch_result.recall_sum) < 1e-9,
+            "priority classes changed recall vs SubmitBatch");
+  AMS_CHECK(mixed_result.executions == batch_result.executions,
+            "priority classes changed the schedules vs SubmitBatch");
 
   const double ratio = serve_result.items_per_s / batch_result.items_per_s;
+  const double mixed_ratio =
+      mixed_result.items_per_s / batch_result.items_per_s;
   bench::Banner("Serve runtime vs SubmitBatch (" + std::to_string(num_items) +
                 " items, best of " + std::to_string(repeats) +
                 " interleaved trials, " + std::to_string(workers) +
@@ -175,6 +212,8 @@ void Run() {
                {batch_result.wall_s, batch_result.items_per_s, 1.0});
   table.AddRow(serve_result.name,
                {serve_result.wall_s, serve_result.items_per_s, ratio});
+  table.AddRow(mixed_result.name,
+               {mixed_result.wall_s, mixed_result.items_per_s, mixed_ratio});
   table.Print(std::cout);
 
   std::ofstream json("BENCH_serve.json");
@@ -194,12 +233,19 @@ void Run() {
        << ", \"speedup_vs_submit_batch\": 1},\n";
   json << "    {\"name\": \"serve_runtime\", \"wall_s\": " << serve_result.wall_s
        << ", \"items_per_s\": " << serve_result.items_per_s
-       << ", \"speedup_vs_submit_batch\": " << ratio << "}\n";
+       << ", \"speedup_vs_submit_batch\": " << ratio << "},\n";
+  json << "    {\"name\": \"serve_runtime_mixed\", \"wall_s\": "
+       << mixed_result.wall_s
+       << ", \"items_per_s\": " << mixed_result.items_per_s
+       << ", \"speedup_vs_submit_batch\": " << mixed_ratio << "}\n";
   json << "  ],\n";
-  json << "  \"serve_vs_submit_ratio\": " << ratio << "\n";
+  json << "  \"serve_vs_submit_ratio\": " << ratio << ",\n";
+  json << "  \"mixed_vs_single_class_ratio\": "
+       << mixed_result.items_per_s / serve_result.items_per_s << "\n";
   json << "}\n";
   std::cout << "\nwrote BENCH_serve.json (serve/submit ratio " << ratio
-            << ")\n";
+            << ", mixed/single-class ratio "
+            << mixed_result.items_per_s / serve_result.items_per_s << ")\n";
 }
 
 }  // namespace

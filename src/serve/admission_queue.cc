@@ -33,21 +33,139 @@ const char* OverloadPolicyName(OverloadPolicy policy) {
   return "unknown";
 }
 
+AdmissionQueue::AdmissionQueue(const AdmissionConfig& config)
+    : config_(config),
+      clock_(config.clock != nullptr ? config.clock : &Clock::Monotonic()),
+      forced_service_after_(config.starvation_bound -
+                            (kNumPriorityClasses - 1)) {
+  AMS_CHECK(config_.capacity >= 1, "admission queue needs capacity >= 1");
+  AMS_CHECK(config_.starvation_bound >= kNumPriorityClasses,
+            "the starvation bound must cover one pop per class");
+  for (const ClassConfig& cls : config_.classes) {
+    AMS_CHECK(cls.weight >= 0, "class weights must be non-negative");
+    AMS_CHECK(cls.queue_capacity >= 0,
+              "per-class capacity must be >= 0 (0 = uncapped)");
+  }
+}
+
 AdmissionQueue::AdmissionQueue(int capacity, OverloadPolicy policy)
-    : capacity_(capacity), policy_(policy) {
-  AMS_CHECK(capacity >= 1, "admission queue needs capacity >= 1");
-  heap_.reserve(static_cast<size_t>(capacity));
+    : AdmissionQueue([&] {
+        AdmissionConfig config;
+        config.capacity = capacity;
+        config.overload = policy;
+        return config;
+      }()) {}
+
+OverloadPolicy AdmissionQueue::PolicyFor(PriorityClass cls) const {
+  const std::optional<OverloadPolicy>& per_class =
+      config_.classes[static_cast<size_t>(cls)].overload;
+  return per_class.has_value() ? *per_class : config_.overload;
+}
+
+size_t AdmissionQueue::TotalLocked() const {
+  size_t total = 0;
+  for (const ClassBand& band : bands_) total += band.heap.size();
+  return total;
+}
+
+bool AdmissionQueue::HasSpaceLocked(int cls) const {
+  if (TotalLocked() >= static_cast<size_t>(config_.capacity)) return false;
+  const int class_cap = config_.classes[static_cast<size_t>(cls)].queue_capacity;
+  return class_cap == 0 ||
+         bands_[static_cast<size_t>(cls)].heap.size() <
+             static_cast<size_t>(class_cap);
+}
+
+int AdmissionQueue::SelectClassLocked() {
+  // 1. Starvation guard: a class passed over forced_service_after_ times
+  //    while non-empty is served now; longest-passed-over first, ties to
+  //    the more important class. Guard service does not touch the
+  //    round-robin turn.
+  int chosen = -1;
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    const ClassBand& band = bands_[static_cast<size_t>(c)];
+    if (band.heap.empty() || band.passed_over < forced_service_after_) continue;
+    if (chosen < 0 ||
+        band.passed_over > bands_[static_cast<size_t>(chosen)].passed_over) {
+      chosen = c;
+    }
+  }
+  if (chosen < 0) {
+    // 2. Weighted round-robin: the current class keeps its turn while it
+    //    has work and credit; otherwise the turn advances cyclically to the
+    //    next non-empty positive-weight class, reloading that class's
+    //    credit from its weight.
+    if (rr_credit_ > 0 && config_.classes[static_cast<size_t>(rr_class_)].weight > 0 &&
+        !bands_[static_cast<size_t>(rr_class_)].heap.empty()) {
+      chosen = rr_class_;
+      --rr_credit_;
+    } else {
+      for (int step = 1; step <= kNumPriorityClasses; ++step) {
+        const int c = (rr_class_ + step) % kNumPriorityClasses;
+        if (config_.classes[static_cast<size_t>(c)].weight > 0 &&
+            !bands_[static_cast<size_t>(c)].heap.empty()) {
+          rr_class_ = c;
+          rr_credit_ = config_.classes[static_cast<size_t>(c)].weight - 1;
+          chosen = c;
+          break;
+        }
+      }
+    }
+  }
+  if (chosen < 0) {
+    // 3. Strict fallback: only weight-0 (background) classes have work;
+    //    serve the most important one.
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+      if (!bands_[static_cast<size_t>(c)].heap.empty()) {
+        chosen = c;
+        break;
+      }
+    }
+  }
+  AMS_CHECK(chosen >= 0, "SelectClassLocked called on an empty queue");
+  // Starvation accounting: every other class with queued work was passed
+  // over by this pop; the served class (and empty classes) start fresh.
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    ClassBand& band = bands_[static_cast<size_t>(c)];
+    if (c == chosen || band.heap.empty()) {
+      band.passed_over = 0;
+    } else {
+      ++band.passed_over;
+    }
+  }
+  return chosen;
+}
+
+void AdmissionQueue::EvictOldestLocked(int cls, QueuedRequest* victim) {
+  std::vector<QueuedRequest>& heap = bands_[static_cast<size_t>(cls)].heap;
+  AMS_CHECK(!heap.empty(), "no shed victim in the chosen class");
+  // Linear scan over the bounded band; eviction breaks the heap property at
+  // one position, so re-heapify.
+  size_t oldest = 0;
+  for (size_t i = 1; i < heap.size(); ++i) {
+    if (heap[i].sequence < heap[oldest].sequence) oldest = i;
+  }
+  *victim = std::move(heap[oldest]);
+  heap[oldest] = std::move(heap.back());
+  heap.pop_back();
+  std::make_heap(heap.begin(), heap.end(), Later);
 }
 
 AdmitOutcome AdmissionQueue::Enqueue(QueuedRequest&& request,
                                      std::vector<QueuedRequest>* bounced) {
   AMS_CHECK(bounced != nullptr);
+  const int cls = static_cast<int>(request.priority_class);
+  AMS_CHECK(cls >= 0 && cls < kNumPriorityClasses, "unknown priority class");
+  // Arrival stamps (before any kBlock wait: the latency clock starts when
+  // the caller showed up, and EDF urgency is arrival + slack).
+  request.enqueue_time_s = clock_->NowSeconds();
+  request.deadline_s = request.enqueue_time_s + request.slack_s;
+
   std::unique_lock<std::mutex> lock(mu_);
-  if (policy_ == OverloadPolicy::kBlock) {
+  const OverloadPolicy policy = PolicyFor(request.priority_class);
+  if (policy == OverloadPolicy::kBlock) {
     ++waiting_enqueuers_;
-    not_full_.wait(lock, [this] {
-      return closed_ || heap_.size() < static_cast<size_t>(capacity_);
-    });
+    not_full_.wait(lock, [this, cls] { return closed_ || HasSpaceLocked(cls); });
     --waiting_enqueuers_;
   }
   if (closed_) {
@@ -55,27 +173,44 @@ AdmitOutcome AdmissionQueue::Enqueue(QueuedRequest&& request,
     bounced->push_back(std::move(request));
     return AdmitOutcome::kClosed;
   }
-  if (heap_.size() >= static_cast<size_t>(capacity_)) {
-    if (policy_ == OverloadPolicy::kReject) {
+  if (!HasSpaceLocked(cls)) {
+    if (policy == OverloadPolicy::kReject) {
       lock.unlock();
       bounced->push_back(std::move(request));
       return AdmitOutcome::kRejected;
     }
-    // kShedOldest: evict the stalest entry (smallest admission sequence).
-    // Linear scan over the bounded heap; eviction breaks the heap property
-    // at one position, so re-heapify.
-    size_t victim = 0;
-    for (size_t i = 1; i < heap_.size(); ++i) {
-      if (heap_[i].sequence < heap_[victim].sequence) victim = i;
+    // kShedOldest. A class-cap overflow sheds within the arriving class; a
+    // queue-wide overflow sheds from the least important non-empty class
+    // that is no more important than the arrival.
+    const int class_cap =
+        config_.classes[static_cast<size_t>(cls)].queue_capacity;
+    int victim_class = -1;
+    if (class_cap > 0 && bands_[static_cast<size_t>(cls)].heap.size() >=
+                             static_cast<size_t>(class_cap)) {
+      victim_class = cls;
+    } else {
+      for (int c = kNumPriorityClasses - 1; c >= cls; --c) {
+        if (!bands_[static_cast<size_t>(c)].heap.empty()) {
+          victim_class = c;
+          break;
+        }
+      }
     }
-    bounced->push_back(std::move(heap_[victim]));
-    heap_[victim] = std::move(heap_.back());
-    heap_.pop_back();
-    std::make_heap(heap_.begin(), heap_.end(), Later);
+    if (victim_class < 0) {
+      // Everything resident outranks the arrival: shedding would invert
+      // priority, so the arrival bounces instead.
+      lock.unlock();
+      bounced->push_back(std::move(request));
+      return AdmitOutcome::kRejected;
+    }
+    QueuedRequest victim;
+    EvictOldestLocked(victim_class, &victim);
+    bounced->push_back(std::move(victim));
   }
-  heap_.push_back(std::move(request));
-  std::push_heap(heap_.begin(), heap_.end(), Later);
-  depth_.store(heap_.size(), std::memory_order_relaxed);
+  std::vector<QueuedRequest>& heap = bands_[static_cast<size_t>(cls)].heap;
+  heap.push_back(std::move(request));
+  std::push_heap(heap.begin(), heap.end(), Later);
+  depth_.store(TotalLocked(), std::memory_order_relaxed);
   const bool wake = waiting_poppers_ > 0;
   lock.unlock();
   if (wake) not_empty_.notify_one();
@@ -83,11 +218,13 @@ AdmitOutcome AdmissionQueue::Enqueue(QueuedRequest&& request,
 }
 
 bool AdmissionQueue::PopLocked(QueuedRequest* out) {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later);
-  *out = std::move(heap_.back());
-  heap_.pop_back();
-  depth_.store(heap_.size(), std::memory_order_relaxed);
+  if (TotalLocked() == 0) return false;
+  const int cls = SelectClassLocked();
+  std::vector<QueuedRequest>& heap = bands_[static_cast<size_t>(cls)].heap;
+  std::pop_heap(heap.begin(), heap.end(), Later);
+  *out = std::move(heap.back());
+  heap.pop_back();
+  depth_.store(TotalLocked(), std::memory_order_relaxed);
   return true;
 }
 
@@ -97,7 +234,10 @@ bool AdmissionQueue::TryPop(QueuedRequest* out) {
   if (!PopLocked(out)) return false;
   const bool wake = waiting_enqueuers_ > 0;
   lock.unlock();
-  if (wake) not_full_.notify_one();
+  // notify_all, not notify_one: blocked enqueuers wait on class-specific
+  // predicates (per-class caps), so the single woken thread might not be
+  // the one whose class gained space.
+  if (wake) not_full_.notify_all();
   return true;
 }
 
@@ -106,17 +246,15 @@ int AdmissionQueue::TryPopBatch(int max_requests,
   AMS_CHECK(out != nullptr);
   int popped = 0;
   std::unique_lock<std::mutex> lock(mu_);
-  while (popped < max_requests && !heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later);
-    out->push_back(std::move(heap_.back()));
-    heap_.pop_back();
+  QueuedRequest request;
+  while (popped < max_requests && PopLocked(&request)) {
+    out->push_back(std::move(request));
     ++popped;
   }
-  depth_.store(heap_.size(), std::memory_order_relaxed);
   const bool wake = popped > 0 && waiting_enqueuers_ > 0;
   lock.unlock();
   if (wake) {
-    // Several slots may have opened at once.
+    // Several slots may have opened at once, across several classes.
     not_full_.notify_all();
   }
   return popped;
@@ -126,12 +264,12 @@ bool AdmissionQueue::WaitPop(QueuedRequest* out) {
   AMS_CHECK(out != nullptr);
   std::unique_lock<std::mutex> lock(mu_);
   ++waiting_poppers_;
-  not_empty_.wait(lock, [this] { return closed_ || !heap_.empty(); });
+  not_empty_.wait(lock, [this] { return closed_ || TotalLocked() > 0; });
   --waiting_poppers_;
   if (!PopLocked(out)) return false;  // closed and empty: no more work, ever
   const bool wake = waiting_enqueuers_ > 0;
   lock.unlock();
-  if (wake) not_full_.notify_one();
+  if (wake) not_full_.notify_all();
   return true;
 }
 
@@ -147,6 +285,16 @@ void AdmissionQueue::Close() {
 bool AdmissionQueue::closed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return closed_;
+}
+
+size_t AdmissionQueue::class_size(PriorityClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bands_[static_cast<size_t>(cls)].heap.size();
+}
+
+int AdmissionQueue::waiting_enqueuers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_enqueuers_;
 }
 
 }  // namespace ams::serve

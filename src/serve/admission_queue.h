@@ -1,12 +1,16 @@
 #ifndef AMS_SERVE_ADMISSION_QUEUE_H_
 #define AMS_SERVE_ADMISSION_QUEUE_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <optional>
 #include <vector>
 
+#include "serve/clock.h"
+#include "serve/priority_class.h"
 #include "serve/request.h"
 
 namespace ams::serve {
@@ -19,9 +23,13 @@ enum class OverloadPolicy {
   /// Enqueue refuses immediately (fail-fast admission control; the caller
   /// gets ServeStatus::kRejected and decides whether to retry).
   kReject,
-  /// The oldest queued request is dropped (ServeStatus::kShed) to admit the
-  /// new one — freshest-work-wins load shedding for streams where stale
-  /// items lose their value.
+  /// A resident request is dropped (ServeStatus::kShed) to admit the new
+  /// one — freshest-work-wins load shedding. Victims come from the least
+  /// important non-empty class that is no more important than the arrival
+  /// (batch work is shed before interactive work; an arrival never
+  /// displaces more important work — when only more important work is
+  /// resident, the arrival itself bounces as kRejected). Within the victim
+  /// class, the oldest admission sequence is dropped.
   kShedOldest,
 };
 
@@ -31,24 +39,91 @@ const char* OverloadPolicyName(OverloadPolicy policy);
 enum class AdmitOutcome {
   /// Queued; the request was consumed.
   kAccepted,
-  /// Refused (kReject policy, full queue); the request is handed back via
+  /// Refused (full queue under kReject, or under kShedOldest with only
+  /// more-important work resident); the request is handed back via
   /// `bounced` for the caller to resolve.
   kRejected,
   /// Refused because Close() had been called; handed back via `bounced`.
   kClosed,
 };
 
-/// Bounded, deadline-ordered (EDF) admission queue in front of the serving
-/// runtime: requests pop earliest-deadline-first with FIFO tie-break, and a
-/// full queue applies the configured overload policy. Thread-safe; the
-/// blocking operations (kBlock enqueues, WaitPop) are condition-variable
-/// based and wake on Close().
+/// Per-class admission configuration.
+struct ClassConfig {
+  /// Weighted-round-robin share: consecutive pops granted to this class per
+  /// RR turn while it has queued work. 0 = strict background — the class is
+  /// never chosen by the round-robin and drains only when every
+  /// positive-weight class is empty (strict priority) or when the
+  /// starvation bound forces it.
+  int weight = 1;
+  /// Bound on this class's queued requests; 0 = bounded only by the
+  /// queue-wide capacity.
+  int queue_capacity = 0;
+  /// Overload policy applied to arrivals of this class; unset = the
+  /// queue-wide policy.
+  std::optional<OverloadPolicy> overload;
+};
+
+/// The default per-class table (shared by AdmissionConfig and
+/// ServeOptions so the defaults cannot diverge): 8:4:1
+/// interactive:standard:batch weights, no per-class caps or overrides.
+inline constexpr std::array<ClassConfig, kNumPriorityClasses>
+    kDefaultClassConfigs = {ClassConfig{8, 0, std::nullopt},
+                            ClassConfig{4, 0, std::nullopt},
+                            ClassConfig{1, 0, std::nullopt}};
+
+/// Admission-queue configuration. Defaults reproduce the single-band
+/// behavior for uniform-class workloads (any weights do: with one non-empty
+/// class every pop is that class's EDF head).
+struct AdmissionConfig {
+  /// Bound on the total queued (not yet popped) requests, >= 1.
+  int capacity = 1024;
+  /// Queue-wide overload policy (per-class override in `classes`).
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Starvation bound K, >= kNumPriorityClasses: whenever a class has
+  /// queued work, it is served at least once within every K consecutive
+  /// pops, whatever the weights (so a backlog of n requests drains within
+  /// n*K pops). Internally a class is force-served once it has been passed
+  /// over K - (kNumPriorityClasses - 1) times, which keeps the bound exact
+  /// even when several classes starve at once.
+  int starvation_bound = 16;
+  /// Per-class weight/cap/policy, indexed by PriorityClass.
+  std::array<ClassConfig, kNumPriorityClasses> classes = kDefaultClassConfigs;
+  /// Timestamp source for admission stamps (enqueue_time_s, deadline_s);
+  /// null = Clock::Monotonic().
+  const Clock* clock = nullptr;
+};
+
+/// Bounded multi-tenant admission queue in front of the serving runtime:
+/// one EDF band per PriorityClass (earliest deadline first, FIFO
+/// tie-break), weighted round-robin service between classes with a hard
+/// starvation bound, and per-class overload policy + queue cap on top of
+/// the queue-wide capacity. Thread-safe; the blocking operations (kBlock
+/// enqueues, WaitPop) are condition-variable based and wake on Close().
+///
+/// Pop-order contract (the reference model in
+/// tests/serve_admission_model_test.cc mirrors this literally):
+///  1. Starvation guard: a non-empty class that has been passed over for
+///     starvation_bound - (kNumPriorityClasses - 1) consecutive pops is
+///     served now; among several such classes, the longest-passed-over
+///     wins, ties to the more important class.
+///  2. Weighted round-robin: the current class keeps serving while it has
+///     queued work and credit left (credit starts at its weight each turn);
+///     otherwise the turn advances cyclically to the next non-empty class
+///     with weight > 0.
+///  3. Strict fallback: if no non-empty class has weight > 0, the most
+///     important non-empty class is served.
+/// Within the chosen class, pops are EDF (deadline, then admission
+/// sequence). Single-class workloads therefore pop in exactly the
+/// single-band EDF order.
 class AdmissionQueue {
  public:
-  /// `capacity` >= 1 bounds the number of queued (not yet popped) requests.
+  explicit AdmissionQueue(const AdmissionConfig& config);
+  /// Single-band convenience: queue-wide `capacity` and `policy`, default
+  /// class table.
   AdmissionQueue(int capacity, OverloadPolicy policy);
 
-  /// Applies the overload policy and queues the request.
+  /// Stamps the request (enqueue_time_s = now, deadline_s = now + slack_s),
+  /// applies the class's overload policy and queues it.
   ///  - kAccepted: the request was consumed; any shed victims (kShedOldest)
   ///    are appended to `bounced` with their original promises intact.
   ///  - kRejected / kClosed: the request itself is appended to `bounced`.
@@ -57,12 +132,13 @@ class AdmissionQueue {
   AdmitOutcome Enqueue(QueuedRequest&& request,
                        std::vector<QueuedRequest>* bounced);
 
-  /// Pops the earliest-deadline request without blocking; false when empty.
+  /// Pops the next request per the pop-order contract; false when empty.
   bool TryPop(QueuedRequest* out);
 
-  /// Pops up to `max_requests` in EDF order under one lock (the worker
-  /// refill path: one acquisition per tick instead of one per item).
-  /// Returns the number appended to `out`.
+  /// Pops up to `max_requests` under one lock (the worker refill path: one
+  /// acquisition per tick instead of one per item). A single batch spans
+  /// classes exactly as `max_requests` successive TryPops would. Returns
+  /// the number appended to `out`.
   int TryPopBatch(int max_requests, std::vector<QueuedRequest>* out);
 
   /// Blocks until a request is available or the queue is closed AND empty
@@ -78,8 +154,15 @@ class AdmissionQueue {
   /// Current queued count; lock-free (updated under the queue mutex, read
   /// relaxed — a gauge, not a synchronization point).
   size_t size() const { return depth_.load(std::memory_order_relaxed); }
-  int capacity() const { return capacity_; }
-  OverloadPolicy policy() const { return policy_; }
+  /// Queued count of one class (under the queue mutex).
+  size_t class_size(PriorityClass cls) const;
+  /// Enqueuers currently blocked inside a kBlock Enqueue (under the queue
+  /// mutex). Lets tests wait for "the enqueuer has parked" deterministically
+  /// instead of sleeping.
+  int waiting_enqueuers() const;
+  int capacity() const { return config_.capacity; }
+  OverloadPolicy policy() const { return config_.overload; }
+  const AdmissionConfig& config() const { return config_; }
 
  private:
   /// Min-heap comparator on (deadline, sequence). Implemented as a
@@ -89,15 +172,44 @@ class AdmissionQueue {
     return a.sequence > b.sequence;
   }
 
-  bool PopLocked(QueuedRequest* out);
+  struct ClassBand {
+    /// EDF heap of this class's queued requests.
+    std::vector<QueuedRequest> heap;
+    /// Pops that served other classes while this one had queued work, since
+    /// this class was last served. Reaching the forced-service threshold
+    /// triggers the starvation guard.
+    int passed_over = 0;
+  };
 
-  const int capacity_;
-  const OverloadPolicy policy_;
+  /// Effective overload policy for one class.
+  OverloadPolicy PolicyFor(PriorityClass cls) const;
+  /// Whether class `cls` can accept one more request (queue-wide and
+  /// per-class caps).
+  bool HasSpaceLocked(int cls) const;
+  size_t TotalLocked() const;
+  /// The pop-order contract: which class serves the next pop; -1 if all
+  /// bands are empty. Updates the round-robin / starvation accounting as a
+  /// side effect, so call exactly once per actual pop.
+  int SelectClassLocked();
+  bool PopLocked(QueuedRequest* out);
+  /// Pops the oldest (smallest admission sequence) request of class `cls`
+  /// into `victim`; the band is re-heapified.
+  void EvictOldestLocked(int cls, QueuedRequest* victim);
+
+  const AdmissionConfig config_;
+  const Clock* const clock_;
+  /// Forced-service threshold derived from config_.starvation_bound.
+  const int forced_service_after_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::vector<QueuedRequest> heap_;
-  std::atomic<size_t> depth_{0};  // mirrors heap_.size()
+  std::array<ClassBand, kNumPriorityClasses> bands_;
+  /// Weighted-round-robin cursor: current class and pops left in its turn.
+  /// Starts one before class 0 (cyclically) with no credit, so the first
+  /// pop's turn scan begins at the most important class.
+  int rr_class_ = kNumPriorityClasses - 1;
+  int rr_credit_ = 0;
+  std::atomic<size_t> depth_{0};  // mirrors the summed band sizes
   /// Sleeper counts, so the hot paths skip the condition-variable notify
   /// (a potential futex syscall) entirely while everyone is busy — the
   /// steady-state throughput regime.

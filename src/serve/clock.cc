@@ -1,0 +1,53 @@
+#include "serve/clock.h"
+
+#include <chrono>
+
+#include "util/check.h"
+
+namespace ams::serve {
+
+namespace {
+
+class MonotonicClock : public Clock {
+ public:
+  MonotonicClock() : start_(std::chrono::steady_clock::now()) {}
+
+  double NowSeconds() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+const Clock& Clock::Monotonic() {
+  // Leaked singleton: the serving runtime may read timestamps from detached
+  // paths during process teardown.
+  static const MonotonicClock* const kInstance = new MonotonicClock();
+  return *kInstance;
+}
+
+void ManualClock::Advance(double seconds) {
+  AMS_CHECK(seconds >= 0.0, "a monotonic clock cannot go backwards");
+  double current = now_s_.load(std::memory_order_relaxed);
+  while (!now_s_.compare_exchange_weak(current, current + seconds,
+                                       std::memory_order_acq_rel)) {
+  }
+}
+
+void ManualClock::Set(double seconds) {
+  double current = now_s_.load(std::memory_order_relaxed);
+  while (true) {
+    AMS_CHECK(seconds >= current, "a monotonic clock cannot go backwards");
+    if (now_s_.compare_exchange_weak(current, seconds,
+                                     std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+}  // namespace ams::serve

@@ -60,9 +60,16 @@ double LatencyHistogram::max() const {
 
 double LatencyHistogram::Percentile(double p) const {
   const long n = count();
+  // The documented empty contract: every percentile of "no data" is 0.0.
   if (n == 0) return 0.0;
-  const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
-                        static_cast<double>(n);
+  // NaN-safe clamp (std::clamp on NaN is undefined): NaN and negatives
+  // collapse to 0, anything above 100 to 100.
+  if (!(p > 0.0)) {
+    p = 0.0;
+  } else if (p > 100.0) {
+    p = 100.0;
+  }
+  const double target = p / 100.0 * static_cast<double>(n);
   long seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     const long in_bucket = buckets_[static_cast<size_t>(b)].load(
@@ -94,6 +101,17 @@ std::string LatencyHistogram::SnapshotJson() const {
   return out.str();
 }
 
+void Metrics::AttachClock(const Clock* clock) {
+  clock_ = clock;
+  attach_time_s_ = clock != nullptr ? clock->NowSeconds() : 0.0;
+}
+
+std::string Metrics::SnapshotJson() const {
+  const double uptime_s =
+      clock_ != nullptr ? clock_->NowSeconds() - attach_time_s_ : 0.0;
+  return SnapshotJson(uptime_s);
+}
+
 std::string Metrics::SnapshotJson(double uptime_s) const {
   const long done = completed.load(std::memory_order_relaxed);
   std::ostringstream out;
@@ -116,7 +134,24 @@ std::string Metrics::SnapshotJson(double uptime_s) const {
       << ",\n";
   out << "  \"latency\": {\"queue_delay\": " << queue_delay.SnapshotJson()
       << ", \"service\": " << service_time.SnapshotJson()
-      << ", \"total\": " << total_latency.SnapshotJson() << "}\n";
+      << ", \"total\": " << total_latency.SnapshotJson() << "},\n";
+  out << "  \"classes\": {";
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    const ClassMetrics& cls = by_class[static_cast<size_t>(c)];
+    if (c > 0) out << ", ";
+    out << "\"" << PriorityClassName(static_cast<PriorityClass>(c))
+        << "\": {\"enqueued\": " << cls.enqueued.load(std::memory_order_relaxed)
+        << ", \"completed\": " << cls.completed.load(std::memory_order_relaxed)
+        << ", \"rejected\": " << cls.rejected.load(std::memory_order_relaxed)
+        << ", \"shed\": " << cls.shed.load(std::memory_order_relaxed)
+        << ", \"shutdown_refused\": "
+        << cls.shutdown_refused.load(std::memory_order_relaxed)
+        << ", \"deadline_misses\": "
+        << cls.deadline_misses.load(std::memory_order_relaxed)
+        << ", \"queue_delay\": " << cls.queue_delay.SnapshotJson()
+        << ", \"total\": " << cls.total_latency.SnapshotJson() << "}";
+  }
+  out << "}\n";
   out << "}";
   return out.str();
 }

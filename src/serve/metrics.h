@@ -6,6 +6,9 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/clock.h"
+#include "serve/priority_class.h"
+
 namespace ams::serve {
 
 /// Lock-free latency histogram: values land in geometrically spaced buckets
@@ -14,17 +17,26 @@ namespace ams::serve {
 /// on a stats mutex. Percentiles interpolate within the winning bucket, so
 /// they are exact to one bucket's resolution (~+-20%) — the right trade for
 /// an operational p50/p95/p99, not for microbenchmarks.
+///
+/// Empty-histogram contract: while count() == 0, every query is defined to
+/// return 0.0 — sum(), mean(), max(), and Percentile(p) for every p
+/// (including NaN and out-of-range p, which are treated as 0). "No data"
+/// deliberately reads as zero latency rather than NaN so dashboards and
+/// JSON consumers never see a non-numeric value.
 class LatencyHistogram {
  public:
   void Record(double seconds);
 
   long count() const { return count_.load(std::memory_order_relaxed); }
-  /// Sum of recorded values; mean() = sum()/count().
+  /// Sum of recorded values; 0 when empty.
   double sum() const;
+  /// sum()/count(); 0 when empty.
   double mean() const;
+  /// Largest recorded value; 0 when empty.
   double max() const;
 
-  /// p in [0, 100]; 0 when nothing was recorded.
+  /// p in [0, 100] (out-of-range clamped, NaN treated as 0); 0.0 whenever
+  /// nothing was recorded, for every p.
   double Percentile(double p) const;
 
   /// {"count":N,"mean_s":...,"p50_s":...,"p95_s":...,"p99_s":...,"max_s":...}
@@ -49,14 +61,31 @@ class LatencyHistogram {
   std::atomic<double> max_{0.0};
 };
 
+/// Per-priority-class slice of the registry: the same counter semantics as
+/// the queue-wide counters, restricted to one class's requests, plus that
+/// class's latency breakdown. This is what makes tenant isolation
+/// observable — a saturating batch tenant shows up in by-class queue delay
+/// long before it moves the global percentiles.
+struct ClassMetrics {
+  std::atomic<long> enqueued{0};
+  std::atomic<long> completed{0};
+  std::atomic<long> rejected{0};
+  std::atomic<long> shed{0};
+  std::atomic<long> shutdown_refused{0};
+  std::atomic<long> deadline_misses{0};
+  LatencyHistogram queue_delay;
+  LatencyHistogram total_latency;
+};
+
 /// The serving runtime's metrics registry: throughput counters, queue/flight
 /// gauges, and latency histograms, all safely updatable from every worker
-/// and enqueuer concurrently. Exported as one JSON snapshot for scraping.
+/// and enqueuer concurrently, plus a per-priority-class breakdown. Exported
+/// as one JSON snapshot for scraping.
 ///
 /// Counter semantics: every request increments `enqueued` exactly once and
 /// then exactly one of {completed, rejected, shed, shutdown_refused}; at any
 /// quiescent instant enqueued == completed + rejected + shed +
-/// shutdown_refused.
+/// shutdown_refused. The same holds within each ClassMetrics slice.
 class Metrics {
  public:
   // --- counters ---
@@ -77,9 +106,32 @@ class Metrics {
   LatencyHistogram service_time;
   LatencyHistogram total_latency;
 
-  /// One JSON object with counters, gauges, histograms, and the completion
-  /// throughput over `uptime_s` (pass the runtime's clock reading).
+  // --- per-class slices, indexed by PriorityClass ---
+  std::array<ClassMetrics, kNumPriorityClasses> by_class;
+
+  ClassMetrics& for_class(PriorityClass cls) {
+    return by_class[static_cast<size_t>(cls)];
+  }
+  const ClassMetrics& for_class(PriorityClass cls) const {
+    return by_class[static_cast<size_t>(cls)];
+  }
+
+  /// Binds the uptime axis to a serve clock: SnapshotJson() (the no-arg
+  /// overload) measures uptime as now - attach time on `clock`. The clock
+  /// must outlive the registry.
+  void AttachClock(const Clock* clock);
+
+  /// One JSON object with counters, gauges, histograms, the per-class
+  /// breakdown, and the completion throughput over `uptime_s` (pass the
+  /// runtime's clock reading).
   std::string SnapshotJson(double uptime_s) const;
+
+  /// Same, with uptime taken from the attached clock (0 when none).
+  std::string SnapshotJson() const;
+
+ private:
+  const Clock* clock_ = nullptr;
+  double attach_time_s_ = 0.0;
 };
 
 }  // namespace ams::serve

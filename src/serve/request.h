@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/labeling_service.h"
+#include "serve/priority_class.h"
 
 namespace ams::serve {
 
@@ -44,20 +45,30 @@ struct ServeResult {
   bool deadline_met() const { return slack_s >= 0.0; }
 };
 
-/// One request resident in the admission queue. Ordered by (deadline,
-/// sequence): earliest deadline first, FIFO among equal deadlines — EDF with
-/// deadline-less requests (infinite deadline) draining last, in order.
+/// One request resident in the admission queue. Within its priority class,
+/// ordered by (deadline, sequence): earliest deadline first, FIFO among
+/// equal deadlines — EDF with deadline-less requests (infinite deadline)
+/// draining last, in order. Service between classes is the admission
+/// queue's weighted round-robin with a starvation bound.
 struct QueuedRequest {
   core::WorkItem item;
-  /// Absolute deadline on the runtime clock; infinity when the request has
-  /// no latency budget.
+  /// Which service band the request rides in (weight, cap and overload
+  /// policy are per-class AdmissionQueue configuration).
+  PriorityClass priority_class = PriorityClass::kStandard;
+  /// Latency budget granted at enqueue: the admission queue stamps
+  /// deadline_s = enqueue_time_s + slack_s on the serve clock. Infinity =
+  /// no deadline (pure FIFO within the class).
+  double slack_s = std::numeric_limits<double>::infinity();
+  /// Absolute deadline on the serve clock; stamped by AdmissionQueue from
+  /// `slack_s` at admission time.
   double deadline_s = std::numeric_limits<double>::infinity();
   /// Admission sequence number (FIFO tie-break, shed-oldest victim order).
   uint64_t sequence = 0;
   /// Seed for stream-dependent pickers: the stored item id, or a live
   /// admission sequence number (core::LabelingService::ItemStepper::Admit).
   uint64_t stream_id = 0;
-  /// When the request entered the queue, runtime clock.
+  /// When the request entered the queue; stamped by AdmissionQueue on the
+  /// serve clock (before any kBlock wait: arrival time, not admit time).
   double enqueue_time_s = 0.0;
   std::promise<ServeResult> promise;
 };

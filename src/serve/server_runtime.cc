@@ -7,16 +7,29 @@
 
 namespace ams::serve {
 
+AdmissionConfig ServerRuntime::AdmissionConfigFrom(
+    const ServeOptions& options) {
+  AdmissionConfig config;
+  config.capacity = options.queue_capacity;
+  config.overload = options.overload;
+  config.starvation_bound = options.starvation_bound;
+  config.classes = options.classes;
+  config.clock = options.clock;
+  return config;
+}
+
 ServerRuntime::ServerRuntime(core::LabelingService* session,
                              ServeOptions options)
     : session_(session),
       options_(options),
-      queue_(options.queue_capacity, options.overload) {
+      clock_(options.clock != nullptr ? options.clock : &Clock::Monotonic()),
+      queue_(AdmissionConfigFrom(options)) {
   AMS_CHECK(session != nullptr);
   if (options_.workers <= 0) options_.workers = session->worker_count();
   AMS_CHECK(options_.max_resident_per_worker >= 1,
             "a worker must hold at least one resident item");
   AMS_CHECK(options_.default_slack_s > 0.0, "deadline slack must be positive");
+  metrics_.AttachClock(clock_);
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w) {
     workers_.emplace_back(&ServerRuntime::WorkerLoop, this, w);
@@ -26,24 +39,36 @@ ServerRuntime::ServerRuntime(core::LabelingService* session,
 ServerRuntime::~ServerRuntime() { Shutdown(); }
 
 std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item) {
-  return Enqueue(item, options_.default_slack_s);
+  return Enqueue(item, options_.default_slack_s, PriorityClass::kStandard);
 }
 
 std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item,
                                                 double slack_s) {
+  return Enqueue(item, slack_s, PriorityClass::kStandard);
+}
+
+std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item,
+                                                PriorityClass cls) {
+  return Enqueue(item, options_.default_slack_s, cls);
+}
+
+std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item,
+                                                double slack_s,
+                                                PriorityClass cls) {
   AMS_CHECK(slack_s > 0.0, "deadline slack must be positive");
   QueuedRequest request;
   request.item = item;
+  request.priority_class = cls;
+  request.slack_s = slack_s;
   request.sequence = sequence_.fetch_add(1, std::memory_order_relaxed);
   request.stream_id =
       item.item >= 0
           ? static_cast<uint64_t>(item.item)
           : live_sequence_.fetch_add(1, std::memory_order_relaxed);
-  request.enqueue_time_s = clock_.ElapsedSeconds();
-  request.deadline_s = request.enqueue_time_s + slack_s;
   std::future<ServeResult> future = request.promise.get_future();
 
   metrics_.enqueued.fetch_add(1, std::memory_order_relaxed);
+  metrics_.for_class(cls).enqueued.fetch_add(1, std::memory_order_relaxed);
   // Count the request as outstanding BEFORE it becomes poppable, so Drain()
   // can never observe zero while a worker races us to completion; every
   // refusal path undoes this through FinishOne().
@@ -72,24 +97,29 @@ std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item,
 
 void ServerRuntime::ResolveBounced(QueuedRequest&& request,
                                    ServeStatus status) {
+  ClassMetrics& class_metrics = metrics_.for_class(request.priority_class);
   switch (status) {
     case ServeStatus::kRejected:
       metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+      class_metrics.rejected.fetch_add(1, std::memory_order_relaxed);
       break;
     case ServeStatus::kShed:
       metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+      class_metrics.shed.fetch_add(1, std::memory_order_relaxed);
       break;
     case ServeStatus::kShutdown:
       metrics_.shutdown_refused.fetch_add(1, std::memory_order_relaxed);
+      class_metrics.shutdown_refused.fetch_add(1, std::memory_order_relaxed);
       break;
     case ServeStatus::kOk:
       AMS_CHECK(false, "completed requests are not bounced");
   }
+  const double now = clock_->NowSeconds();
   ServeResult result;
   result.status = status;
-  result.latency_s = clock_.ElapsedSeconds() - request.enqueue_time_s;
+  result.latency_s = now - request.enqueue_time_s;
   result.queue_delay_s = result.latency_s;
-  result.slack_s = request.deadline_s - clock_.ElapsedSeconds();
+  result.slack_s = request.deadline_s - now;
   request.promise.set_value(std::move(result));
   FinishOne();
 }
@@ -141,14 +171,17 @@ void ServerRuntime::WorkerLoop(int worker_index) {
                                    std::memory_order_relaxed);
         metrics_.in_flight.fetch_add(static_cast<long>(refill.size()),
                                      std::memory_order_relaxed);
-        const double now = clock_.ElapsedSeconds();
+        const double now = clock_->NowSeconds();
         for (QueuedRequest& request : refill) {
           InFlightRequest tracked;
           tracked.promise = std::move(request.promise);
+          tracked.priority_class = request.priority_class;
           tracked.deadline_s = request.deadline_s;
           tracked.enqueue_time_s = request.enqueue_time_s;
           tracked.admit_time_s = now;
           metrics_.queue_delay.Record(now - request.enqueue_time_s);
+          metrics_.for_class(request.priority_class)
+              .queue_delay.Record(now - request.enqueue_time_s);
           const uint64_t ticket =
               stepper->Admit(request.item, request.stream_id);
           in_flight.emplace_back(ticket, std::move(tracked));
@@ -161,7 +194,7 @@ void ServerRuntime::WorkerLoop(int worker_index) {
     done.clear();
     stepper->Tick(&done);
     if (done.empty()) continue;
-    const double now = clock_.ElapsedSeconds();
+    const double now = clock_->NowSeconds();
     for (Stepper::Completion& completion : done) {
       size_t slot = in_flight.size();
       for (size_t i = 0; i < in_flight.size(); ++i) {
@@ -182,11 +215,15 @@ void ServerRuntime::WorkerLoop(int worker_index) {
       result.service_s = now - tracked.admit_time_s;
       result.latency_s = now - tracked.enqueue_time_s;
       result.slack_s = tracked.deadline_s - now;
+      ClassMetrics& class_metrics = metrics_.for_class(tracked.priority_class);
       metrics_.service_time.Record(result.service_s);
       metrics_.total_latency.Record(result.latency_s);
+      class_metrics.total_latency.Record(result.latency_s);
       metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+      class_metrics.completed.fetch_add(1, std::memory_order_relaxed);
       if (!result.deadline_met()) {
         metrics_.deadline_misses.fetch_add(1, std::memory_order_relaxed);
+        class_metrics.deadline_misses.fetch_add(1, std::memory_order_relaxed);
       }
       metrics_.in_flight.fetch_sub(1, std::memory_order_relaxed);
       tracked.promise.set_value(std::move(result));
@@ -211,7 +248,7 @@ void ServerRuntime::Shutdown() {
 }
 
 std::string ServerRuntime::MetricsJson() const {
-  return metrics_.SnapshotJson(clock_.ElapsedSeconds());
+  return metrics_.SnapshotJson();
 }
 
 }  // namespace ams::serve

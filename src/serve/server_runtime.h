@@ -1,6 +1,7 @@
 #ifndef AMS_SERVE_SERVER_RUNTIME_H_
 #define AMS_SERVE_SERVER_RUNTIME_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <future>
@@ -11,13 +12,15 @@
 
 #include "core/labeling_service.h"
 #include "serve/admission_queue.h"
+#include "serve/clock.h"
 #include "serve/metrics.h"
+#include "serve/priority_class.h"
 #include "serve/request.h"
-#include "util/timer.h"
 
 namespace ams::serve {
 
-/// Serving-runtime knobs. Defaults favor throughput with backpressure.
+/// Serving-runtime knobs. Defaults favor throughput with backpressure and
+/// an 8:4:1 interactive:standard:batch service ratio.
 struct ServeOptions {
   /// Worker run-loops; <= 0 resolves to the session's worker count.
   int workers = 0;
@@ -29,11 +32,22 @@ struct ServeOptions {
   /// the per-tick batched forward and bookkeeping (32 measures fastest in
   /// bench_serve_runtime; beyond that the working set stops fitting cache).
   int max_resident_per_worker = 32;
-  /// What a full queue does with new work.
+  /// What a full queue does with new work (per-class override in
+  /// `classes`).
   OverloadPolicy overload = OverloadPolicy::kBlock;
   /// Deadline slack granted to Enqueue() calls that do not pass their own:
-  /// deadline = arrival + slack. Infinity = no deadline (pure FIFO order).
+  /// deadline = arrival + slack. Infinity = no deadline (pure FIFO order
+  /// within a class).
   double default_slack_s = std::numeric_limits<double>::infinity();
+  /// Per-class weight / queue cap / overload override, indexed by
+  /// PriorityClass (see AdmissionConfig).
+  std::array<ClassConfig, kNumPriorityClasses> classes = kDefaultClassConfigs;
+  /// Starvation bound K across classes (see AdmissionConfig).
+  int starvation_bound = 16;
+  /// Time source for every serve-side timestamp (admission stamps,
+  /// deadlines, latencies, metrics uptime); null = Clock::Monotonic().
+  /// Tests inject a ManualClock here for deterministic timing assertions.
+  const Clock* clock = nullptr;
 };
 
 /// The asynchronous serving runtime over a labeling session: admission in
@@ -42,8 +56,9 @@ struct ServeOptions {
 /// core::LabelingService::ItemStepper, issuing one deduplicated batched
 /// Q-forward per loop tick across all items resident on that worker — the
 /// open-loop steady-state generalization of SubmitBatch's fixed waves. The
-/// admission queue releases work earliest-deadline-first and applies the
-/// configured overload policy when full.
+/// admission queue releases work per priority class (weighted round-robin
+/// with a starvation bound, EDF within a class) and applies the configured
+/// overload policy when full.
 ///
 /// Per-item outcomes are identical to Submit() on the same session: items
 /// are independent and the batched Q-path is bitwise identical to scalar,
@@ -66,15 +81,24 @@ class ServerRuntime {
   ServerRuntime(const ServerRuntime&) = delete;
   ServerRuntime& operator=(const ServerRuntime&) = delete;
 
-  /// Submits one item with the default deadline slack. The future always
-  /// resolves — with the labeling outcome, or with a rejected/shed/shutdown
-  /// status. Under OverloadPolicy::kBlock this call blocks while the queue
-  /// is full. Thread-safe; any number of concurrent enqueuers.
+  /// Submits one item in the default (kStandard) class with the default
+  /// deadline slack. The future always resolves — with the labeling
+  /// outcome, or with a rejected/shed/shutdown status. Under
+  /// OverloadPolicy::kBlock this call blocks while the queue is full.
+  /// Thread-safe; any number of concurrent enqueuers.
   std::future<ServeResult> Enqueue(const core::WorkItem& item);
 
-  /// Same, with a per-request deadline of now + `slack_s` (EDF priority:
-  /// tighter slack pops sooner).
+  /// Same, with a per-request deadline of now + `slack_s` (EDF priority
+  /// within the class: tighter slack pops sooner).
   std::future<ServeResult> Enqueue(const core::WorkItem& item, double slack_s);
+
+  /// Same, in an explicit priority class with the default slack.
+  std::future<ServeResult> Enqueue(const core::WorkItem& item,
+                                   PriorityClass cls);
+
+  /// Fully explicit: class + slack.
+  std::future<ServeResult> Enqueue(const core::WorkItem& item, double slack_s,
+                                   PriorityClass cls);
 
   /// Blocks until every request accepted so far has completed (queue empty
   /// and nothing in flight). The runtime keeps serving afterwards.
@@ -82,25 +106,33 @@ class ServerRuntime {
 
   /// Stops admission, completes all accepted work, joins the workers.
   /// Idempotent; implied by destruction. Enqueues after (or racing with)
-  /// shutdown resolve to ServeStatus::kShutdown.
+  /// shutdown resolve to ServeStatus::kShutdown, and enqueuers blocked on
+  /// a full kBlock queue are woken with that status.
   void Shutdown();
 
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
-  /// Metrics snapshot stamped with the runtime's uptime.
+  /// Metrics snapshot stamped with the runtime's uptime on the serve clock.
   std::string MetricsJson() const;
 
   const ServeOptions& options() const { return options_; }
+  const Clock& clock() const { return *clock_; }
+  /// Read-only admission-queue introspection (per-class depths, blocked
+  /// enqueuers) for operators and deterministic tests.
+  const AdmissionQueue& admission_queue() const { return queue_; }
   int worker_count() const { return static_cast<int>(workers_.size()); }
 
  private:
   /// A request a worker has admitted into its stepper, keyed by ticket.
   struct InFlightRequest {
     std::promise<ServeResult> promise;
+    PriorityClass priority_class = PriorityClass::kStandard;
     double deadline_s = std::numeric_limits<double>::infinity();
     double enqueue_time_s = 0.0;
     double admit_time_s = 0.0;
   };
+
+  static AdmissionConfig AdmissionConfigFrom(const ServeOptions& options);
 
   void WorkerLoop(int worker_index);
   /// Resolves a bounced (rejected / shed / post-shutdown) request.
@@ -110,8 +142,11 @@ class ServerRuntime {
 
   core::LabelingService* session_;
   ServeOptions options_;
+  /// The serve time source (options.clock or the monotonic default); every
+  /// timestamp in the runtime, queue and metrics reads this. The metrics
+  /// registry tracks uptime itself from AttachClock time (= construction).
+  const Clock* clock_;
   Metrics metrics_;
-  util::Timer clock_;
   AdmissionQueue queue_;
   std::vector<std::thread> workers_;
 

@@ -1,0 +1,634 @@
+// Model-checking harness for serve::AdmissionQueue: a single-threaded
+// reference model reimplements the queue's documented pop-order and
+// admission contract (EDF within a class, weighted round-robin with a
+// starvation guard between classes, per-class caps and overload policies)
+// in the simplest possible form, and randomized seeded op sequences —
+// enqueue/pop/batch-pop/clock-advance/close/drain across every overload
+// policy and priority class — are replayed against both implementations,
+// asserting exactly equal pop order and exactly equal shed/reject
+// decisions at every step. The harness also checks the starvation bound
+// (a non-empty class is served at least once within every K consecutive
+// pops) on every trace, and locks the single-class regression: a
+// uniform-class workload must pop in exactly the legacy single-band EDF
+// order. A final multi-threaded stress run checks conservation (every
+// request resolves exactly once) under real concurrency — the ordering
+// claims stay single-threaded where they are well-defined.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/admission_queue.h"
+#include "serve/clock.h"
+#include "serve/priority_class.h"
+
+namespace ams::serve {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- the reference model ---------------------------------------------------
+
+/// What the model predicts for one Enqueue.
+struct ModelAdmit {
+  AdmitOutcome outcome = AdmitOutcome::kAccepted;
+  /// Sequence of the shed victim, when the enqueue displaced one.
+  std::optional<uint64_t> victim;
+};
+
+/// Single-threaded executable spec of AdmissionQueue. Deliberately naive:
+/// plain sorted scans instead of heaps, one explicit branch per contract
+/// clause, no locks — an independent implementation to diff the real queue
+/// against, not a copy of it.
+class ReferenceQueue {
+ public:
+  struct Request {
+    uint64_t sequence = 0;
+    int cls = 0;
+    double deadline_s = kInf;
+  };
+
+  ReferenceQueue(const AdmissionConfig& config, const Clock* clock)
+      : config_(config),
+        clock_(clock),
+        forced_after_(config.starvation_bound - (kNumPriorityClasses - 1)) {}
+
+  ModelAdmit Enqueue(uint64_t sequence, int cls, double slack_s) {
+    ModelAdmit result;
+    const double deadline = clock_->NowSeconds() + slack_s;
+    if (closed_) {
+      result.outcome = AdmitOutcome::kClosed;
+      return result;
+    }
+    if (!HasSpace(cls)) {
+      const OverloadPolicy policy = PolicyFor(cls);
+      // The single-threaded harness never enqueues into a full queue under
+      // kBlock (that would park forever with no concurrent popper), so a
+      // full queue here is kReject or kShedOldest.
+      EXPECT_NE(policy, OverloadPolicy::kBlock);
+      if (policy == OverloadPolicy::kReject) {
+        result.outcome = AdmitOutcome::kRejected;
+        return result;
+      }
+      const int class_cap = config_.classes[static_cast<size_t>(cls)].queue_capacity;
+      int victim_class = -1;
+      if (class_cap > 0 &&
+          bands_[static_cast<size_t>(cls)].size() >=
+              static_cast<size_t>(class_cap)) {
+        victim_class = cls;
+      } else {
+        for (int c = kNumPriorityClasses - 1; c >= cls; --c) {
+          if (!bands_[static_cast<size_t>(c)].empty()) {
+            victim_class = c;
+            break;
+          }
+        }
+      }
+      if (victim_class < 0) {
+        result.outcome = AdmitOutcome::kRejected;
+        return result;
+      }
+      // Shed the oldest (smallest sequence) request of the victim class.
+      std::vector<Request>& band = bands_[static_cast<size_t>(victim_class)];
+      size_t oldest = 0;
+      for (size_t i = 1; i < band.size(); ++i) {
+        if (band[i].sequence < band[oldest].sequence) oldest = i;
+      }
+      result.victim = band[oldest].sequence;
+      band.erase(band.begin() + static_cast<long>(oldest));
+    }
+    bands_[static_cast<size_t>(cls)].push_back({sequence, cls, deadline});
+    return result;
+  }
+
+  /// Predicts the next pop: which request comes out, updating the
+  /// round-robin / starvation accounting exactly per the contract.
+  std::optional<Request> Pop() {
+    if (TotalSize() == 0) return std::nullopt;
+    // 1. Starvation guard.
+    int chosen = -1;
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+      if (bands_[static_cast<size_t>(c)].empty() ||
+          passed_over_[static_cast<size_t>(c)] < forced_after_) {
+        continue;
+      }
+      if (chosen < 0 || passed_over_[static_cast<size_t>(c)] >
+                            passed_over_[static_cast<size_t>(chosen)]) {
+        chosen = c;
+      }
+    }
+    // 2. Weighted round-robin.
+    if (chosen < 0) {
+      if (rr_credit_ > 0 && Weight(rr_class_) > 0 &&
+          !bands_[static_cast<size_t>(rr_class_)].empty()) {
+        chosen = rr_class_;
+        --rr_credit_;
+      } else {
+        for (int step = 1; step <= kNumPriorityClasses; ++step) {
+          const int c = (rr_class_ + step) % kNumPriorityClasses;
+          if (Weight(c) > 0 && !bands_[static_cast<size_t>(c)].empty()) {
+            rr_class_ = c;
+            rr_credit_ = Weight(c) - 1;
+            chosen = c;
+            break;
+          }
+        }
+      }
+    }
+    // 3. Strict fallback.
+    if (chosen < 0) {
+      for (int c = 0; c < kNumPriorityClasses; ++c) {
+        if (!bands_[static_cast<size_t>(c)].empty()) {
+          chosen = c;
+          break;
+        }
+      }
+    }
+    // Starvation accounting on the pre-pop band contents.
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+      if (c == chosen || bands_[static_cast<size_t>(c)].empty()) {
+        passed_over_[static_cast<size_t>(c)] = 0;
+      } else {
+        ++passed_over_[static_cast<size_t>(c)];
+      }
+    }
+    // EDF within the chosen class: earliest deadline, then sequence.
+    std::vector<Request>& band = bands_[static_cast<size_t>(chosen)];
+    size_t best = 0;
+    for (size_t i = 1; i < band.size(); ++i) {
+      if (band[i].deadline_s < band[best].deadline_s ||
+          (band[i].deadline_s == band[best].deadline_s &&
+           band[i].sequence < band[best].sequence)) {
+        best = i;
+      }
+    }
+    const Request popped = band[best];
+    band.erase(band.begin() + static_cast<long>(best));
+    return popped;
+  }
+
+  void Close() { closed_ = true; }
+
+  OverloadPolicy PolicyFor(int cls) const {
+    const std::optional<OverloadPolicy>& per_class =
+        config_.classes[static_cast<size_t>(cls)].overload;
+    return per_class.has_value() ? *per_class : config_.overload;
+  }
+
+  bool HasSpace(int cls) const {
+    if (TotalSize() >= static_cast<size_t>(config_.capacity)) return false;
+    const int class_cap =
+        config_.classes[static_cast<size_t>(cls)].queue_capacity;
+    return class_cap == 0 ||
+           bands_[static_cast<size_t>(cls)].size() <
+               static_cast<size_t>(class_cap);
+  }
+
+  size_t TotalSize() const {
+    size_t total = 0;
+    for (const std::vector<Request>& band : bands_) total += band.size();
+    return total;
+  }
+
+  size_t BandSize(int cls) const {
+    return bands_[static_cast<size_t>(cls)].size();
+  }
+
+  bool closed() const { return closed_; }
+
+ private:
+  int Weight(int cls) const {
+    return config_.classes[static_cast<size_t>(cls)].weight;
+  }
+
+  const AdmissionConfig config_;
+  const Clock* clock_;
+  const int forced_after_;
+  std::array<std::vector<Request>, kNumPriorityClasses> bands_;
+  std::array<int, kNumPriorityClasses> passed_over_{};
+  int rr_class_ = kNumPriorityClasses - 1;
+  int rr_credit_ = 0;
+  bool closed_ = false;
+};
+
+// --- the harness -----------------------------------------------------------
+
+QueuedRequest MakeRequest(uint64_t sequence, double slack_s, int cls) {
+  QueuedRequest request;
+  request.sequence = sequence;
+  request.slack_s = slack_s;
+  request.priority_class = static_cast<PriorityClass>(cls);
+  return request;
+}
+
+/// Tracks the starvation bound along a pop trace: a class with queued work
+/// may be passed over at most K-1 consecutive pops.
+class StarvationChecker {
+ public:
+  explicit StarvationChecker(int bound_k) : bound_k_(bound_k) {}
+
+  /// `queued_before` = per-class band sizes before the pop; `served` = the
+  /// popped class.
+  void OnPop(const std::array<size_t, kNumPriorityClasses>& queued_before,
+             int served) {
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+      if (c == served || queued_before[static_cast<size_t>(c)] == 0) {
+        passed_[static_cast<size_t>(c)] = 0;
+      } else {
+        ++passed_[static_cast<size_t>(c)];
+        ASSERT_LE(passed_[static_cast<size_t>(c)], bound_k_ - 1)
+            << "class " << c << " starved past the K = " << bound_k_
+            << " bound";
+      }
+    }
+  }
+
+ private:
+  const int bound_k_;
+  std::array<int, kNumPriorityClasses> passed_{};
+};
+
+struct NamedConfig {
+  std::string name;
+  AdmissionConfig config;
+};
+
+std::vector<NamedConfig> PropertyConfigs() {
+  std::vector<NamedConfig> configs;
+  {
+    AdmissionConfig c;  // default weights 8:4:1
+    c.capacity = 8;
+    c.overload = OverloadPolicy::kReject;
+    configs.push_back({"default_reject", c});
+  }
+  {
+    AdmissionConfig c;
+    c.capacity = 6;
+    c.overload = OverloadPolicy::kShedOldest;
+    c.starvation_bound = 3;  // tightest feasible bound
+    c.classes[0].weight = 1;
+    c.classes[1].weight = 1;
+    c.classes[2].weight = 1;
+    configs.push_back({"equal_weights_shed_k3", c});
+  }
+  {
+    AdmissionConfig c;
+    c.capacity = 7;
+    c.overload = OverloadPolicy::kShedOldest;
+    c.starvation_bound = 4;
+    c.classes[0].weight = 1;  // strict priority: background classes drain
+    c.classes[1].weight = 0;  // via the starvation guard only
+    c.classes[2].weight = 0;
+    c.classes[2].queue_capacity = 3;
+    configs.push_back({"strict_priority_capped_batch", c});
+  }
+  {
+    AdmissionConfig c;
+    c.capacity = 8;
+    c.overload = OverloadPolicy::kBlock;
+    c.starvation_bound = 5;
+    c.classes[0].weight = 4;
+    c.classes[1].weight = 2;
+    c.classes[2].weight = 1;
+    configs.push_back({"block_weighted_k5", c});
+  }
+  {
+    AdmissionConfig c;  // mixed per-class policies
+    c.capacity = 8;
+    c.overload = OverloadPolicy::kBlock;
+    c.starvation_bound = 6;
+    c.classes[2].queue_capacity = 2;
+    c.classes[2].overload = OverloadPolicy::kReject;
+    c.classes[0].overload = OverloadPolicy::kShedOldest;
+    configs.push_back({"mixed_class_policies", c});
+  }
+  return configs;
+}
+
+/// One randomized episode: drive the real queue and the model through the
+/// same seeded op sequence and require identical observable behavior at
+/// every step.
+void RunEpisode(const NamedConfig& named, uint64_t seed, int num_ops) {
+  ManualClock clock;
+  AdmissionConfig config = named.config;
+  config.clock = &clock;
+  AdmissionQueue real(config);
+  ReferenceQueue model(config, &clock);
+  StarvationChecker starvation(config.starvation_bound);
+
+  std::mt19937_64 rng(seed);
+  const double slacks[] = {0.5, 1.0, 1.0, 2.0, 4.0, kInf};  // ties included
+  uint64_t next_sequence = 0;
+  const std::string context = named.name + " seed " + std::to_string(seed);
+
+  const auto pop_once = [&]() {
+    std::array<size_t, kNumPriorityClasses> queued_before{};
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+      queued_before[static_cast<size_t>(c)] = model.BandSize(c);
+    }
+    const std::optional<ReferenceQueue::Request> expected = model.Pop();
+    QueuedRequest popped;
+    const bool got = real.TryPop(&popped);
+    ASSERT_EQ(got, expected.has_value()) << context;
+    if (!got) return;
+    ASSERT_EQ(popped.sequence, expected->sequence) << context;
+    ASSERT_EQ(static_cast<int>(popped.priority_class), expected->cls)
+        << context;
+    starvation.OnPop(queued_before, expected->cls);
+  };
+
+  for (int op = 0; op < num_ops; ++op) {
+    const uint64_t roll = rng() % 100;
+    if (roll < 10) clock.Advance(static_cast<double>(rng() % 3));
+    if (roll < 55) {
+      const int cls = static_cast<int>(rng() % kNumPriorityClasses);
+      const double slack = slacks[rng() % std::size(slacks)];
+      if (!model.closed() && !model.HasSpace(cls) &&
+          model.PolicyFor(cls) == OverloadPolicy::kBlock) {
+        // A kBlock enqueue into a full queue would park forever without a
+        // concurrent popper; drain one slot instead.
+        pop_once();
+        if (::testing::Test::HasFatalFailure()) return;
+        continue;
+      }
+      const uint64_t sequence = next_sequence++;
+      const ModelAdmit expected = model.Enqueue(
+          sequence, cls, slack);
+      std::vector<QueuedRequest> bounced;
+      const AdmitOutcome outcome =
+          real.Enqueue(MakeRequest(sequence, slack, cls), &bounced);
+      ASSERT_EQ(outcome, expected.outcome) << context;
+      if (expected.victim.has_value()) {
+        ASSERT_EQ(bounced.size(), 1u) << context;
+        ASSERT_EQ(bounced[0].sequence, *expected.victim) << context;
+      } else if (outcome != AdmitOutcome::kAccepted) {
+        ASSERT_EQ(bounced.size(), 1u) << context;
+        ASSERT_EQ(bounced[0].sequence, sequence) << context;
+      } else {
+        ASSERT_TRUE(bounced.empty()) << context;
+      }
+    } else if (roll < 80) {
+      pop_once();
+      if (::testing::Test::HasFatalFailure()) return;
+    } else if (roll < 92) {
+      const int batch = static_cast<int>(rng() % 4) + 1;
+      for (int i = 0; i < batch; ++i) {
+        // Batch pops must span classes exactly like successive TryPops; the
+        // real queue's TryPopBatch is compared one element at a time.
+        pop_once();
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    } else if (roll >= 97 && !model.closed()) {
+      real.Close();
+      model.Close();
+    }
+    ASSERT_EQ(real.size(), model.TotalSize()) << context;
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+      ASSERT_EQ(real.class_size(static_cast<PriorityClass>(c)),
+                model.BandSize(c))
+          << context << " class " << c;
+    }
+  }
+  // Drain both completely and compare the tail order.
+  while (model.TotalSize() > 0) {
+    pop_once();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  QueuedRequest leftover;
+  ASSERT_FALSE(real.TryPop(&leftover)) << context;
+}
+
+TEST(AdmissionModelTest, RandomizedOpSequencesMatchTheReferenceModel) {
+  constexpr int kSeedsPerConfig = 25;
+  constexpr int kOpsPerEpisode = 400;
+  for (const NamedConfig& named : PropertyConfigs()) {
+    for (uint64_t seed = 1; seed <= kSeedsPerConfig; ++seed) {
+      RunEpisode(named, seed, kOpsPerEpisode);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(AdmissionModelTest, BatchPopsMatchTheModelAcrossClasses) {
+  // Dedicated TryPopBatch-vs-model pass: fill with a class/deadline mix,
+  // then drain through one big batch pop and compare against successive
+  // model pops.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ManualClock clock;
+    AdmissionConfig config;
+    config.capacity = 32;
+    config.overload = OverloadPolicy::kReject;
+    config.clock = &clock;
+    AdmissionQueue real(config);
+    ReferenceQueue model(config, &clock);
+    std::mt19937_64 rng(seed);
+    const double slacks[] = {0.5, 1.0, 1.0, 3.0, kInf};
+    for (uint64_t sequence = 0; sequence < 24; ++sequence) {
+      const int cls = static_cast<int>(rng() % kNumPriorityClasses);
+      const double slack = slacks[rng() % std::size(slacks)];
+      model.Enqueue(sequence, cls, slack);
+      std::vector<QueuedRequest> bounced;
+      ASSERT_EQ(real.Enqueue(MakeRequest(sequence, slack, cls), &bounced),
+                AdmitOutcome::kAccepted);
+    }
+    std::vector<QueuedRequest> drained;
+    ASSERT_EQ(real.TryPopBatch(24, &drained), 24);
+    for (const QueuedRequest& popped : drained) {
+      const std::optional<ReferenceQueue::Request> expected = model.Pop();
+      ASSERT_TRUE(expected.has_value());
+      ASSERT_EQ(popped.sequence, expected->sequence) << "seed " << seed;
+    }
+  }
+}
+
+TEST(AdmissionModelTest, SingleClassWorkloadsReproduceLegacyEdfOrderExactly) {
+  // The regression lock for the pre-priority-class queue: with every
+  // request in one class, the pop order must be exactly the single-band
+  // EDF order — sort by (deadline, admission sequence).
+  for (const PriorityClass only_class :
+       {PriorityClass::kInteractive, PriorityClass::kStandard,
+        PriorityClass::kBatch}) {
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      ManualClock clock;
+      AdmissionConfig config;  // default weights — irrelevant with one class
+      config.capacity = 64;
+      config.overload = OverloadPolicy::kReject;
+      config.clock = &clock;
+      AdmissionQueue queue(config);
+      std::mt19937_64 rng(seed ^ (static_cast<uint64_t>(only_class) << 32));
+      const double slacks[] = {0.25, 1.0, 1.0, 1.0, 2.0, 7.5, kInf, kInf};
+      std::vector<std::pair<double, uint64_t>> expected;  // (deadline, seq)
+      for (uint64_t sequence = 0; sequence < 48; ++sequence) {
+        const double slack = slacks[rng() % std::size(slacks)];
+        std::vector<QueuedRequest> bounced;
+        ASSERT_EQ(
+            queue.Enqueue(
+                MakeRequest(sequence, slack, static_cast<int>(only_class)),
+                &bounced),
+            AdmitOutcome::kAccepted);
+        expected.emplace_back(clock.NowSeconds() + slack, sequence);
+        if (rng() % 4 == 0) clock.Advance(1.0);
+      }
+      std::stable_sort(expected.begin(), expected.end());
+      QueuedRequest popped;
+      for (const auto& [deadline, sequence] : expected) {
+        ASSERT_TRUE(queue.TryPop(&popped));
+        ASSERT_EQ(popped.sequence, sequence) << "seed " << seed;
+        ASSERT_EQ(popped.deadline_s, deadline) << "seed " << seed;
+      }
+      ASSERT_FALSE(queue.TryPop(&popped));
+    }
+  }
+}
+
+TEST(AdmissionModelTest, SaturatedHighPriorityStillDrainsBatchWithinKBound) {
+  // The acceptance scenario, deterministically: strict interactive-over-
+  // batch with a saturating interactive stream; queued batch work must
+  // drain within |batch| * K pops, and batch is never passed over K times.
+  constexpr int kBound = 5;
+  ManualClock clock;
+  AdmissionConfig config;
+  config.capacity = 64;
+  config.overload = OverloadPolicy::kReject;
+  config.starvation_bound = kBound;
+  config.classes[0].weight = 1;
+  config.classes[1].weight = 0;
+  config.classes[2].weight = 0;
+  config.clock = &clock;
+  AdmissionQueue queue(config);
+  std::vector<QueuedRequest> bounced;
+  uint64_t sequence = 0;
+  constexpr int kBatchRequests = 6;
+  for (int i = 0; i < kBatchRequests; ++i) {
+    ASSERT_EQ(queue.Enqueue(MakeRequest(sequence++, kInf, 2), &bounced),
+              AdmitOutcome::kAccepted);
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(queue.Enqueue(MakeRequest(sequence++, kInf, 0), &bounced),
+              AdmitOutcome::kAccepted);
+  }
+  int pops = 0;
+  int drained = 0;
+  int since_batch = 0;
+  QueuedRequest popped;
+  while (drained < kBatchRequests) {
+    ASSERT_TRUE(queue.TryPop(&popped));
+    ++pops;
+    if (popped.priority_class == PriorityClass::kBatch) {
+      ++drained;
+      since_batch = 0;
+    } else {
+      ASSERT_LT(++since_batch, kBound) << "batch starved past K";
+      // Keep the interactive band saturated.
+      ASSERT_EQ(queue.Enqueue(MakeRequest(sequence++, kInf, 0), &bounced),
+                AdmitOutcome::kAccepted);
+    }
+  }
+  EXPECT_LE(pops, kBatchRequests * kBound);
+}
+
+// --- concurrent conservation -----------------------------------------------
+
+/// Multi-threaded interleavings: ordering is timing-dependent, but request
+/// conservation is not — every enqueued sequence must surface exactly once
+/// as a pop, a shed victim, a rejection, or a post-close refusal.
+void RunConcurrentConservation(OverloadPolicy policy) {
+  AdmissionConfig config;
+  config.capacity = 8;
+  config.overload = policy;
+  config.starvation_bound = 4;
+  AdmissionQueue queue(config);
+
+  constexpr int kEnqueuers = 3;
+  constexpr int kPoppers = 2;
+  constexpr int kPerThread = 300;
+  std::mutex mu;
+  std::vector<uint64_t> popped, bounced_sequences;
+  std::atomic<long> accepted{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kEnqueuers; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(static_cast<uint64_t>(t) + 1);
+      std::vector<uint64_t> local_bounced;
+      long local_accepted = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t sequence =
+            static_cast<uint64_t>(t) * kPerThread + static_cast<uint64_t>(i);
+        const int cls = static_cast<int>(rng() % kNumPriorityClasses);
+        const double slack = (rng() % 2 == 0) ? 1.0 : kInf;
+        std::vector<QueuedRequest> bounced;
+        const AdmitOutcome outcome =
+            queue.Enqueue(MakeRequest(sequence, slack, cls), &bounced);
+        if (outcome == AdmitOutcome::kAccepted) ++local_accepted;
+        for (QueuedRequest& request : bounced) {
+          local_bounced.push_back(request.sequence);
+        }
+      }
+      accepted.fetch_add(local_accepted);
+      std::lock_guard<std::mutex> lock(mu);
+      bounced_sequences.insert(bounced_sequences.end(), local_bounced.begin(),
+                               local_bounced.end());
+    });
+  }
+  for (int t = 0; t < kPoppers; ++t) {
+    threads.emplace_back([&] {
+      std::vector<uint64_t> local_popped;
+      QueuedRequest request;
+      while (queue.WaitPop(&request)) {
+        local_popped.push_back(request.sequence);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      popped.insert(popped.end(), local_popped.begin(), local_popped.end());
+    });
+  }
+  for (int t = 0; t < kEnqueuers; ++t) threads[static_cast<size_t>(t)].join();
+  queue.Close();
+  for (size_t t = kEnqueuers; t < threads.size(); ++t) threads[t].join();
+
+  // Conservation: accepted requests either popped or were shed (bounced as
+  // a victim of a later arrival); nothing is both, nothing vanishes.
+  std::vector<uint64_t> resolved = popped;
+  resolved.insert(resolved.end(), bounced_sequences.begin(),
+                  bounced_sequences.end());
+  std::sort(resolved.begin(), resolved.end());
+  ASSERT_EQ(std::adjacent_find(resolved.begin(), resolved.end()),
+            resolved.end())
+      << "a request resolved twice";
+  ASSERT_EQ(resolved.size(), static_cast<size_t>(kEnqueuers * kPerThread));
+  // Every accepted request was eventually popped or shed; bounced covers
+  // the rest (rejections and shed victims are disjoint sequence sets).
+  ASSERT_EQ(popped.size() +
+                (bounced_sequences.size() -
+                 (static_cast<size_t>(kEnqueuers * kPerThread) -
+                  static_cast<size_t>(accepted.load()))),
+            static_cast<size_t>(accepted.load()));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(AdmissionModelTest, ConcurrentConservationUnderBlock) {
+  RunConcurrentConservation(OverloadPolicy::kBlock);
+}
+
+TEST(AdmissionModelTest, ConcurrentConservationUnderReject) {
+  RunConcurrentConservation(OverloadPolicy::kReject);
+}
+
+TEST(AdmissionModelTest, ConcurrentConservationUnderShedOldest) {
+  RunConcurrentConservation(OverloadPolicy::kShedOldest);
+}
+
+}  // namespace
+}  // namespace ams::serve

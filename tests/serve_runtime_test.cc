@@ -1,7 +1,11 @@
-// Tests of the serve:: subsystem: admission-queue ordering and all three
-// overload policies, seeded parity between the asynchronous runtime and
-// offline Submit(), Drain() under concurrent enqueuers, shutdown semantics,
-// and the metrics registry.
+// Tests of the serve:: subsystem: admission-queue ordering (EDF within a
+// class, weighted round-robin with a starvation bound between classes), all
+// three overload policies including the per-class variants, seeded parity
+// between the asynchronous runtime and offline Submit(), Drain() under
+// concurrent enqueuers, shutdown semantics, the deterministic Clock seam,
+// and the metrics registry. Timing-sensitive assertions run on a
+// serve::ManualClock or wait on observable queue state (waiting_enqueuers)
+// — no test here sleeps for a fixed wall-clock interval.
 
 #include <gtest/gtest.h>
 
@@ -22,31 +26,54 @@
 #include "nn/net.h"
 #include "rl/agent.h"
 #include "serve/admission_queue.h"
+#include "serve/clock.h"
 #include "serve/metrics.h"
+#include "serve/priority_class.h"
 #include "serve/server_runtime.h"
 
 namespace ams::serve {
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 // --- admission queue -------------------------------------------------------
 
-QueuedRequest MakeRequest(uint64_t sequence, double deadline_s) {
+QueuedRequest MakeRequest(uint64_t sequence, double slack_s,
+                          PriorityClass cls = PriorityClass::kStandard) {
   QueuedRequest request;
   request.item = core::WorkItem::Stored(static_cast<int>(sequence));
   request.sequence = sequence;
-  request.deadline_s = deadline_s;
+  request.slack_s = slack_s;
+  request.priority_class = cls;
   return request;
 }
 
+AdmissionConfig SingleBand(int capacity, OverloadPolicy policy,
+                           const Clock* clock) {
+  AdmissionConfig config;
+  config.capacity = capacity;
+  config.overload = policy;
+  config.clock = clock;
+  return config;
+}
+
+/// Spin (yield, no fixed sleep) until `predicate` holds: used to wait for a
+/// peer thread to park inside a kBlock Enqueue. Deterministic in the sense
+/// that the assertion only runs once the observable state is reached.
+template <typename Predicate>
+void AwaitState(const Predicate& predicate) {
+  while (!predicate()) std::this_thread::yield();
+}
+
 TEST(AdmissionQueueTest, PopsEarliestDeadlineFirstWithFifoTieBreak) {
-  AdmissionQueue queue(8, OverloadPolicy::kReject);
+  // Frozen ManualClock: deadline == slack exactly, so ties are exact.
+  ManualClock clock;
+  AdmissionQueue queue(SingleBand(8, OverloadPolicy::kReject, &clock));
   std::vector<QueuedRequest> bounced;
   // Out-of-order deadlines, plus two deadline-less (infinite) requests.
-  const double inf = std::numeric_limits<double>::infinity();
-  for (const auto& [seq, deadline] :
-       std::vector<std::pair<uint64_t, double>>{
-           {0, inf}, {1, 5.0}, {2, 1.0}, {3, inf}, {4, 3.0}, {5, 1.0}}) {
-    ASSERT_EQ(queue.Enqueue(MakeRequest(seq, deadline), &bounced),
+  for (const auto& [seq, slack] : std::vector<std::pair<uint64_t, double>>{
+           {0, kInf}, {1, 5.0}, {2, 1.0}, {3, kInf}, {4, 3.0}, {5, 1.0}}) {
+    ASSERT_EQ(queue.Enqueue(MakeRequest(seq, slack), &bounced),
               AdmitOutcome::kAccepted);
   }
   // EDF: 1.0s deadlines first (seq 2 before 5: FIFO tie-break), then 3.0,
@@ -62,8 +89,28 @@ TEST(AdmissionQueueTest, PopsEarliestDeadlineFirstWithFifoTieBreak) {
   EXPECT_TRUE(bounced.empty());
 }
 
+TEST(AdmissionQueueTest, StampsArrivalAndDeadlineOnTheServeClock) {
+  ManualClock clock(100.0);
+  AdmissionQueue queue(SingleBand(4, OverloadPolicy::kReject, &clock));
+  std::vector<QueuedRequest> bounced;
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, 2.5), &bounced),
+            AdmitOutcome::kAccepted);
+  clock.Advance(10.0);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(1, 2.5), &bounced),
+            AdmitOutcome::kAccepted);
+  QueuedRequest popped;
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 0u);
+  EXPECT_DOUBLE_EQ(popped.enqueue_time_s, 100.0);
+  EXPECT_DOUBLE_EQ(popped.deadline_s, 102.5);
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_DOUBLE_EQ(popped.enqueue_time_s, 110.0);
+  EXPECT_DOUBLE_EQ(popped.deadline_s, 112.5);
+}
+
 TEST(AdmissionQueueTest, RejectPolicyBouncesNewWorkWhenFull) {
-  AdmissionQueue queue(2, OverloadPolicy::kReject);
+  ManualClock clock;
+  AdmissionQueue queue(SingleBand(2, OverloadPolicy::kReject, &clock));
   std::vector<QueuedRequest> bounced;
   EXPECT_EQ(queue.Enqueue(MakeRequest(0, 1.0), &bounced),
             AdmitOutcome::kAccepted);
@@ -79,7 +126,8 @@ TEST(AdmissionQueueTest, RejectPolicyBouncesNewWorkWhenFull) {
 }
 
 TEST(AdmissionQueueTest, ShedOldestPolicyEvictsStalestAcceptedWork) {
-  AdmissionQueue queue(2, OverloadPolicy::kShedOldest);
+  ManualClock clock;
+  AdmissionQueue queue(SingleBand(2, OverloadPolicy::kShedOldest, &clock));
   std::vector<QueuedRequest> bounced;
   EXPECT_EQ(queue.Enqueue(MakeRequest(0, 1.0), &bounced),
             AdmitOutcome::kAccepted);
@@ -100,7 +148,8 @@ TEST(AdmissionQueueTest, ShedOldestPolicyEvictsStalestAcceptedWork) {
 }
 
 TEST(AdmissionQueueTest, BlockPolicyAppliesBackpressureUntilAPop) {
-  AdmissionQueue queue(1, OverloadPolicy::kBlock);
+  ManualClock clock;
+  AdmissionQueue queue(SingleBand(1, OverloadPolicy::kBlock, &clock));
   std::vector<QueuedRequest> bounced;
   ASSERT_EQ(queue.Enqueue(MakeRequest(0, 1.0), &bounced),
             AdmitOutcome::kAccepted);
@@ -112,8 +161,9 @@ TEST(AdmissionQueueTest, BlockPolicyAppliesBackpressureUntilAPop) {
     EXPECT_EQ(outcome, AdmitOutcome::kAccepted);
     second_accepted.store(true);
   });
-  // The enqueuer must not get through while the queue is full.
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Wait until the enqueuer has parked inside Enqueue — observable state,
+  // not a timed sleep — then assert it is still blocked.
+  AwaitState([&] { return queue.waiting_enqueuers() == 1; });
   EXPECT_FALSE(second_accepted.load());
   EXPECT_EQ(queue.size(), 1u);
   QueuedRequest popped;
@@ -124,7 +174,8 @@ TEST(AdmissionQueueTest, BlockPolicyAppliesBackpressureUntilAPop) {
 }
 
 TEST(AdmissionQueueTest, CloseWakesBlockedCallersAndKeepsQueuedWork) {
-  AdmissionQueue queue(1, OverloadPolicy::kBlock);
+  ManualClock clock;
+  AdmissionQueue queue(SingleBand(1, OverloadPolicy::kBlock, &clock));
   std::vector<QueuedRequest> bounced;
   ASSERT_EQ(queue.Enqueue(MakeRequest(0, 1.0), &bounced),
             AdmitOutcome::kAccepted);
@@ -134,7 +185,7 @@ TEST(AdmissionQueueTest, CloseWakesBlockedCallersAndKeepsQueuedWork) {
               AdmitOutcome::kClosed);
     EXPECT_EQ(thread_bounced.size(), 1u);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  AwaitState([&] { return queue.waiting_enqueuers() == 1; });
   queue.Close();
   blocked_enqueuer.join();
   // Queued work survives Close (drain-then-stop) and WaitPop serves it
@@ -143,6 +194,247 @@ TEST(AdmissionQueueTest, CloseWakesBlockedCallersAndKeepsQueuedWork) {
   EXPECT_TRUE(queue.WaitPop(&popped));
   EXPECT_EQ(popped.sequence, 0u);
   EXPECT_FALSE(queue.WaitPop(&popped)) << "closed and empty: no more work";
+}
+
+// --- priority classes ------------------------------------------------------
+
+AdmissionConfig ClassConfigured(int capacity, OverloadPolicy policy,
+                                const Clock* clock, int w_interactive,
+                                int w_standard, int w_batch,
+                                int starvation_bound = 16) {
+  AdmissionConfig config;
+  config.capacity = capacity;
+  config.overload = policy;
+  config.clock = clock;
+  config.starvation_bound = starvation_bound;
+  config.classes[0].weight = w_interactive;
+  config.classes[1].weight = w_standard;
+  config.classes[2].weight = w_batch;
+  return config;
+}
+
+std::vector<PriorityClass> PopClasses(AdmissionQueue* queue, int n) {
+  std::vector<PriorityClass> order;
+  QueuedRequest popped;
+  for (int i = 0; i < n && queue->TryPop(&popped); ++i) {
+    order.push_back(popped.priority_class);
+  }
+  return order;
+}
+
+TEST(AdmissionQueueTest, WeightedRoundRobinSharesPopsByClassWeight) {
+  ManualClock clock;
+  AdmissionQueue queue(
+      ClassConfigured(64, OverloadPolicy::kReject, &clock, /*interactive=*/2,
+                      /*standard=*/1, /*batch=*/1));
+  std::vector<QueuedRequest> bounced;
+  uint64_t seq = 0;
+  for (int i = 0; i < 4; ++i) {
+    for (const PriorityClass cls :
+         {PriorityClass::kInteractive, PriorityClass::kStandard,
+          PriorityClass::kBatch}) {
+      ASSERT_EQ(queue.Enqueue(MakeRequest(seq++, kInf, cls), &bounced),
+                AdmitOutcome::kAccepted);
+    }
+  }
+  EXPECT_EQ(queue.class_size(PriorityClass::kInteractive), 4u);
+  // Weights 2:1:1 with every class backlogged: turns of 2 interactive pops,
+  // 1 standard, 1 batch; once interactive drains, standard and batch
+  // alternate 1:1.
+  using PC = PriorityClass;
+  const std::vector<PriorityClass> expected = {
+      PC::kInteractive, PC::kInteractive, PC::kStandard, PC::kBatch,
+      PC::kInteractive, PC::kInteractive, PC::kStandard, PC::kBatch,
+      PC::kStandard,    PC::kBatch,       PC::kStandard, PC::kBatch};
+  EXPECT_EQ(PopClasses(&queue, 12), expected);
+}
+
+TEST(AdmissionQueueTest, StrictPriorityWithStarvationBoundStillDrainsBatch) {
+  // Strict A-over-B: batch weight 0 means batch is served only by the
+  // starvation guard (or when interactive is empty). K = 4 forces one
+  // batch pop at least every 4 pops while batch has queued work.
+  ManualClock clock;
+  AdmissionQueue queue(
+      ClassConfigured(64, OverloadPolicy::kReject, &clock, /*interactive=*/1,
+                      /*standard=*/0, /*batch=*/0, /*starvation_bound=*/4));
+  std::vector<QueuedRequest> bounced;
+  uint64_t seq = 0;
+  constexpr int kBatchRequests = 5;
+  for (int i = 0; i < kBatchRequests; ++i) {
+    ASSERT_EQ(queue.Enqueue(MakeRequest(seq++, kInf, PriorityClass::kBatch),
+                            &bounced),
+              AdmitOutcome::kAccepted);
+  }
+  // Saturating interactive stream: top the band back up after every pop so
+  // it is never empty — batch drains through the guard alone.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(
+        queue.Enqueue(MakeRequest(seq++, kInf, PriorityClass::kInteractive),
+                      &bounced),
+        AdmitOutcome::kAccepted);
+  }
+  int pops = 0;
+  int batch_drained = 0;
+  int pops_since_batch = 0;
+  QueuedRequest popped;
+  while (batch_drained < kBatchRequests) {
+    ASSERT_TRUE(queue.TryPop(&popped));
+    ++pops;
+    if (popped.priority_class == PriorityClass::kBatch) {
+      ++batch_drained;
+      pops_since_batch = 0;
+    } else {
+      ++pops_since_batch;
+      // The bound: batch is never passed over for K = 4 consecutive pops.
+      ASSERT_LT(pops_since_batch, 4);
+      // Keep interactive saturated.
+      ASSERT_EQ(
+          queue.Enqueue(MakeRequest(seq++, kInf, PriorityClass::kInteractive),
+                        &bounced),
+          AdmitOutcome::kAccepted);
+    }
+  }
+  // All batch work drained within |batch| * K pops despite saturation.
+  EXPECT_LE(pops, kBatchRequests * 4);
+}
+
+TEST(AdmissionQueueTest, BatchPopsSpanClassesInContractOrder) {
+  ManualClock clock;
+  AdmissionQueue queue(
+      ClassConfigured(64, OverloadPolicy::kReject, &clock, /*interactive=*/2,
+                      /*standard=*/1, /*batch=*/1));
+  std::vector<QueuedRequest> bounced;
+  // 2 interactive (EDF-inverted arrival), 1 standard, 1 batch.
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, 9.0, PriorityClass::kInteractive),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(1, 3.0, PriorityClass::kInteractive),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(2, 1.0, PriorityClass::kStandard), &bounced),
+      AdmitOutcome::kAccepted);
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(3, 1.0, PriorityClass::kBatch), &bounced),
+      AdmitOutcome::kAccepted);
+  // One TryPopBatch call spans all three classes exactly as four successive
+  // TryPops would: interactive turn (EDF: seq 1 before 0), then standard,
+  // then batch.
+  std::vector<QueuedRequest> batch;
+  EXPECT_EQ(queue.TryPopBatch(8, &batch), 4);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].sequence, 1u);
+  EXPECT_EQ(batch[1].sequence, 0u);
+  EXPECT_EQ(batch[2].sequence, 2u);
+  EXPECT_EQ(batch[3].sequence, 3u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(AdmissionQueueTest, ShedOldestTakesVictimsFromTheLeastImportantClass) {
+  ManualClock clock;
+  AdmissionQueue queue(
+      ClassConfigured(4, OverloadPolicy::kShedOldest, &clock, 8, 4, 1));
+  std::vector<QueuedRequest> bounced;
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, kInf, PriorityClass::kInteractive),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(1, kInf, PriorityClass::kBatch), &bounced),
+      AdmitOutcome::kAccepted);
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(2, kInf, PriorityClass::kBatch), &bounced),
+      AdmitOutcome::kAccepted);
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(3, kInf, PriorityClass::kStandard), &bounced),
+      AdmitOutcome::kAccepted);
+  // Full. An interactive arrival sheds the OLDEST BATCH request (seq 1) —
+  // not the globally oldest (seq 0, interactive).
+  ASSERT_EQ(queue.Enqueue(MakeRequest(4, kInf, PriorityClass::kInteractive),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(bounced.size(), 1u);
+  EXPECT_EQ(bounced[0].sequence, 1u);
+  EXPECT_EQ(bounced[0].priority_class, PriorityClass::kBatch);
+  // Still full. A standard arrival sheds the remaining batch request.
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(5, kInf, PriorityClass::kStandard), &bounced),
+      AdmitOutcome::kAccepted);
+  ASSERT_EQ(bounced.size(), 2u);
+  EXPECT_EQ(bounced[1].sequence, 2u);
+  EXPECT_EQ(queue.class_size(PriorityClass::kBatch), 0u);
+}
+
+TEST(AdmissionQueueTest, ShedOldestShedsOwnClassWhenOnlyResidentClass) {
+  // Satellite edge: every resident request belongs to the shedding class —
+  // the arrival displaces its own class's oldest, preserving the
+  // single-band shed semantics.
+  ManualClock clock;
+  AdmissionQueue queue(
+      ClassConfigured(2, OverloadPolicy::kShedOldest, &clock, 8, 4, 1));
+  std::vector<QueuedRequest> bounced;
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(0, kInf, PriorityClass::kBatch), &bounced),
+      AdmitOutcome::kAccepted);
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(1, kInf, PriorityClass::kBatch), &bounced),
+      AdmitOutcome::kAccepted);
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(2, kInf, PriorityClass::kBatch), &bounced),
+      AdmitOutcome::kAccepted);
+  ASSERT_EQ(bounced.size(), 1u);
+  EXPECT_EQ(bounced[0].sequence, 0u);
+  EXPECT_EQ(bounced[0].priority_class, PriorityClass::kBatch);
+  EXPECT_EQ(queue.class_size(PriorityClass::kBatch), 2u);
+}
+
+TEST(AdmissionQueueTest, ShedOldestNeverDisplacesMoreImportantWork) {
+  ManualClock clock;
+  AdmissionQueue queue(
+      ClassConfigured(2, OverloadPolicy::kShedOldest, &clock, 8, 4, 1));
+  std::vector<QueuedRequest> bounced;
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, kInf, PriorityClass::kInteractive),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(1, kInf, PriorityClass::kInteractive),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  // A batch arrival cannot shed interactive work: the arrival itself
+  // bounces as kRejected.
+  EXPECT_EQ(
+      queue.Enqueue(MakeRequest(2, kInf, PriorityClass::kBatch), &bounced),
+      AdmitOutcome::kRejected);
+  ASSERT_EQ(bounced.size(), 1u);
+  EXPECT_EQ(bounced[0].sequence, 2u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(AdmissionQueueTest, PerClassCapAndOverloadOverrideApply) {
+  ManualClock clock;
+  AdmissionConfig config =
+      ClassConfigured(16, OverloadPolicy::kBlock, &clock, 8, 4, 1);
+  // Batch rides a 2-deep sub-queue with fail-fast admission, while the
+  // queue-wide policy stays kBlock.
+  config.classes[2].queue_capacity = 2;
+  config.classes[2].overload = OverloadPolicy::kReject;
+  AdmissionQueue queue(config);
+  std::vector<QueuedRequest> bounced;
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(0, kInf, PriorityClass::kBatch), &bounced),
+      AdmitOutcome::kAccepted);
+  ASSERT_EQ(
+      queue.Enqueue(MakeRequest(1, kInf, PriorityClass::kBatch), &bounced),
+      AdmitOutcome::kAccepted);
+  // Class cap reached with plenty of global space: batch rejects.
+  EXPECT_EQ(
+      queue.Enqueue(MakeRequest(2, kInf, PriorityClass::kBatch), &bounced),
+      AdmitOutcome::kRejected);
+  ASSERT_EQ(bounced.size(), 1u);
+  EXPECT_EQ(bounced[0].sequence, 2u);
+  // Other classes are unaffected by the batch cap.
+  EXPECT_EQ(
+      queue.Enqueue(MakeRequest(3, kInf, PriorityClass::kStandard), &bounced),
+      AdmitOutcome::kAccepted);
+  EXPECT_EQ(queue.size(), 3u);
 }
 
 // --- serving runtime -------------------------------------------------------
@@ -230,6 +522,45 @@ TEST_F(ServerRuntimeTest, ServedOutcomesMatchOfflineSubmitExactly) {
     const ServeResult result = futures[static_cast<size_t>(i)].get();
     ASSERT_EQ(result.status, ServeStatus::kOk) << "item " << i;
     ExpectSameOutcome(expected[static_cast<size_t>(i)], result.outcome);
+  }
+}
+
+TEST_F(ServerRuntimeTest, PriorityClassesChangeOrderButNeverOutcomes) {
+  // Items are independent: riding a different service band reorders work
+  // but must not change any labeling result.
+  const int num_items = 30;
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 29);
+
+  core::LabelingService offline = BuildPredictorSession(agent.get(), 1);
+  std::vector<core::LabelOutcome> expected;
+  for (int i = 0; i < num_items; ++i) {
+    expected.push_back(offline.Submit(core::WorkItem::Stored(i)));
+  }
+
+  core::LabelingService session = BuildPredictorSession(agent.get(), 2);
+  ServeOptions options;
+  options.workers = 2;
+  options.max_resident_per_worker = 4;
+  ServerRuntime runtime(&session, options);
+  const PriorityClass classes[] = {PriorityClass::kBatch,
+                                   PriorityClass::kInteractive,
+                                   PriorityClass::kStandard};
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < num_items; ++i) {
+    futures.push_back(
+        runtime.Enqueue(core::WorkItem::Stored(i), classes[i % 3]));
+  }
+  for (int i = 0; i < num_items; ++i) {
+    const ServeResult result = futures[static_cast<size_t>(i)].get();
+    ASSERT_EQ(result.status, ServeStatus::kOk) << "item " << i;
+    ExpectSameOutcome(expected[static_cast<size_t>(i)], result.outcome);
+  }
+  // Per-class accounting: every class saw its share, all completed.
+  const Metrics& metrics = runtime.metrics();
+  for (const PriorityClass cls : classes) {
+    EXPECT_EQ(metrics.for_class(cls).enqueued.load(), 10);
+    EXPECT_EQ(metrics.for_class(cls).completed.load(), 10);
+    EXPECT_EQ(metrics.for_class(cls).total_latency.count(), 10);
   }
 }
 
@@ -334,6 +665,12 @@ TEST_F(ServerRuntimeTest, RejectOverloadResolvesEveryFutureOneWayOrAnother) {
   EXPECT_GE(ok, 1) << "admitted work must still complete under overload";
   EXPECT_EQ(runtime.metrics().completed.load(), ok);
   EXPECT_EQ(runtime.metrics().rejected.load(), refused);
+  // The default class rode every request: per-class slices mirror the
+  // queue-wide counters.
+  const ClassMetrics& standard =
+      runtime.metrics().for_class(PriorityClass::kStandard);
+  EXPECT_EQ(standard.completed.load(), ok);
+  EXPECT_EQ(standard.rejected.load(), refused);
 }
 
 TEST_F(ServerRuntimeTest, ShedOldestOverloadDropsStaleWorkButCompletesRest) {
@@ -364,8 +701,8 @@ TEST_F(ServerRuntimeTest, ShedOldestOverloadDropsStaleWorkButCompletesRest) {
   }
   EXPECT_EQ(ok + shed, kRequests);
   EXPECT_GE(ok, 1);
-  // Nothing is ever refused at the door under shed-oldest; the queue trades
-  // stale accepted work for fresh arrivals instead.
+  // Nothing is ever refused at the door under single-class shed-oldest; the
+  // queue trades stale accepted work for fresh arrivals instead.
   EXPECT_EQ(runtime.metrics().rejected.load(), 0);
   EXPECT_EQ(runtime.metrics().shed.load(), shed);
   EXPECT_EQ(runtime.metrics().completed.load(), ok);
@@ -390,6 +727,82 @@ TEST_F(ServerRuntimeTest, ShutdownCompletesAcceptedWorkAndRefusesNewWork) {
   EXPECT_EQ(refused.status, ServeStatus::kShutdown);
   EXPECT_EQ(runtime.metrics().shutdown_refused.load(), 1);
   runtime.Shutdown();  // idempotent
+}
+
+TEST_F(ServerRuntimeTest, ShutdownWakesEnqueuerBlockedOnAFullQueue) {
+  // Satellite edge: an enqueuer parked on kBlock backpressure must be woken
+  // by Shutdown and its future must resolve (kShutdown if still parked when
+  // admission closed, kOk if a worker freed a slot first).
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 37);
+  core::LabelingService session = BuildPredictorSession(agent.get(), 1);
+  ServeOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.max_resident_per_worker = 1;
+  options.overload = OverloadPolicy::kBlock;
+  ServerRuntime runtime(&session, options);
+
+  // Flood from a helper thread until it parks inside Enqueue.
+  std::promise<std::future<ServeResult>> last_future;
+  std::atomic<bool> stop_flooding{false};
+  std::thread flooder([&] {
+    std::vector<std::future<ServeResult>> kept;
+    while (!stop_flooding.load()) {
+      kept.push_back(runtime.Enqueue(core::WorkItem::Stored(0)));
+    }
+    last_future.set_value(std::move(kept.back()));
+    for (std::future<ServeResult>& f : kept) {
+      if (f.valid()) f.wait();
+    }
+  });
+  AwaitState([&] { return runtime.admission_queue().waiting_enqueuers() > 0; });
+  stop_flooding.store(true);
+  runtime.Shutdown();
+  flooder.join();
+  const ServeResult last = last_future.get_future().get().get();
+  EXPECT_TRUE(last.status == ServeStatus::kOk ||
+              last.status == ServeStatus::kShutdown)
+      << ServeStatusName(last.status);
+}
+
+TEST_F(ServerRuntimeTest, ManualClockMakesRuntimeLatenciesExact) {
+  // The Clock seam end-to-end: with a frozen ManualClock every latency
+  // field is exactly zero, every deadline is met by exactly the requested
+  // slack, and the metrics histograms record deterministic values — the
+  // deterministic port of the old wall-clock timing assertions.
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 41);
+  core::LabelingService session = BuildPredictorSession(agent.get(), 2);
+  ManualClock clock(50.0);
+  ServeOptions options;
+  options.workers = 2;
+  options.clock = &clock;
+  ServerRuntime runtime(&session, options);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(
+        runtime.Enqueue(core::WorkItem::Stored(i), /*slack_s=*/4.0,
+                        PriorityClass::kInteractive));
+  }
+  runtime.Drain();
+  for (std::future<ServeResult>& future : futures) {
+    const ServeResult result = future.get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(result.latency_s, 0.0);
+    EXPECT_DOUBLE_EQ(result.queue_delay_s, 0.0);
+    EXPECT_DOUBLE_EQ(result.service_s, 0.0);
+    EXPECT_DOUBLE_EQ(result.slack_s, 4.0);
+    EXPECT_TRUE(result.deadline_met());
+  }
+  const Metrics& metrics = runtime.metrics();
+  EXPECT_EQ(metrics.deadline_misses.load(), 0);
+  EXPECT_EQ(metrics.for_class(PriorityClass::kInteractive).completed.load(),
+            12);
+  EXPECT_DOUBLE_EQ(metrics.total_latency.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.total_latency.max(), 0.0);
+  // Uptime runs on the same manual clock.
+  clock.Advance(8.0);
+  const std::string json = runtime.MetricsJson();
+  EXPECT_NE(json.find("\"uptime_s\": 8"), std::string::npos) << json;
 }
 
 TEST_F(ServerRuntimeTest, MetricsSnapshotExportsCountersAndPercentiles) {
@@ -427,7 +840,8 @@ TEST_F(ServerRuntimeTest, MetricsSnapshotExportsCountersAndPercentiles) {
   const std::string json = runtime.MetricsJson();
   for (const char* key :
        {"\"counters\"", "\"completed\": 30", "\"gauges\"", "\"queue_delay\"",
-        "\"p99_s\"", "\"completed_per_s\""}) {
+        "\"p99_s\"", "\"completed_per_s\"", "\"classes\"", "\"interactive\"",
+        "\"standard\"", "\"batch\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key
                                                  << " in:\n" << json;
   }
@@ -444,6 +858,29 @@ TEST_F(ServerRuntimeTest, LatencyHistogramPercentilesApproximateSamples) {
   EXPECT_DOUBLE_EQ(histogram.max(), 0.100);
 }
 
+TEST_F(ServerRuntimeTest, EmptyHistogramQueriesAreWellDefined) {
+  // The documented empty contract (satellite fix): while nothing was
+  // recorded, every query — including out-of-range and NaN percentiles —
+  // returns exactly 0.0, never NaN or garbage.
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+  for (const double p : {0.0, 50.0, 99.9, 100.0, -5.0, 250.0,
+                         std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_DOUBLE_EQ(histogram.Percentile(p), 0.0) << "p = " << p;
+  }
+  // The JSON snapshot of an empty histogram is all-numeric zeros.
+  EXPECT_EQ(histogram.SnapshotJson(),
+            "{\"count\": 0, \"mean_s\": 0, \"p50_s\": 0, \"p95_s\": 0, "
+            "\"p99_s\": 0, \"max_s\": 0}");
+  // Populated histograms sanitize out-of-range p the same way.
+  histogram.Record(0.010);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(-5.0), histogram.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(histogram.Percentile(250.0), histogram.Percentile(100.0));
+}
+
 TEST_F(ServerRuntimeTest, SteppersRejectStatefulPolicySessions) {
   core::LabelingService session =
       core::LabelingServiceBuilder(zoo_)
@@ -453,6 +890,30 @@ TEST_F(ServerRuntimeTest, SteppersRejectStatefulPolicySessions) {
           .WithConstraints({/*time*/ 1.0})
           .Build();
   EXPECT_DEATH(session.NewItemStepper(0), "stateful policies");
+}
+
+TEST(PriorityClassTest, NamesRoundTrip) {
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    const PriorityClass cls = static_cast<PriorityClass>(c);
+    PriorityClass parsed = PriorityClass::kInteractive;
+    ASSERT_TRUE(PriorityClassFromName(PriorityClassName(cls), &parsed));
+    EXPECT_EQ(parsed, cls);
+  }
+  PriorityClass parsed = PriorityClass::kBatch;
+  EXPECT_FALSE(PriorityClassFromName("premium", &parsed));
+  EXPECT_FALSE(PriorityClassFromName(nullptr, &parsed));
+  EXPECT_EQ(parsed, PriorityClass::kBatch) << "failed parse must not write";
+}
+
+TEST(ManualClockTest, AdvancesAndRejectsTimeTravel) {
+  ManualClock clock(2.0);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 2.0);
+  clock.Advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 2.5);
+  clock.Set(4.0);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 4.0);
+  EXPECT_DEATH(clock.Advance(-1.0), "cannot go backwards");
+  EXPECT_DEATH(clock.Set(3.0), "cannot go backwards");
 }
 
 }  // namespace

@@ -7,21 +7,29 @@
 //   ams_serve [--dataset NAME] [--items N] [--requests N] [--rate R]
 //             [--workers N] [--queue-cap N] [--resident N]
 //             [--overload block|reject|shed] [--slack S]
+//             [--class-mix I:S:B] [--starvation-bound K]
 //             [--deadline S] [--memory GB] [--hidden N] [--seed N]
 //             [--json PATH]
 //
 // `--rate` is the open-loop arrival rate in requests/second (Poisson, seeded
 // by --seed); 0 enqueues everything at once (closed burst). `--slack` grants
 // each request a latency deadline of arrival + S seconds (EDF admission
-// order, misses counted); 0 means no deadlines. The scheduling agent is an
-// untrained net with the paper's architecture — per-decision cost matches a
-// trained agent while setup stays in milliseconds (train and serve real
-// checkpoints through ams_label's cache if needed).
+// order, misses counted); 0 means no deadlines. `--class-mix` assigns each
+// request a priority class (interactive:standard:batch) with the given
+// relative shares, seeded — thinning the single Poisson arrival process
+// into independent per-class Poisson streams of rate * share each; the
+// report then breaks admission and latency out per class. The scheduling
+// agent is an untrained net with the paper's architecture — per-decision
+// cost matches a trained agent while setup stays in milliseconds (train and
+// serve real checkpoints through ams_label's cache if needed).
 //
 // Examples:
 //   ams_serve --rate 2000 --workers 4 --slack 0.05
 //   ams_serve --rate 8000 --queue-cap 64 --overload shed --requests 20000
+//   ams_serve --rate 4000 --class-mix 70:25:5 --overload shed --slack 0.1
 
+#include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,6 +66,8 @@ struct Options {
   int resident = 16;
   std::string overload = "block";
   double slack_s = 0.0;   // 0 = no deadlines
+  std::string class_mix;  // "I:S:B" shares; empty = all standard
+  int starvation_bound = 16;
   double deadline = 1.0;  // per-item scheduling time budget (simulated)
   double memory_gb = 8.0; // per-item memory budget (Algorithm 2)
   int hidden = 256;
@@ -71,7 +81,8 @@ struct Options {
       "usage: %s [--dataset mscoco|places365|mirflickr25|stanford40|voc2012]\n"
       "          [--items N] [--requests N] [--rate R] [--workers N]\n"
       "          [--queue-cap N] [--resident N] [--overload block|reject|shed]\n"
-      "          [--slack S] [--deadline S] [--memory GB] [--hidden N]\n"
+      "          [--slack S] [--class-mix I:S:B] [--starvation-bound K]\n"
+      "          [--deadline S] [--memory GB] [--hidden N]\n"
       "          [--seed N] [--json PATH]\n",
       argv0);
   std::exit(2);
@@ -102,6 +113,10 @@ Options Parse(int argc, char** argv) {
       opts.overload = next();
     } else if (!std::strcmp(argv[i], "--slack")) {
       opts.slack_s = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--class-mix")) {
+      opts.class_mix = next();
+    } else if (!std::strcmp(argv[i], "--starvation-bound")) {
+      opts.starvation_bound = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--deadline")) {
       opts.deadline = std::atof(next());
     } else if (!std::strcmp(argv[i], "--memory")) {
@@ -120,6 +135,12 @@ Options Parse(int argc, char** argv) {
       opts.overload != "shed") {
     std::fprintf(stderr, "unknown overload policy: %s\n",
                  opts.overload.c_str());
+    Usage(argv[0]);
+  }
+  if (opts.starvation_bound < serve::kNumPriorityClasses) {
+    std::fprintf(stderr,
+                 "--starvation-bound must be >= %d (one pop per class)\n",
+                 serve::kNumPriorityClasses);
     Usage(argv[0]);
   }
   return opts;
@@ -143,10 +164,34 @@ serve::OverloadPolicy PolicyFromName(const std::string& name) {
   return serve::OverloadPolicy::kBlock;
 }
 
+/// Parses "--class-mix I:S:B" (e.g. "70:25:5") into per-class shares.
+/// Empty mix = everything kStandard.
+std::array<double, serve::kNumPriorityClasses> MixFromSpec(
+    const std::string& spec) {
+  std::array<double, serve::kNumPriorityClasses> mix{0.0, 1.0, 0.0};
+  if (spec.empty()) return mix;
+  double interactive = 0.0, standard = 0.0, batch = 0.0;
+  if (std::sscanf(spec.c_str(), "%lf:%lf:%lf", &interactive, &standard,
+                  &batch) != 3 ||
+      !std::isfinite(interactive) || !std::isfinite(standard) ||
+      !std::isfinite(batch) ||
+      interactive < 0.0 || standard < 0.0 || batch < 0.0 ||
+      interactive + standard + batch <= 0.0) {
+    std::fprintf(stderr, "bad --class-mix (want I:S:B shares): %s\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  mix = {interactive, standard, batch};
+  return mix;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opts = Parse(argc, argv);
+  // Validate the mix before the (comparatively slow) corpus build.
+  const std::array<double, serve::kNumPriorityClasses> mix =
+      MixFromSpec(opts.class_mix);
 
   std::printf("building zoo + %s corpus (%d items, seed %llu)...\n",
               opts.dataset.c_str(), opts.items,
@@ -181,22 +226,25 @@ int main(int argc, char** argv) {
   serve_options.queue_capacity = opts.queue_cap;
   serve_options.max_resident_per_worker = opts.resident;
   serve_options.overload = PolicyFromName(opts.overload);
+  serve_options.starvation_bound = opts.starvation_bound;
   if (opts.slack_s > 0.0) serve_options.default_slack_s = opts.slack_s;
   serve::ServerRuntime runtime(&session, serve_options);
 
   std::printf(
       "serving %d requests (rate %s/s, %d workers, queue %d, overload %s, "
-      "slack %s)...\n",
+      "slack %s, mix %s)...\n",
       opts.requests,
       opts.rate > 0.0 ? util::FormatDouble(opts.rate, 0).c_str() : "inf",
       runtime.worker_count(), opts.queue_cap, opts.overload.c_str(),
       opts.slack_s > 0.0 ? util::FormatDouble(opts.slack_s, 3).c_str()
-                         : "inf");
+                         : "inf",
+      opts.class_mix.empty() ? "standard-only" : opts.class_mix.c_str());
 
   // Open-loop arrivals: exponential inter-arrival gaps at --rate, paced
   // against the wall clock so service-time jitter never slows admission.
   std::mt19937_64 rng(opts.seed);
   std::exponential_distribution<double> gap(opts.rate > 0.0 ? opts.rate : 1.0);
+  std::discrete_distribution<int> class_of(mix.begin(), mix.end());
   util::Timer wall;
   double next_arrival_s = 0.0;
   std::vector<std::future<serve::ServeResult>> futures;
@@ -210,7 +258,8 @@ int main(int argc, char** argv) {
       }
     }
     futures.push_back(
-        runtime.Enqueue(core::WorkItem::Stored(r % opts.items)));
+        runtime.Enqueue(core::WorkItem::Stored(r % opts.items),
+                        static_cast<serve::PriorityClass>(class_of(rng))));
   }
   runtime.Drain();
   const double wall_s = wall.ElapsedSeconds();
@@ -257,6 +306,27 @@ int main(int argc, char** argv) {
   table.AddRow("total latency p99 (ms)",
                {metrics.total_latency.Percentile(99) * 1e3});
   table.Print(std::cout);
+
+  if (!opts.class_mix.empty()) {
+    // The tenant-isolation view: how each service band fared.
+    util::AsciiTable per_class;
+    per_class.SetHeader({"class", "enqueued", "completed", "rejected", "shed",
+                         "misses", "p50 (ms)", "p99 (ms)"});
+    for (int c = 0; c < serve::kNumPriorityClasses; ++c) {
+      const serve::ClassMetrics& slice =
+          metrics.for_class(static_cast<serve::PriorityClass>(c));
+      per_class.AddRow(
+          serve::PriorityClassName(static_cast<serve::PriorityClass>(c)),
+          {static_cast<double>(slice.enqueued.load()),
+           static_cast<double>(slice.completed.load()),
+           static_cast<double>(slice.rejected.load()),
+           static_cast<double>(slice.shed.load()),
+           static_cast<double>(slice.deadline_misses.load()),
+           slice.total_latency.Percentile(50) * 1e3,
+           slice.total_latency.Percentile(99) * 1e3});
+    }
+    per_class.Print(std::cout);
+  }
 
   const std::string snapshot = runtime.MetricsJson();
   if (!opts.json_path.empty()) {
