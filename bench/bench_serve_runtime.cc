@@ -19,6 +19,16 @@
 // independent, so the label results must again be identical, and the
 // mixed-class throughput must stay within noise of the single-class run —
 // the multi-tenant scheduler's bookkeeping is a few integer ops per pop.
+//
+// A fourth scenario replays the workload as a skewed tenant mix (4 tenants,
+// ~70/10/10/10 seeded shares) under per-tenant queued quotas (kBlock
+// backpressure, so nothing is dropped and the outcome assertions still
+// hold) with value-density within-class ordering — the full paper-aware
+// multi-tenant admission path: ProfileValueEstimator scoring at enqueue,
+// density-ordered bands, tenant accounting on every pop. Its throughput is
+// reported relative to the plain serve run (quota backpressure on the
+// enqueue thread costs a little; the ordering itself is one linear band
+// scan per pop).
 
 #include <cmath>
 #include <cstdlib>
@@ -106,6 +116,7 @@ void Run() {
   core::LabelingService batch_session = build_session();
   core::LabelingService serve_session = build_session();
   core::LabelingService mixed_session = build_session();
+  core::LabelingService tenant_session = build_session();
 
   serve::ServeOptions serve_options;
   serve_options.workers = workers;
@@ -115,6 +126,16 @@ void Run() {
       bench::EnvInt("AMS_BENCH_RESIDENT", serve_options.max_resident_per_worker);
   serve::ServerRuntime runtime(&serve_session, serve_options);
   serve::ServerRuntime mixed_runtime(&mixed_session, serve_options);
+
+  // The skewed-tenant scenario: value-density ordering plus per-tenant
+  // queued quotas under kBlock (backpressure, never drops — the outcome
+  // assertions stay exact).
+  serve::ServeOptions tenant_options = serve_options;
+  tenant_options.within_class_order = serve::WithinClassOrder::kValueDensity;
+  serve::TenantQuota tenant_quota;
+  tenant_quota.max_queued = std::max(8, num_items / 8);
+  tenant_options.tenant_quotas.default_quota = tenant_quota;
+  serve::ServerRuntime tenant_runtime(&tenant_session, tenant_options);
 
   // Seeded 20/60/20 class assignment, fixed across trials.
   std::vector<serve::PriorityClass> mixed_classes;
@@ -127,6 +148,16 @@ void Run() {
           static_cast<serve::PriorityClass>(class_of(class_rng)));
     }
   }
+  // Seeded ~70/10/10/10 tenant assignment, fixed across trials.
+  std::vector<int> tenant_ids;
+  tenant_ids.reserve(work.size());
+  {
+    std::mt19937_64 tenant_rng(23);
+    std::discrete_distribution<int> tenant_of({7.0, 1.0, 1.0, 1.0});
+    for (size_t i = 0; i < work.size(); ++i) {
+      tenant_ids.push_back(tenant_of(tenant_rng));
+    }
+  }
 
   BenchResult batch_result;
   batch_result.name = "submit_batch";
@@ -134,6 +165,8 @@ void Run() {
   serve_result.name = "serve_runtime";
   BenchResult mixed_result;
   mixed_result.name = "serve_runtime_mixed";
+  BenchResult tenant_result;
+  tenant_result.name = "serve_runtime_tenants";
 
   const auto run_batch = [&](bool record) {
     util::Timer timer;
@@ -149,15 +182,28 @@ void Run() {
       }
     }
   };
+  enum class ServeMode { kPlain, kMixedClasses, kTenants };
   const auto run_serve = [&](serve::ServerRuntime* target,
-                             BenchResult* result_out, bool mixed,
+                             BenchResult* result_out, ServeMode mode,
                              bool record) {
     std::vector<std::future<serve::ServeResult>> futures;
     futures.reserve(work.size());
     util::Timer timer;
     for (size_t i = 0; i < work.size(); ++i) {
-      futures.push_back(mixed ? target->Enqueue(work[i], mixed_classes[i])
-                              : target->Enqueue(work[i]));
+      switch (mode) {
+        case ServeMode::kPlain:
+          futures.push_back(target->Enqueue(work[i]));
+          break;
+        case ServeMode::kMixedClasses:
+          futures.push_back(target->Enqueue(work[i], mixed_classes[i]));
+          break;
+        case ServeMode::kTenants: {
+          serve::ServerRuntime::RequestOptions request;
+          request.tenant_id = tenant_ids[i];
+          futures.push_back(target->Enqueue(work[i], request));
+          break;
+        }
+      }
     }
     target->Drain();
     const double wall = timer.ElapsedSeconds();
@@ -176,12 +222,14 @@ void Run() {
   // Warm-up every path (predictor clone pools, allocator), then interleave
   // trials so machine noise hits all alike; each reports its best trial.
   run_batch(false);
-  run_serve(&runtime, &serve_result, false, false);
-  run_serve(&mixed_runtime, &mixed_result, true, false);
+  run_serve(&runtime, &serve_result, ServeMode::kPlain, false);
+  run_serve(&mixed_runtime, &mixed_result, ServeMode::kMixedClasses, false);
+  run_serve(&tenant_runtime, &tenant_result, ServeMode::kTenants, false);
   for (int r = 0; r < repeats; ++r) {
     run_batch(true);
-    run_serve(&runtime, &serve_result, false, true);
-    run_serve(&mixed_runtime, &mixed_result, true, true);
+    run_serve(&runtime, &serve_result, ServeMode::kPlain, true);
+    run_serve(&mixed_runtime, &mixed_result, ServeMode::kMixedClasses, true);
+    run_serve(&tenant_runtime, &tenant_result, ServeMode::kTenants, true);
   }
   batch_result.items_per_s =
       static_cast<double>(num_items) / batch_result.wall_s;
@@ -189,6 +237,8 @@ void Run() {
       static_cast<double>(num_items) / serve_result.wall_s;
   mixed_result.items_per_s =
       static_cast<double>(num_items) / mixed_result.wall_s;
+  tenant_result.items_per_s =
+      static_cast<double>(num_items) / tenant_result.wall_s;
 
   AMS_CHECK(std::abs(serve_result.recall_sum - batch_result.recall_sum) < 1e-9,
             "serve runtime changed recall vs SubmitBatch");
@@ -198,10 +248,17 @@ void Run() {
             "priority classes changed recall vs SubmitBatch");
   AMS_CHECK(mixed_result.executions == batch_result.executions,
             "priority classes changed the schedules vs SubmitBatch");
+  AMS_CHECK(std::abs(tenant_result.recall_sum - batch_result.recall_sum) <
+                1e-9,
+            "tenant quotas / value ordering changed recall vs SubmitBatch");
+  AMS_CHECK(tenant_result.executions == batch_result.executions,
+            "tenant quotas / value ordering changed the schedules");
 
   const double ratio = serve_result.items_per_s / batch_result.items_per_s;
   const double mixed_ratio =
       mixed_result.items_per_s / batch_result.items_per_s;
+  const double tenant_ratio =
+      tenant_result.items_per_s / batch_result.items_per_s;
   bench::Banner("Serve runtime vs SubmitBatch (" + std::to_string(num_items) +
                 " items, best of " + std::to_string(repeats) +
                 " interleaved trials, " + std::to_string(workers) +
@@ -214,6 +271,9 @@ void Run() {
                {serve_result.wall_s, serve_result.items_per_s, ratio});
   table.AddRow(mixed_result.name,
                {mixed_result.wall_s, mixed_result.items_per_s, mixed_ratio});
+  table.AddRow(tenant_result.name,
+               {tenant_result.wall_s, tenant_result.items_per_s,
+                tenant_ratio});
   table.Print(std::cout);
 
   std::ofstream json("BENCH_serve.json");
@@ -237,15 +297,23 @@ void Run() {
   json << "    {\"name\": \"serve_runtime_mixed\", \"wall_s\": "
        << mixed_result.wall_s
        << ", \"items_per_s\": " << mixed_result.items_per_s
-       << ", \"speedup_vs_submit_batch\": " << mixed_ratio << "}\n";
+       << ", \"speedup_vs_submit_batch\": " << mixed_ratio << "},\n";
+  json << "    {\"name\": \"serve_runtime_tenants\", \"wall_s\": "
+       << tenant_result.wall_s
+       << ", \"items_per_s\": " << tenant_result.items_per_s
+       << ", \"speedup_vs_submit_batch\": " << tenant_ratio << "}\n";
   json << "  ],\n";
   json << "  \"serve_vs_submit_ratio\": " << ratio << ",\n";
   json << "  \"mixed_vs_single_class_ratio\": "
-       << mixed_result.items_per_s / serve_result.items_per_s << "\n";
+       << mixed_result.items_per_s / serve_result.items_per_s << ",\n";
+  json << "  \"tenant_vs_single_class_ratio\": "
+       << tenant_result.items_per_s / serve_result.items_per_s << "\n";
   json << "}\n";
   std::cout << "\nwrote BENCH_serve.json (serve/submit ratio " << ratio
             << ", mixed/single-class ratio "
-            << mixed_result.items_per_s / serve_result.items_per_s << ")\n";
+            << mixed_result.items_per_s / serve_result.items_per_s
+            << ", tenant/single-class ratio "
+            << tenant_result.items_per_s / serve_result.items_per_s << ")\n";
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -29,11 +30,39 @@ enum class OverloadPolicy {
   /// (batch work is shed before interactive work; an arrival never
   /// displaces more important work — when only more important work is
   /// resident, the arrival itself bounces as kRejected). Within the victim
-  /// class, the oldest admission sequence is dropped.
+  /// class, the victim is the oldest admission sequence under kEdf ordering
+  /// and the lowest value density (ties: oldest) under kValueDensity and
+  /// kHybrid ordering.
   kShedOldest,
 };
 
 const char* OverloadPolicyName(OverloadPolicy policy);
+
+/// How the requests queued within one priority class are ordered for
+/// service. Paper-aware admission: the scheduler's scarce model-execution
+/// budget should go where it buys the most marginal recall per unit cost,
+/// so a band can serve by each request's stamped value density instead of
+/// (or blended with) its deadline.
+enum class WithinClassOrder {
+  /// Earliest deadline first, FIFO among equal deadlines (the PR-4
+  /// behavior; the default).
+  kEdf,
+  /// Highest QueuedRequest::value_density first, FIFO among equal
+  /// densities. Deadlines still stamp latency metrics but do not order.
+  kValueDensity,
+  /// Deadline-feasible value density: among requests whose slack still
+  /// admits them (deadline >= now at pop time), the highest density pops
+  /// first (ties: earlier deadline, then FIFO); when every queued request
+  /// has already missed its deadline, the band falls back to EDF so the
+  /// least-late work drains first.
+  kHybrid,
+};
+
+const char* WithinClassOrderName(WithinClassOrder order);
+
+/// Parses "edf" / "value" / "hybrid"; false on anything else (`*out`
+/// untouched).
+bool WithinClassOrderFromName(const char* name, WithinClassOrder* out);
 
 /// How AdmissionQueue::Enqueue disposed of a request.
 enum class AdmitOutcome {
@@ -43,6 +72,11 @@ enum class AdmitOutcome {
   /// more-important work resident); the request is handed back via
   /// `bounced` for the caller to resolve.
   kRejected,
+  /// Refused by the request's tenant quota (queued cap, in-flight cap, or
+  /// an empty rate-token bucket); handed back via `bounced`. A distinct
+  /// outcome so callers can account quota pressure separately from queue
+  /// pressure.
+  kRejectedQuota,
   /// Refused because Close() had been called; handed back via `bounced`.
   kClosed,
 };
@@ -61,15 +95,63 @@ struct ClassConfig {
   /// Overload policy applied to arrivals of this class; unset = the
   /// queue-wide policy.
   std::optional<OverloadPolicy> overload;
+  /// Within-class service order of this class's band; unset = the
+  /// queue-wide AdmissionConfig::within_class_order.
+  std::optional<WithinClassOrder> order;
 };
 
 /// The default per-class table (shared by AdmissionConfig and
 /// ServeOptions so the defaults cannot diverge): 8:4:1
 /// interactive:standard:batch weights, no per-class caps or overrides.
 inline constexpr std::array<ClassConfig, kNumPriorityClasses>
-    kDefaultClassConfigs = {ClassConfig{8, 0, std::nullopt},
-                            ClassConfig{4, 0, std::nullopt},
-                            ClassConfig{1, 0, std::nullopt}};
+    kDefaultClassConfigs = {ClassConfig{8, 0, std::nullopt, std::nullopt},
+                            ClassConfig{4, 0, std::nullopt, std::nullopt},
+                            ClassConfig{1, 0, std::nullopt, std::nullopt}};
+
+/// Admission quota of one tenant. A zero limit means "unlimited" for that
+/// dimension; the all-zero default constrains nothing.
+struct TenantQuota {
+  /// Bound on the tenant's queued (admitted, not yet popped) requests.
+  int max_queued = 0;
+  /// Bound on the tenant's popped-but-unfinished requests (the runtime
+  /// reports completions back through AdmissionQueue::TenantFinished).
+  int max_in_flight = 0;
+  /// Token-bucket refill rate in requests/second; 0 disables the bucket.
+  /// An arrival finding an empty bucket bounces kRejectedQuota whatever the
+  /// overload policy — blocking on future tokens has no wakeup source, and
+  /// a rate limiter is fail-fast by design. A token is spent by every
+  /// arrival that passes the gate (even one that later bounces on
+  /// capacity): the bucket limits arrival rate, not acceptance rate, which
+  /// is also what keeps concurrent same-tenant kBlock enqueues from
+  /// spending one balance twice.
+  double rate_per_s = 0.0;
+  /// Token-bucket size (burst allowance); <= 0 with rate_per_s > 0 means 1.
+  /// Values in (0, 1) are rejected at construction (they could never admit
+  /// a request).
+  double burst = 0.0;
+
+  bool Unconstrained() const {
+    return max_queued == 0 && max_in_flight == 0 && rate_per_s == 0.0;
+  }
+};
+
+/// Per-tenant quota table: explicit entries by tenant id plus an optional
+/// default applied to every unlisted tenant. An empty table disables tenant
+/// accounting entirely (the PR-4 fast path).
+struct TenantQuotaTable {
+  std::map<int, TenantQuota> per_tenant;
+  std::optional<TenantQuota> default_quota;
+
+  /// The quota governing `tenant_id`; nullptr = unconstrained.
+  const TenantQuota* QuotaFor(int tenant_id) const {
+    const auto it = per_tenant.find(tenant_id);
+    if (it != per_tenant.end()) return &it->second;
+    return default_quota.has_value() ? &*default_quota : nullptr;
+  }
+  bool empty() const {
+    return per_tenant.empty() && !default_quota.has_value();
+  }
+};
 
 /// Admission-queue configuration. Defaults reproduce the single-band
 /// behavior for uniform-class workloads (any weights do: with one non-empty
@@ -79,6 +161,9 @@ struct AdmissionConfig {
   int capacity = 1024;
   /// Queue-wide overload policy (per-class override in `classes`).
   OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Queue-wide within-class service order (per-class override in
+  /// `classes`). kEdf reproduces the PR-4 pop/shed behavior exactly.
+  WithinClassOrder within_class_order = WithinClassOrder::kEdf;
   /// Starvation bound K, >= kNumPriorityClasses: whenever a class has
   /// queued work, it is served at least once within every K consecutive
   /// pops, whatever the weights (so a backlog of n requests drains within
@@ -86,19 +171,22 @@ struct AdmissionConfig {
   /// over K - (kNumPriorityClasses - 1) times, which keeps the bound exact
   /// even when several classes starve at once.
   int starvation_bound = 16;
-  /// Per-class weight/cap/policy, indexed by PriorityClass.
+  /// Per-class weight/cap/policy/order, indexed by PriorityClass.
   std::array<ClassConfig, kNumPriorityClasses> classes = kDefaultClassConfigs;
+  /// Per-tenant quotas; empty = no tenant accounting (zero overhead).
+  TenantQuotaTable tenant_quotas;
   /// Timestamp source for admission stamps (enqueue_time_s, deadline_s);
   /// null = Clock::Monotonic().
   const Clock* clock = nullptr;
 };
 
 /// Bounded multi-tenant admission queue in front of the serving runtime:
-/// one EDF band per PriorityClass (earliest deadline first, FIFO
-/// tie-break), weighted round-robin service between classes with a hard
-/// starvation bound, and per-class overload policy + queue cap on top of
-/// the queue-wide capacity. Thread-safe; the blocking operations (kBlock
-/// enqueues, WaitPop) are condition-variable based and wake on Close().
+/// one band per PriorityClass ordered by the class's WithinClassOrder,
+/// weighted round-robin service between classes with a hard starvation
+/// bound, per-class overload policy + queue cap on top of the queue-wide
+/// capacity, and per-tenant quotas (queued cap, in-flight cap, rate token
+/// bucket). Thread-safe; the blocking operations (kBlock enqueues, WaitPop)
+/// are condition-variable based and wake on Close().
 ///
 /// Pop-order contract (the reference model in
 /// tests/serve_admission_model_test.cc mirrors this literally):
@@ -112,9 +200,24 @@ struct AdmissionConfig {
 ///     with weight > 0.
 ///  3. Strict fallback: if no non-empty class has weight > 0, the most
 ///     important non-empty class is served.
-/// Within the chosen class, pops are EDF (deadline, then admission
-/// sequence). Single-class workloads therefore pop in exactly the
-/// single-band EDF order.
+/// Within the chosen class, the band's effective WithinClassOrder picks the
+/// request: kEdf pops (deadline, then admission sequence); kValueDensity
+/// pops (highest value_density, then admission sequence); kHybrid pops the
+/// highest-density request whose deadline is still >= now (ties: earlier
+/// deadline, then sequence), falling back to the kEdf rule when every
+/// queued request is already late. Single-class kEdf workloads therefore
+/// pop in exactly the legacy single-band EDF order.
+///
+/// Tenant-quota contract: an arrival whose tenant is over quota is treated
+/// as overload of the arrival's class — kReject bounces it kRejectedQuota;
+/// kShedOldest shed a queued-cap breach by displacing the tenant's own
+/// queued work (least important class first, never a class more important
+/// than the arrival; the victim within the band follows the shed rule of
+/// the band's order), and bounces kRejectedQuota when the tenant has
+/// nothing sheddable (in-flight breach, or only more-important work);
+/// kBlock waits until the tenant has room again (pops free queued slots,
+/// TenantFinished frees in-flight slots). An empty rate-token bucket always
+/// bounces kRejectedQuota immediately, whatever the policy.
 class AdmissionQueue {
  public:
   explicit AdmissionQueue(const AdmissionConfig& config);
@@ -123,10 +226,12 @@ class AdmissionQueue {
   AdmissionQueue(int capacity, OverloadPolicy policy);
 
   /// Stamps the request (enqueue_time_s = now, deadline_s = now + slack_s),
-  /// applies the class's overload policy and queues it.
+  /// applies the tenant quota and the class's overload policy, and queues
+  /// it.
   ///  - kAccepted: the request was consumed; any shed victims (kShedOldest)
   ///    are appended to `bounced` with their original promises intact.
-  ///  - kRejected / kClosed: the request itself is appended to `bounced`.
+  ///  - kRejected / kRejectedQuota / kClosed: the request itself is
+  ///    appended to `bounced` for the caller to resolve.
   /// The caller resolves every bounced promise — the queue never touches
   /// result semantics.
   AdmitOutcome Enqueue(QueuedRequest&& request,
@@ -146,6 +251,12 @@ class AdmissionQueue {
   /// work, ever" — the worker run-loops' exit signal.
   bool WaitPop(QueuedRequest* out);
 
+  /// Reports one popped request of `tenant_id` as finished, freeing an
+  /// in-flight quota slot and waking enqueuers blocked on it. Call exactly
+  /// once per popped request (after completion); a no-op when tenant
+  /// accounting is off.
+  void TenantFinished(int tenant_id);
+
   /// Stops admission (subsequent Enqueues return kClosed) and wakes every
   /// blocked enqueuer and popper. Queued requests remain poppable.
   void Close();
@@ -156,24 +267,34 @@ class AdmissionQueue {
   size_t size() const { return depth_.load(std::memory_order_relaxed); }
   /// Queued count of one class (under the queue mutex).
   size_t class_size(PriorityClass cls) const;
+  /// Queued / popped-but-unfinished counts of one tenant (under the queue
+  /// mutex); 0 when tenant accounting is off.
+  int tenant_queued(int tenant_id) const;
+  int tenant_in_flight(int tenant_id) const;
   /// Enqueuers currently blocked inside a kBlock Enqueue (under the queue
   /// mutex). Lets tests wait for "the enqueuer has parked" deterministically
   /// instead of sleeping.
   int waiting_enqueuers() const;
   int capacity() const { return config_.capacity; }
   OverloadPolicy policy() const { return config_.overload; }
+  /// Effective within-class order of one class (per-class override or the
+  /// queue-wide setting).
+  WithinClassOrder OrderFor(PriorityClass cls) const;
   const AdmissionConfig& config() const { return config_; }
 
  private:
-  /// Min-heap comparator on (deadline, sequence). Implemented as a
-  /// std::push_heap/pop_heap max-heap with inverted comparison.
+  /// Min-heap comparator on (deadline, sequence) for kEdf bands.
+  /// Implemented as a std::push_heap/pop_heap max-heap with inverted
+  /// comparison.
   static bool Later(const QueuedRequest& a, const QueuedRequest& b) {
     if (a.deadline_s != b.deadline_s) return a.deadline_s > b.deadline_s;
     return a.sequence > b.sequence;
   }
 
   struct ClassBand {
-    /// EDF heap of this class's queued requests.
+    /// This class's queued requests: a (deadline, sequence) heap for kEdf
+    /// bands, an unordered slab (pop selects by linear scan) for
+    /// kValueDensity/kHybrid bands.
     std::vector<QueuedRequest> heap;
     /// Pops that served other classes while this one had queued work, since
     /// this class was last served. Reaching the forced-service threshold
@@ -181,29 +302,57 @@ class AdmissionQueue {
     int passed_over = 0;
   };
 
+  /// Per-tenant accounting (only maintained when the quota table is
+  /// non-empty).
+  struct TenantState {
+    int queued = 0;
+    int in_flight = 0;
+    double tokens = 0.0;
+    double last_refill_s = 0.0;
+    bool bucket_started = false;
+  };
+
   /// Effective overload policy for one class.
   OverloadPolicy PolicyFor(PriorityClass cls) const;
+  WithinClassOrder OrderForLocked(int cls) const;
   /// Whether class `cls` can accept one more request (queue-wide and
   /// per-class caps).
   bool HasSpaceLocked(int cls) const;
+  /// Whether `tenant`'s queued and in-flight counts leave room under
+  /// `quota` (null quota = always true).
+  bool TenantHasRoomLocked(const TenantQuota* quota,
+                           const TenantState* tenant) const;
   size_t TotalLocked() const;
   /// The pop-order contract: which class serves the next pop; -1 if all
   /// bands are empty. Updates the round-robin / starvation accounting as a
   /// side effect, so call exactly once per actual pop.
   int SelectClassLocked();
+  /// Index of the request the band's order serves next (band non-empty).
+  size_t SelectWithinLocked(int cls, double now_s) const;
   bool PopLocked(QueuedRequest* out);
-  /// Pops the oldest (smallest admission sequence) request of class `cls`
-  /// into `victim`; the band is re-heapified.
-  void EvictOldestLocked(int cls, QueuedRequest* victim);
+  /// Pops the shed victim of class `cls` into `victim`: the oldest
+  /// (smallest admission sequence) request under kEdf, the lowest value
+  /// density (ties: oldest) under kValueDensity/kHybrid. When
+  /// `tenant_filter` is non-negative only that tenant's requests are
+  /// candidates (the band must contain one).
+  void EvictVictimLocked(int cls, int tenant_filter, QueuedRequest* victim);
+  /// Whether class `cls` holds at least one request of `tenant`.
+  bool BandHasTenantLocked(int cls, int tenant) const;
+  /// Removes band index `i` preserving the band's invariant (re-heapify for
+  /// kEdf bands, swap-pop for scan bands) and moves it into `out`.
+  void RemoveAtLocked(int cls, size_t i, QueuedRequest* out);
 
   const AdmissionConfig config_;
   const Clock* const clock_;
   /// Forced-service threshold derived from config_.starvation_bound.
   const int forced_service_after_;
+  /// Tenant accounting enabled (config_.tenant_quotas non-empty).
+  const bool track_tenants_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::array<ClassBand, kNumPriorityClasses> bands_;
+  std::map<int, TenantState> tenants_;
   /// Weighted-round-robin cursor: current class and pops left in its turn.
   /// Starts one before class 0 (cyclically) with no credit, so the first
   /// pop's turn scan begins at the most important class.

@@ -101,6 +101,19 @@ std::string LatencyHistogram::SnapshotJson() const {
   return out.str();
 }
 
+TenantMetrics& Metrics::for_tenant(int tenant_id) {
+  if (tenant_id == 0) return default_tenant_;
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  return tenants_[tenant_id];
+}
+
+const TenantMetrics* Metrics::find_tenant(int tenant_id) const {
+  if (tenant_id == 0) return &default_tenant_;
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  const auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
 void Metrics::AttachClock(const Clock* clock) {
   clock_ = clock;
   attach_time_s_ = clock != nullptr ? clock->NowSeconds() : 0.0;
@@ -119,6 +132,8 @@ std::string Metrics::SnapshotJson(double uptime_s) const {
   out << "  \"counters\": {\"enqueued\": "
       << enqueued.load(std::memory_order_relaxed) << ", \"completed\": " << done
       << ", \"rejected\": " << rejected.load(std::memory_order_relaxed)
+      << ", \"quota_rejected\": "
+      << quota_rejected.load(std::memory_order_relaxed)
       << ", \"shed\": " << shed.load(std::memory_order_relaxed)
       << ", \"shutdown_refused\": "
       << shutdown_refused.load(std::memory_order_relaxed)
@@ -150,6 +165,34 @@ std::string Metrics::SnapshotJson(double uptime_s) const {
         << cls.deadline_misses.load(std::memory_order_relaxed)
         << ", \"queue_delay\": " << cls.queue_delay.SnapshotJson()
         << ", \"total\": " << cls.total_latency.SnapshotJson() << "}";
+  }
+  out << "},\n";
+  out << "  \"tenants\": {";
+  const auto tenant_json = [&out](int tenant_id, const TenantMetrics& tenant,
+                                  bool first) {
+    if (!first) out << ", ";
+    out << "\"" << tenant_id << "\": {\"enqueued\": "
+        << tenant.enqueued.load(std::memory_order_relaxed)
+        << ", \"completed\": "
+        << tenant.completed.load(std::memory_order_relaxed)
+        << ", \"rejected\": "
+        << tenant.rejected.load(std::memory_order_relaxed)
+        << ", \"quota_rejected\": "
+        << tenant.quota_rejected.load(std::memory_order_relaxed)
+        << ", \"shed\": " << tenant.shed.load(std::memory_order_relaxed)
+        << ", \"shutdown_refused\": "
+        << tenant.shutdown_refused.load(std::memory_order_relaxed)
+        << ", \"deadline_misses\": "
+        << tenant.deadline_misses.load(std::memory_order_relaxed)
+        << ", \"queue_delay\": " << tenant.queue_delay.SnapshotJson()
+        << ", \"total\": " << tenant.total_latency.SnapshotJson() << "}";
+  };
+  tenant_json(0, default_tenant_, /*first=*/true);
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    for (const auto& [tenant_id, tenant] : tenants_) {
+      tenant_json(tenant_id, tenant, /*first=*/false);
+    }
   }
   out << "}\n";
   out << "}";

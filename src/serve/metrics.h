@@ -4,6 +4,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 
 #include "serve/clock.h"
@@ -77,10 +79,28 @@ struct ClassMetrics {
   LatencyHistogram total_latency;
 };
 
+/// Per-tenant slice of the registry: the quota-accounting view. Same
+/// counter semantics as the queue-wide counters restricted to one tenant's
+/// requests, plus `quota_rejected` — refusals caused by the tenant's own
+/// quota (queued/in-flight caps, rate bucket) rather than queue pressure.
+/// Slices are created lazily on first use and live for the registry's
+/// lifetime (pointer-stable).
+struct TenantMetrics {
+  std::atomic<long> enqueued{0};
+  std::atomic<long> completed{0};
+  std::atomic<long> rejected{0};
+  std::atomic<long> quota_rejected{0};
+  std::atomic<long> shed{0};
+  std::atomic<long> shutdown_refused{0};
+  std::atomic<long> deadline_misses{0};
+  LatencyHistogram queue_delay;
+  LatencyHistogram total_latency;
+};
+
 /// The serving runtime's metrics registry: throughput counters, queue/flight
 /// gauges, and latency histograms, all safely updatable from every worker
-/// and enqueuer concurrently, plus a per-priority-class breakdown. Exported
-/// as one JSON snapshot for scraping.
+/// and enqueuer concurrently, plus per-priority-class and per-tenant
+/// breakdowns. Exported as one JSON snapshot for scraping.
 ///
 /// Counter semantics: every request increments `enqueued` exactly once and
 /// then exactly one of {completed, rejected, shed, shutdown_refused}; at any
@@ -92,6 +112,9 @@ class Metrics {
   std::atomic<long> enqueued{0};
   std::atomic<long> completed{0};
   std::atomic<long> rejected{0};
+  /// Subset of `rejected` caused by a tenant quota (queued/in-flight cap or
+  /// rate bucket) rather than queue pressure.
+  std::atomic<long> quota_rejected{0};
   std::atomic<long> shed{0};
   std::atomic<long> shutdown_refused{0};
   /// Completions that landed after their request deadline.
@@ -116,6 +139,16 @@ class Metrics {
     return by_class[static_cast<size_t>(cls)];
   }
 
+  /// The tenant's metrics slice. Tenant 0 (the default tenant every plain
+  /// Enqueue rides) is an inline member — lock-free, keeping the
+  /// single-tenant hot path free of any mutex. Non-zero tenants are created
+  /// on first use behind a short mutex-guarded map lookup; cache the
+  /// returned reference on hot paths (it stays valid for the registry's
+  /// lifetime).
+  TenantMetrics& for_tenant(int tenant_id);
+  /// Read-only lookup; nullptr when a non-zero tenant has no slice yet.
+  const TenantMetrics* find_tenant(int tenant_id) const;
+
   /// Binds the uptime axis to a serve clock: SnapshotJson() (the no-arg
   /// overload) measures uptime as now - attach time on `clock`. The clock
   /// must outlive the registry.
@@ -132,6 +165,13 @@ class Metrics {
  private:
   const Clock* clock_ = nullptr;
   double attach_time_s_ = 0.0;
+  /// Tenant 0's slice, inline so the default-tenant path never locks.
+  TenantMetrics default_tenant_;
+  /// Non-zero tenant slices: std::map for pointer stability (for_tenant
+  /// hands out long-lived references) and deterministic JSON ordering. The
+  /// mutex only guards the map structure; the slices themselves are atomic.
+  mutable std::mutex tenants_mu_;
+  std::map<int, TenantMetrics> tenants_;
 };
 
 }  // namespace ams::serve

@@ -12,11 +12,29 @@ AdmissionConfig ServerRuntime::AdmissionConfigFrom(
   AdmissionConfig config;
   config.capacity = options.queue_capacity;
   config.overload = options.overload;
+  config.within_class_order = options.within_class_order;
   config.starvation_bound = options.starvation_bound;
   config.classes = options.classes;
+  config.tenant_quotas = options.tenant_quotas;
   config.clock = options.clock;
   return config;
 }
+
+namespace {
+
+/// Whether any class's effective order consults value densities (in which
+/// case enqueues must stamp them).
+bool NeedsValueDensity(const ServeOptions& options) {
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    const WithinClassOrder order =
+        options.classes[static_cast<size_t>(c)].order.value_or(
+            options.within_class_order);
+    if (order != WithinClassOrder::kEdf) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 ServerRuntime::ServerRuntime(core::LabelingService* session,
                              ServeOptions options)
@@ -29,6 +47,14 @@ ServerRuntime::ServerRuntime(core::LabelingService* session,
   AMS_CHECK(options_.max_resident_per_worker >= 1,
             "a worker must hold at least one resident item");
   AMS_CHECK(options_.default_slack_s > 0.0, "deadline slack must be positive");
+  if (NeedsValueDensity(options_)) {
+    if (options_.value_estimator != nullptr) {
+      estimator_ = options_.value_estimator;
+    } else {
+      owned_estimator_ = std::make_unique<ProfileValueEstimator>(session);
+      estimator_ = owned_estimator_.get();
+    }
+  }
   metrics_.AttachClock(clock_);
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w) {
@@ -39,36 +65,59 @@ ServerRuntime::ServerRuntime(core::LabelingService* session,
 ServerRuntime::~ServerRuntime() { Shutdown(); }
 
 std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item) {
-  return Enqueue(item, options_.default_slack_s, PriorityClass::kStandard);
+  return Enqueue(item, RequestOptions{});
 }
 
 std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item,
                                                 double slack_s) {
-  return Enqueue(item, slack_s, PriorityClass::kStandard);
+  RequestOptions request;
+  request.slack_s = slack_s;
+  return Enqueue(item, request);
 }
 
 std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item,
                                                 PriorityClass cls) {
-  return Enqueue(item, options_.default_slack_s, cls);
+  RequestOptions request;
+  request.priority_class = cls;
+  return Enqueue(item, request);
 }
 
 std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item,
                                                 double slack_s,
                                                 PriorityClass cls) {
+  RequestOptions request;
+  request.slack_s = slack_s;
+  request.priority_class = cls;
+  return Enqueue(item, request);
+}
+
+std::future<ServeResult> ServerRuntime::Enqueue(
+    const core::WorkItem& item, const RequestOptions& request_options) {
+  const double slack_s =
+      request_options.slack_s.value_or(options_.default_slack_s);
+  const PriorityClass cls = request_options.priority_class;
   AMS_CHECK(slack_s > 0.0, "deadline slack must be positive");
   QueuedRequest request;
   request.item = item;
   request.priority_class = cls;
+  request.tenant_id = request_options.tenant_id;
   request.slack_s = slack_s;
   request.sequence = sequence_.fetch_add(1, std::memory_order_relaxed);
   request.stream_id =
       item.item >= 0
           ? static_cast<uint64_t>(item.item)
           : live_sequence_.fetch_add(1, std::memory_order_relaxed);
+  if (estimator_ != nullptr) {
+    // Stamped before admission: the density orders kValueDensity/kHybrid
+    // bands and picks shed victims.
+    request.value_density = estimator_->ValueDensity(item);
+  }
   std::future<ServeResult> future = request.promise.get_future();
 
   metrics_.enqueued.fetch_add(1, std::memory_order_relaxed);
   metrics_.for_class(cls).enqueued.fetch_add(1, std::memory_order_relaxed);
+  metrics_.for_tenant(request.tenant_id)
+      .enqueued.fetch_add(1, std::memory_order_relaxed);
   // Count the request as outstanding BEFORE it becomes poppable, so Drain()
   // can never observe zero while a worker races us to completion; every
   // refusal path undoes this through FinishOne().
@@ -88,6 +137,12 @@ std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item,
     case AdmitOutcome::kRejected:
       ResolveBounced(std::move(bounced.back()), ServeStatus::kRejected);
       break;
+    case AdmitOutcome::kRejectedQuota:
+      metrics_.quota_rejected.fetch_add(1, std::memory_order_relaxed);
+      metrics_.for_tenant(request_options.tenant_id)
+          .quota_rejected.fetch_add(1, std::memory_order_relaxed);
+      ResolveBounced(std::move(bounced.back()), ServeStatus::kRejected);
+      break;
     case AdmitOutcome::kClosed:
       ResolveBounced(std::move(bounced.back()), ServeStatus::kShutdown);
       break;
@@ -98,18 +153,22 @@ std::future<ServeResult> ServerRuntime::Enqueue(const core::WorkItem& item,
 void ServerRuntime::ResolveBounced(QueuedRequest&& request,
                                    ServeStatus status) {
   ClassMetrics& class_metrics = metrics_.for_class(request.priority_class);
+  TenantMetrics& tenant_metrics = metrics_.for_tenant(request.tenant_id);
   switch (status) {
     case ServeStatus::kRejected:
       metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
       class_metrics.rejected.fetch_add(1, std::memory_order_relaxed);
+      tenant_metrics.rejected.fetch_add(1, std::memory_order_relaxed);
       break;
     case ServeStatus::kShed:
       metrics_.shed.fetch_add(1, std::memory_order_relaxed);
       class_metrics.shed.fetch_add(1, std::memory_order_relaxed);
+      tenant_metrics.shed.fetch_add(1, std::memory_order_relaxed);
       break;
     case ServeStatus::kShutdown:
       metrics_.shutdown_refused.fetch_add(1, std::memory_order_relaxed);
       class_metrics.shutdown_refused.fetch_add(1, std::memory_order_relaxed);
+      tenant_metrics.shutdown_refused.fetch_add(1, std::memory_order_relaxed);
       break;
     case ServeStatus::kOk:
       AMS_CHECK(false, "completed requests are not bounced");
@@ -176,12 +235,16 @@ void ServerRuntime::WorkerLoop(int worker_index) {
           InFlightRequest tracked;
           tracked.promise = std::move(request.promise);
           tracked.priority_class = request.priority_class;
+          tracked.tenant_id = request.tenant_id;
+          tracked.tenant_metrics = &metrics_.for_tenant(request.tenant_id);
           tracked.deadline_s = request.deadline_s;
           tracked.enqueue_time_s = request.enqueue_time_s;
           tracked.admit_time_s = now;
           metrics_.queue_delay.Record(now - request.enqueue_time_s);
           metrics_.for_class(request.priority_class)
               .queue_delay.Record(now - request.enqueue_time_s);
+          tracked.tenant_metrics->queue_delay.Record(now -
+                                                     request.enqueue_time_s);
           const uint64_t ticket =
               stepper->Admit(request.item, request.stream_id);
           in_flight.emplace_back(ticket, std::move(tracked));
@@ -216,17 +279,23 @@ void ServerRuntime::WorkerLoop(int worker_index) {
       result.latency_s = now - tracked.enqueue_time_s;
       result.slack_s = tracked.deadline_s - now;
       ClassMetrics& class_metrics = metrics_.for_class(tracked.priority_class);
+      TenantMetrics& tenant_metrics = *tracked.tenant_metrics;
       metrics_.service_time.Record(result.service_s);
       metrics_.total_latency.Record(result.latency_s);
       class_metrics.total_latency.Record(result.latency_s);
+      tenant_metrics.total_latency.Record(result.latency_s);
       metrics_.completed.fetch_add(1, std::memory_order_relaxed);
       class_metrics.completed.fetch_add(1, std::memory_order_relaxed);
+      tenant_metrics.completed.fetch_add(1, std::memory_order_relaxed);
       if (!result.deadline_met()) {
         metrics_.deadline_misses.fetch_add(1, std::memory_order_relaxed);
         class_metrics.deadline_misses.fetch_add(1, std::memory_order_relaxed);
+        tenant_metrics.deadline_misses.fetch_add(1, std::memory_order_relaxed);
       }
       metrics_.in_flight.fetch_sub(1, std::memory_order_relaxed);
       tracked.promise.set_value(std::move(result));
+      // Free the tenant's in-flight quota slot (no-op without quotas).
+      queue_.TenantFinished(tracked.tenant_id);
       FinishOne();
     }
   }

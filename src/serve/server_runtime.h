@@ -6,7 +6,9 @@
 #include <condition_variable>
 #include <future>
 #include <limits>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "serve/metrics.h"
 #include "serve/priority_class.h"
 #include "serve/request.h"
+#include "serve/value_estimator.h"
 
 namespace ams::serve {
 
@@ -39,11 +42,23 @@ struct ServeOptions {
   /// deadline = arrival + slack. Infinity = no deadline (pure FIFO order
   /// within a class).
   double default_slack_s = std::numeric_limits<double>::infinity();
-  /// Per-class weight / queue cap / overload override, indexed by
-  /// PriorityClass (see AdmissionConfig).
+  /// Per-class weight / queue cap / overload override / order override,
+  /// indexed by PriorityClass (see AdmissionConfig).
   std::array<ClassConfig, kNumPriorityClasses> classes = kDefaultClassConfigs;
   /// Starvation bound K across classes (see AdmissionConfig).
   int starvation_bound = 16;
+  /// Within-class admission order (per-class override in `classes`): kEdf
+  /// reproduces the deadline-only PR-4 behavior; kValueDensity/kHybrid
+  /// serve by estimated marginal recall per unit cost (see AdmissionConfig
+  /// and ValueEstimator).
+  WithinClassOrder within_class_order = WithinClassOrder::kEdf;
+  /// Per-tenant quotas (queued cap, in-flight cap, rate bucket); empty =
+  /// no tenant accounting.
+  TenantQuotaTable tenant_quotas;
+  /// Scores QueuedRequest::value_density at enqueue when any class orders
+  /// by value; null = a ProfileValueEstimator over the session. Must
+  /// outlive the runtime when set.
+  const ValueEstimator* value_estimator = nullptr;
   /// Time source for every serve-side timestamp (admission stamps,
   /// deadlines, latencies, metrics uptime); null = Clock::Monotonic().
   /// Tests inject a ManualClock here for deterministic timing assertions.
@@ -81,11 +96,22 @@ class ServerRuntime {
   ServerRuntime(const ServerRuntime&) = delete;
   ServerRuntime& operator=(const ServerRuntime&) = delete;
 
+  /// Per-request admission parameters for the fully general Enqueue.
+  struct RequestOptions {
+    /// Latency budget (deadline = arrival + slack): positive, infinity =
+    /// explicitly no deadline. Unset = ServeOptions::default_slack_s.
+    std::optional<double> slack_s;
+    PriorityClass priority_class = PriorityClass::kStandard;
+    /// Tenant owning the request (quota accounting + metrics slice).
+    int tenant_id = 0;
+  };
+
   /// Submits one item in the default (kStandard) class with the default
-  /// deadline slack. The future always resolves — with the labeling
-  /// outcome, or with a rejected/shed/shutdown status. Under
-  /// OverloadPolicy::kBlock this call blocks while the queue is full.
-  /// Thread-safe; any number of concurrent enqueuers.
+  /// deadline slack, as the default tenant (0). The future always resolves
+  /// — with the labeling outcome, or with a rejected/shed/shutdown status.
+  /// Under OverloadPolicy::kBlock this call blocks while the queue is full
+  /// (or while the tenant is over its queued/in-flight quota). Thread-safe;
+  /// any number of concurrent enqueuers.
   std::future<ServeResult> Enqueue(const core::WorkItem& item);
 
   /// Same, with a per-request deadline of now + `slack_s` (EDF priority
@@ -96,9 +122,13 @@ class ServerRuntime {
   std::future<ServeResult> Enqueue(const core::WorkItem& item,
                                    PriorityClass cls);
 
-  /// Fully explicit: class + slack.
+  /// Class + slack, default tenant.
   std::future<ServeResult> Enqueue(const core::WorkItem& item, double slack_s,
                                    PriorityClass cls);
+
+  /// Fully explicit: slack + class + tenant.
+  std::future<ServeResult> Enqueue(const core::WorkItem& item,
+                                   const RequestOptions& request);
 
   /// Blocks until every request accepted so far has completed (queue empty
   /// and nothing in flight). The runtime keeps serving afterwards.
@@ -127,6 +157,10 @@ class ServerRuntime {
   struct InFlightRequest {
     std::promise<ServeResult> promise;
     PriorityClass priority_class = PriorityClass::kStandard;
+    int tenant_id = 0;
+    /// The tenant's metrics slice, resolved once at admission (pointer
+    /// stays valid for the registry's lifetime).
+    TenantMetrics* tenant_metrics = nullptr;
     double deadline_s = std::numeric_limits<double>::infinity();
     double enqueue_time_s = 0.0;
     double admit_time_s = 0.0;
@@ -147,6 +181,12 @@ class ServerRuntime {
   /// registry tracks uptime itself from AttachClock time (= construction).
   const Clock* clock_;
   Metrics metrics_;
+  /// The default estimator when value ordering is on and no
+  /// options.value_estimator was supplied.
+  std::unique_ptr<ProfileValueEstimator> owned_estimator_;
+  /// The estimator stamping QueuedRequest::value_density; null when every
+  /// class orders kEdf (no density is computed — the PR-4 enqueue path).
+  const ValueEstimator* estimator_ = nullptr;
   AdmissionQueue queue_;
   std::vector<std::thread> workers_;
 

@@ -1,0 +1,21 @@
+#include "serve/value_estimator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ams::serve {
+
+ProfileValueEstimator::ProfileValueEstimator(
+    const core::LabelingService* session)
+    : session_(session) {
+  AMS_CHECK(session != nullptr);
+}
+
+double ProfileValueEstimator::ValueDensity(const core::WorkItem& item) const {
+  const core::WorkEstimate estimate = session_->EstimateWork(item);
+  if (estimate.expected_value <= 0.0) return 0.0;
+  return estimate.expected_value / std::max(estimate.expected_cost_s, 1e-3);
+}
+
+}  // namespace ams::serve

@@ -1,0 +1,46 @@
+#ifndef AMS_SERVE_VALUE_ESTIMATOR_H_
+#define AMS_SERVE_VALUE_ESTIMATOR_H_
+
+#include "core/labeling_service.h"
+
+namespace ams::serve {
+
+/// Admission-time value scorer: estimates how much marginal value recall
+/// one queued item buys per second of predicted model-execution cost. The
+/// serving runtime stamps QueuedRequest::value_density with this score at
+/// enqueue; kValueDensity/kHybrid bands then serve the densest work first
+/// and shed the least dense — the paper's "spend scarce execution budget
+/// where it returns the most recall per unit cost", lifted from the
+/// per-model scheduling decision up to cross-request admission.
+///
+/// Implementations must be thread-safe (every enqueuer calls concurrently)
+/// and cheap — this runs on the admission path, before any queue lock.
+class ValueEstimator {
+ public:
+  virtual ~ValueEstimator() = default;
+
+  /// Estimated marginal value recall per second of predicted cost for
+  /// `item`; finite and >= 0 (0 = "no recall expected from this item").
+  virtual double ValueDensity(const core::WorkItem& item) const = 0;
+};
+
+/// The pluggable default: derives the density from the session's a-priori
+/// work profile (core::LabelingService::EstimateWork — oracle per-item
+/// profiles for stored items, scene structure x zoo task costs for live
+/// scenes). Items whose expected value is 0 score 0; otherwise
+/// expected_value / expected_cost_s with the cost floored at 1 ms so
+/// near-free items do not produce unbounded densities.
+class ProfileValueEstimator : public ValueEstimator {
+ public:
+  /// `session` must outlive the estimator.
+  explicit ProfileValueEstimator(const core::LabelingService* session);
+
+  double ValueDensity(const core::WorkItem& item) const override;
+
+ private:
+  const core::LabelingService* session_;
+};
+
+}  // namespace ams::serve
+
+#endif  // AMS_SERVE_VALUE_ESTIMATOR_H_

@@ -1,18 +1,25 @@
 // Model-checking harness for serve::AdmissionQueue: a single-threaded
 // reference model reimplements the queue's documented pop-order and
-// admission contract (EDF within a class, weighted round-robin with a
-// starvation guard between classes, per-class caps and overload policies)
-// in the simplest possible form, and randomized seeded op sequences —
-// enqueue/pop/batch-pop/clock-advance/close/drain across every overload
-// policy and priority class — are replayed against both implementations,
-// asserting exactly equal pop order and exactly equal shed/reject
-// decisions at every step. The harness also checks the starvation bound
-// (a non-empty class is served at least once within every K consecutive
-// pops) on every trace, and locks the single-class regression: a
-// uniform-class workload must pop in exactly the legacy single-band EDF
-// order. A final multi-threaded stress run checks conservation (every
-// request resolves exactly once) under real concurrency — the ordering
-// claims stay single-threaded where they are well-defined.
+// admission contract (within-class ordering — EDF, value density, or
+// deadline-feasible hybrid — weighted round-robin with a starvation guard
+// between classes, per-class caps and overload policies, and per-tenant
+// quotas: queued caps, in-flight caps, rate token buckets) in the simplest
+// possible form, and randomized seeded op sequences — enqueue / pop /
+// batch-pop / tenant-finish / clock-advance / close across every overload
+// policy, priority class, ordering mode and tenant — are replayed against
+// both implementations, asserting exactly equal pop order and exactly
+// equal shed/reject/quota decisions at every step. The harness also checks
+// the starvation bound (a non-empty class is served at least once within
+// every K consecutive pops) on every trace, and locks two regressions:
+// a uniform-class kEdf workload must pop in exactly the legacy single-band
+// EDF order, and kEdf mode must ignore stamped value densities bit-exactly
+// (the PR-4 behavior). A final multi-threaded stress run checks
+// conservation (every request resolves exactly once) under real
+// concurrency — the ordering claims stay single-threaded where they are
+// well-defined.
+//
+// The per-config seed count is 25 by default and env-overridable via
+// AMS_MODEL_SEEDS (the nightly CI soak runs 500).
 
 #include <gtest/gtest.h>
 
@@ -20,7 +27,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <deque>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <random>
@@ -39,13 +49,21 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+int SeedsPerConfig() {
+  const char* env = std::getenv("AMS_MODEL_SEEDS");
+  if (env == nullptr) return 25;
+  const int value = std::atoi(env);
+  return value > 0 ? value : 25;
+}
+
 // --- the reference model ---------------------------------------------------
 
 /// What the model predicts for one Enqueue.
 struct ModelAdmit {
   AdmitOutcome outcome = AdmitOutcome::kAccepted;
-  /// Sequence of the shed victim, when the enqueue displaced one.
-  std::optional<uint64_t> victim;
+  /// Sequences of shed victims, in eviction order (a quota shed may be
+  /// followed by a capacity shed on the same enqueue).
+  std::vector<uint64_t> victims;
 };
 
 /// Single-threaded executable spec of AdmissionQueue. Deliberately naive:
@@ -57,32 +75,85 @@ class ReferenceQueue {
   struct Request {
     uint64_t sequence = 0;
     int cls = 0;
+    int tenant = 0;
     double deadline_s = kInf;
+    double value_density = 0.0;
   };
 
   ReferenceQueue(const AdmissionConfig& config, const Clock* clock)
       : config_(config),
         clock_(clock),
-        forced_after_(config.starvation_bound - (kNumPriorityClasses - 1)) {}
+        forced_after_(config.starvation_bound - (kNumPriorityClasses - 1)),
+        track_tenants_(!config.tenant_quotas.empty()) {}
 
-  ModelAdmit Enqueue(uint64_t sequence, int cls, double slack_s) {
+  ModelAdmit Enqueue(uint64_t sequence, int cls, double slack_s, int tenant,
+                     double density) {
     ModelAdmit result;
-    const double deadline = clock_->NowSeconds() + slack_s;
+    const double now = clock_->NowSeconds();
+    const double deadline = now + slack_s;
     if (closed_) {
       result.outcome = AdmitOutcome::kClosed;
       return result;
     }
+    const TenantQuota* quota =
+        track_tenants_ ? config_.tenant_quotas.QuotaFor(tenant) : nullptr;
+    TenantState* state = track_tenants_ ? &tenants_[tenant] : nullptr;
+    if (quota != nullptr && quota->rate_per_s > 0.0) {
+      const double burst = quota->burst > 0.0 ? quota->burst : 1.0;
+      // Mirrors the real queue's non-negative refill clamp (a no-op here:
+      // the single-threaded harness's stamps are monotone).
+      const double refill_s = std::max(now, state->last_refill_s);
+      if (!state->bucket_started) {
+        state->tokens = burst;
+        state->bucket_started = true;
+      } else {
+        state->tokens = std::min(
+            burst, state->tokens +
+                       (refill_s - state->last_refill_s) * quota->rate_per_s);
+      }
+      state->last_refill_s = refill_s;
+      if (state->tokens < 1.0) {
+        result.outcome = AdmitOutcome::kRejectedQuota;
+        return result;
+      }
+      // Spent by passing the gate (not by admission), like the real queue.
+      state->tokens -= 1.0;
+    }
+    const OverloadPolicy policy = PolicyFor(cls);
+    if (!TenantHasRoom(quota, state)) {
+      // The single-threaded harness never enqueues when kBlock would park.
+      EXPECT_NE(policy, OverloadPolicy::kBlock);
+      const bool queued_breach =
+          quota->max_queued > 0 && state->queued >= quota->max_queued;
+      if (policy == OverloadPolicy::kReject || !queued_breach) {
+        result.outcome = AdmitOutcome::kRejectedQuota;
+        return result;
+      }
+      // Shed the tenant's own queued work: least important class first,
+      // never a class more important than the arrival.
+      int victim_class = -1;
+      for (int c = kNumPriorityClasses - 1; c >= cls; --c) {
+        if (BandHasTenant(c, tenant)) {
+          victim_class = c;
+          break;
+        }
+      }
+      if (victim_class < 0) {
+        result.outcome = AdmitOutcome::kRejectedQuota;
+        return result;
+      }
+      const Request victim = EvictVictim(victim_class, tenant);
+      --state->queued;
+      result.victims.push_back(victim.sequence);
+    }
     if (!HasSpace(cls)) {
-      const OverloadPolicy policy = PolicyFor(cls);
-      // The single-threaded harness never enqueues into a full queue under
-      // kBlock (that would park forever with no concurrent popper), so a
-      // full queue here is kReject or kShedOldest.
       EXPECT_NE(policy, OverloadPolicy::kBlock);
       if (policy == OverloadPolicy::kReject) {
         result.outcome = AdmitOutcome::kRejected;
         return result;
       }
-      const int class_cap = config_.classes[static_cast<size_t>(cls)].queue_capacity;
+      const int class_cap =
+          config_.classes[static_cast<size_t>(cls)].queue_capacity;
       int victim_class = -1;
       if (class_cap > 0 &&
           bands_[static_cast<size_t>(cls)].size() >=
@@ -100,21 +171,18 @@ class ReferenceQueue {
         result.outcome = AdmitOutcome::kRejected;
         return result;
       }
-      // Shed the oldest (smallest sequence) request of the victim class.
-      std::vector<Request>& band = bands_[static_cast<size_t>(victim_class)];
-      size_t oldest = 0;
-      for (size_t i = 1; i < band.size(); ++i) {
-        if (band[i].sequence < band[oldest].sequence) oldest = i;
-      }
-      result.victim = band[oldest].sequence;
-      band.erase(band.begin() + static_cast<long>(oldest));
+      const Request victim = EvictVictim(victim_class, /*tenant_filter=*/-1);
+      if (track_tenants_) --tenants_[victim.tenant].queued;
+      result.victims.push_back(victim.sequence);
     }
-    bands_[static_cast<size_t>(cls)].push_back({sequence, cls, deadline});
+    if (state != nullptr) ++state->queued;
+    bands_[static_cast<size_t>(cls)].push_back(
+        {sequence, cls, tenant, deadline, density});
     return result;
   }
 
   /// Predicts the next pop: which request comes out, updating the
-  /// round-robin / starvation accounting exactly per the contract.
+  /// round-robin / starvation / tenant accounting exactly per the contract.
   std::optional<Request> Pop() {
     if (TotalSize() == 0) return std::nullopt;
     // 1. Starvation guard.
@@ -164,19 +232,23 @@ class ReferenceQueue {
         ++passed_over_[static_cast<size_t>(c)];
       }
     }
-    // EDF within the chosen class: earliest deadline, then sequence.
+    // Within the chosen class: the band's effective order.
     std::vector<Request>& band = bands_[static_cast<size_t>(chosen)];
-    size_t best = 0;
-    for (size_t i = 1; i < band.size(); ++i) {
-      if (band[i].deadline_s < band[best].deadline_s ||
-          (band[i].deadline_s == band[best].deadline_s &&
-           band[i].sequence < band[best].sequence)) {
-        best = i;
-      }
-    }
+    const size_t best = SelectWithin(chosen, clock_->NowSeconds());
     const Request popped = band[best];
     band.erase(band.begin() + static_cast<long>(best));
+    if (track_tenants_) {
+      TenantState& state = tenants_[popped.tenant];
+      --state.queued;
+      ++state.in_flight;
+    }
     return popped;
+  }
+
+  /// Mirrors AdmissionQueue::TenantFinished.
+  void Finish(int tenant) {
+    if (!track_tenants_) return;
+    --tenants_[tenant].in_flight;
   }
 
   void Close() { closed_ = true; }
@@ -187,6 +259,12 @@ class ReferenceQueue {
     return per_class.has_value() ? *per_class : config_.overload;
   }
 
+  WithinClassOrder OrderFor(int cls) const {
+    const std::optional<WithinClassOrder>& per_class =
+        config_.classes[static_cast<size_t>(cls)].order;
+    return per_class.has_value() ? *per_class : config_.within_class_order;
+  }
+
   bool HasSpace(int cls) const {
     if (TotalSize() >= static_cast<size_t>(config_.capacity)) return false;
     const int class_cap =
@@ -194,6 +272,16 @@ class ReferenceQueue {
     return class_cap == 0 ||
            bands_[static_cast<size_t>(cls)].size() <
                static_cast<size_t>(class_cap);
+  }
+
+  /// Whether an enqueue for `tenant` would be admitted without parking
+  /// (kBlock) — the harness's "skip this op" guard.
+  bool TenantHasRoomNow(int tenant) const {
+    if (!track_tenants_) return true;
+    const TenantQuota* quota = config_.tenant_quotas.QuotaFor(tenant);
+    const auto it = tenants_.find(tenant);
+    return TenantHasRoom(quota,
+                         it == tenants_.end() ? nullptr : &it->second);
   }
 
   size_t TotalSize() const {
@@ -206,18 +294,133 @@ class ReferenceQueue {
     return bands_[static_cast<size_t>(cls)].size();
   }
 
+  int TenantQueued(int tenant) const {
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.queued;
+  }
+
+  int TenantInFlight(int tenant) const {
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.in_flight;
+  }
+
   bool closed() const { return closed_; }
+  bool tracks_tenants() const { return track_tenants_; }
 
  private:
+  struct TenantState {
+    int queued = 0;
+    int in_flight = 0;
+    double tokens = 0.0;
+    double last_refill_s = 0.0;
+    bool bucket_started = false;
+  };
+
   int Weight(int cls) const {
     return config_.classes[static_cast<size_t>(cls)].weight;
+  }
+
+  bool TenantHasRoom(const TenantQuota* quota,
+                     const TenantState* state) const {
+    if (quota == nullptr || state == nullptr) return true;
+    if (quota->max_queued > 0 && state->queued >= quota->max_queued) {
+      return false;
+    }
+    return quota->max_in_flight == 0 ||
+           state->in_flight < quota->max_in_flight;
+  }
+
+  bool BandHasTenant(int cls, int tenant) const {
+    for (const Request& request : bands_[static_cast<size_t>(cls)]) {
+      if (request.tenant == tenant) return true;
+    }
+    return false;
+  }
+
+  /// The request the band's order serves next.
+  size_t SelectWithin(int cls, double now_s) const {
+    const std::vector<Request>& band = bands_[static_cast<size_t>(cls)];
+    const WithinClassOrder order = OrderFor(cls);
+    if (order == WithinClassOrder::kEdf) {
+      size_t best = 0;
+      for (size_t i = 1; i < band.size(); ++i) {
+        if (band[i].deadline_s < band[best].deadline_s ||
+            (band[i].deadline_s == band[best].deadline_s &&
+             band[i].sequence < band[best].sequence)) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    if (order == WithinClassOrder::kValueDensity) {
+      size_t best = 0;
+      for (size_t i = 1; i < band.size(); ++i) {
+        if (band[i].value_density > band[best].value_density ||
+            (band[i].value_density == band[best].value_density &&
+             band[i].sequence < band[best].sequence)) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    // kHybrid: densest still-feasible request; EDF when everything is late.
+    size_t best = band.size();
+    for (size_t i = 0; i < band.size(); ++i) {
+      if (band[i].deadline_s < now_s) continue;
+      if (best == band.size() ||
+          band[i].value_density > band[best].value_density ||
+          (band[i].value_density == band[best].value_density &&
+           (band[i].deadline_s < band[best].deadline_s ||
+            (band[i].deadline_s == band[best].deadline_s &&
+             band[i].sequence < band[best].sequence)))) {
+        best = i;
+      }
+    }
+    if (best < band.size()) return best;
+    best = 0;
+    for (size_t i = 1; i < band.size(); ++i) {
+      if (band[i].deadline_s < band[best].deadline_s ||
+          (band[i].deadline_s == band[best].deadline_s &&
+           band[i].sequence < band[best].sequence)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  /// Removes and returns the shed victim of class `cls` (optionally
+  /// restricted to one tenant): oldest under kEdf, lowest density (ties:
+  /// oldest) under value ordering.
+  Request EvictVictim(int cls, int tenant_filter) {
+    std::vector<Request>& band = bands_[static_cast<size_t>(cls)];
+    const WithinClassOrder order = OrderFor(cls);
+    size_t chosen = band.size();
+    for (size_t i = 0; i < band.size(); ++i) {
+      if (tenant_filter >= 0 && band[i].tenant != tenant_filter) continue;
+      if (chosen == band.size()) {
+        chosen = i;
+        continue;
+      }
+      if (order == WithinClassOrder::kEdf) {
+        if (band[i].sequence < band[chosen].sequence) chosen = i;
+      } else if (band[i].value_density < band[chosen].value_density ||
+                 (band[i].value_density == band[chosen].value_density &&
+                  band[i].sequence < band[chosen].sequence)) {
+        chosen = i;
+      }
+    }
+    const Request victim = band[chosen];
+    band.erase(band.begin() + static_cast<long>(chosen));
+    return victim;
   }
 
   const AdmissionConfig config_;
   const Clock* clock_;
   const int forced_after_;
+  const bool track_tenants_;
   std::array<std::vector<Request>, kNumPriorityClasses> bands_;
   std::array<int, kNumPriorityClasses> passed_over_{};
+  std::map<int, TenantState> tenants_;
   int rr_class_ = kNumPriorityClasses - 1;
   int rr_credit_ = 0;
   bool closed_ = false;
@@ -225,11 +428,14 @@ class ReferenceQueue {
 
 // --- the harness -----------------------------------------------------------
 
-QueuedRequest MakeRequest(uint64_t sequence, double slack_s, int cls) {
+QueuedRequest MakeRequest(uint64_t sequence, double slack_s, int cls,
+                          int tenant = 0, double density = 0.0) {
   QueuedRequest request;
   request.sequence = sequence;
   request.slack_s = slack_s;
   request.priority_class = static_cast<PriorityClass>(cls);
+  request.tenant_id = tenant;
+  request.value_density = density;
   return request;
 }
 
@@ -314,6 +520,53 @@ std::vector<NamedConfig> PropertyConfigs() {
     c.classes[0].overload = OverloadPolicy::kShedOldest;
     configs.push_back({"mixed_class_policies", c});
   }
+  {
+    AdmissionConfig c;  // value-density ordering everywhere
+    c.capacity = 8;
+    c.overload = OverloadPolicy::kReject;
+    c.within_class_order = WithinClassOrder::kValueDensity;
+    configs.push_back({"value_density_reject", c});
+  }
+  {
+    AdmissionConfig c;  // hybrid ordering + shedding (lowest-density victims)
+    c.capacity = 6;
+    c.overload = OverloadPolicy::kShedOldest;
+    c.within_class_order = WithinClassOrder::kHybrid;
+    c.starvation_bound = 4;
+    configs.push_back({"hybrid_shed_k4", c});
+  }
+  {
+    AdmissionConfig c;  // per-class order overrides over a hybrid default
+    c.capacity = 8;
+    c.overload = OverloadPolicy::kReject;
+    c.within_class_order = WithinClassOrder::kHybrid;
+    c.classes[0].order = WithinClassOrder::kEdf;
+    c.classes[2].order = WithinClassOrder::kValueDensity;
+    configs.push_back({"mixed_order_overrides", c});
+  }
+  {
+    AdmissionConfig c;  // every tenant capped at 2 queued, shed policy
+    c.capacity = 8;
+    c.overload = OverloadPolicy::kShedOldest;
+    c.tenant_quotas.default_quota = TenantQuota{2, 0, 0.0, 0.0};
+    configs.push_back({"tenant_queued_caps_shed", c});
+  }
+  {
+    AdmissionConfig c;  // in-flight caps: admission depends on TenantFinished
+    c.capacity = 8;
+    c.overload = OverloadPolicy::kReject;
+    c.tenant_quotas.default_quota = TenantQuota{0, 2, 0.0, 0.0};
+    configs.push_back({"tenant_inflight_caps_reject", c});
+  }
+  {
+    AdmissionConfig c;  // tenant 0 rate-limited, value ordering on top
+    c.capacity = 8;
+    c.overload = OverloadPolicy::kShedOldest;
+    c.within_class_order = WithinClassOrder::kValueDensity;
+    c.tenant_quotas.per_tenant[0] = TenantQuota{0, 0, 1.0, 3.0};
+    c.tenant_quotas.per_tenant[1] = TenantQuota{2, 2, 0.0, 0.0};
+    configs.push_back({"rate_limited_tenant_value_order", c});
+  }
   return configs;
 }
 
@@ -330,7 +583,11 @@ void RunEpisode(const NamedConfig& named, uint64_t seed, int num_ops) {
 
   std::mt19937_64 rng(seed);
   const double slacks[] = {0.5, 1.0, 1.0, 2.0, 4.0, kInf};  // ties included
+  const double densities[] = {0.25, 0.5, 1.0, 1.0, 2.0, 8.0};  // ties included
+  constexpr int kTenants = 3;
   uint64_t next_sequence = 0;
+  /// Popped-but-unfinished requests, FIFO: (sequence, tenant).
+  std::deque<std::pair<uint64_t, int>> outstanding;
   const std::string context = named.name + " seed " + std::to_string(seed);
 
   const auto pop_once = [&]() {
@@ -346,7 +603,16 @@ void RunEpisode(const NamedConfig& named, uint64_t seed, int num_ops) {
     ASSERT_EQ(popped.sequence, expected->sequence) << context;
     ASSERT_EQ(static_cast<int>(popped.priority_class), expected->cls)
         << context;
+    ASSERT_EQ(popped.tenant_id, expected->tenant) << context;
+    outstanding.emplace_back(expected->sequence, expected->tenant);
     starvation.OnPop(queued_before, expected->cls);
+  };
+  const auto finish_once = [&]() {
+    if (outstanding.empty()) return;
+    const int tenant = outstanding.front().second;
+    outstanding.pop_front();
+    real.TenantFinished(tenant);
+    model.Finish(tenant);
   };
 
   for (int op = 0; op < num_ops; ++op) {
@@ -354,35 +620,44 @@ void RunEpisode(const NamedConfig& named, uint64_t seed, int num_ops) {
     if (roll < 10) clock.Advance(static_cast<double>(rng() % 3));
     if (roll < 55) {
       const int cls = static_cast<int>(rng() % kNumPriorityClasses);
+      const int tenant = static_cast<int>(rng() % kTenants);
       const double slack = slacks[rng() % std::size(slacks)];
-      if (!model.closed() && !model.HasSpace(cls) &&
+      const double density = densities[rng() % std::size(densities)];
+      if (!model.closed() &&
+          (!model.HasSpace(cls) || !model.TenantHasRoomNow(tenant)) &&
           model.PolicyFor(cls) == OverloadPolicy::kBlock) {
-        // A kBlock enqueue into a full queue would park forever without a
-        // concurrent popper; drain one slot instead.
-        pop_once();
-        if (::testing::Test::HasFatalFailure()) return;
+        // A kBlock enqueue would park forever without a concurrent worker;
+        // free a slot (a finish unblocks in-flight caps, a pop unblocks
+        // queue space) and skip the enqueue.
+        if (!outstanding.empty()) {
+          finish_once();
+        } else {
+          pop_once();
+          if (::testing::Test::HasFatalFailure()) return;
+        }
         continue;
       }
       const uint64_t sequence = next_sequence++;
-      const ModelAdmit expected = model.Enqueue(
-          sequence, cls, slack);
+      const ModelAdmit expected =
+          model.Enqueue(sequence, cls, slack, tenant, density);
       std::vector<QueuedRequest> bounced;
-      const AdmitOutcome outcome =
-          real.Enqueue(MakeRequest(sequence, slack, cls), &bounced);
+      const AdmitOutcome outcome = real.Enqueue(
+          MakeRequest(sequence, slack, cls, tenant, density), &bounced);
       ASSERT_EQ(outcome, expected.outcome) << context;
-      if (expected.victim.has_value()) {
-        ASSERT_EQ(bounced.size(), 1u) << context;
-        ASSERT_EQ(bounced[0].sequence, *expected.victim) << context;
-      } else if (outcome != AdmitOutcome::kAccepted) {
+      if (outcome == AdmitOutcome::kAccepted) {
+        ASSERT_EQ(bounced.size(), expected.victims.size()) << context;
+        for (size_t v = 0; v < bounced.size(); ++v) {
+          ASSERT_EQ(bounced[v].sequence, expected.victims[v]) << context;
+        }
+      } else {
         ASSERT_EQ(bounced.size(), 1u) << context;
         ASSERT_EQ(bounced[0].sequence, sequence) << context;
-      } else {
-        ASSERT_TRUE(bounced.empty()) << context;
+        ASSERT_TRUE(expected.victims.empty()) << context;
       }
-    } else if (roll < 80) {
+    } else if (roll < 75) {
       pop_once();
       if (::testing::Test::HasFatalFailure()) return;
-    } else if (roll < 92) {
+    } else if (roll < 87) {
       const int batch = static_cast<int>(rng() % 4) + 1;
       for (int i = 0; i < batch; ++i) {
         // Batch pops must span classes exactly like successive TryPops; the
@@ -390,6 +665,8 @@ void RunEpisode(const NamedConfig& named, uint64_t seed, int num_ops) {
         pop_once();
         if (::testing::Test::HasFatalFailure()) return;
       }
+    } else if (roll < 95) {
+      finish_once();
     } else if (roll >= 97 && !model.closed()) {
       real.Close();
       model.Close();
@@ -399,6 +676,14 @@ void RunEpisode(const NamedConfig& named, uint64_t seed, int num_ops) {
       ASSERT_EQ(real.class_size(static_cast<PriorityClass>(c)),
                 model.BandSize(c))
           << context << " class " << c;
+    }
+    if (model.tracks_tenants()) {
+      for (int t = 0; t < kTenants; ++t) {
+        ASSERT_EQ(real.tenant_queued(t), model.TenantQueued(t))
+            << context << " tenant " << t;
+        ASSERT_EQ(real.tenant_in_flight(t), model.TenantInFlight(t))
+            << context << " tenant " << t;
+      }
     }
   }
   // Drain both completely and compare the tail order.
@@ -411,10 +696,11 @@ void RunEpisode(const NamedConfig& named, uint64_t seed, int num_ops) {
 }
 
 TEST(AdmissionModelTest, RandomizedOpSequencesMatchTheReferenceModel) {
-  constexpr int kSeedsPerConfig = 25;
+  const int seeds_per_config = SeedsPerConfig();
   constexpr int kOpsPerEpisode = 400;
   for (const NamedConfig& named : PropertyConfigs()) {
-    for (uint64_t seed = 1; seed <= kSeedsPerConfig; ++seed) {
+    for (uint64_t seed = 1;
+         seed <= static_cast<uint64_t>(seeds_per_config); ++seed) {
       RunEpisode(named, seed, kOpsPerEpisode);
       if (::testing::Test::HasFatalFailure()) return;
     }
@@ -438,7 +724,7 @@ TEST(AdmissionModelTest, BatchPopsMatchTheModelAcrossClasses) {
     for (uint64_t sequence = 0; sequence < 24; ++sequence) {
       const int cls = static_cast<int>(rng() % kNumPriorityClasses);
       const double slack = slacks[rng() % std::size(slacks)];
-      model.Enqueue(sequence, cls, slack);
+      model.Enqueue(sequence, cls, slack, /*tenant=*/0, /*density=*/0.0);
       std::vector<QueuedRequest> bounced;
       ASSERT_EQ(real.Enqueue(MakeRequest(sequence, slack, cls), &bounced),
                 AdmitOutcome::kAccepted);
@@ -493,6 +779,63 @@ TEST(AdmissionModelTest, SingleClassWorkloadsReproduceLegacyEdfOrderExactly) {
   }
 }
 
+TEST(AdmissionModelTest, KEdfModeIgnoresStampedDensitiesBitExactly) {
+  // The PR-4 parity lock for the ordering seam: under kEdf (the default)
+  // the queue must behave bit-identically whether or not requests carry
+  // value densities and tenant ids — densities are inert payload until a
+  // band opts into value ordering, and tenants are inert without quotas.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ManualClock clock_a, clock_b;
+    AdmissionConfig config;
+    config.capacity = 16;
+    config.overload = OverloadPolicy::kShedOldest;
+    AdmissionConfig config_a = config;
+    config_a.clock = &clock_a;
+    AdmissionConfig config_b = config;
+    config_b.clock = &clock_b;
+    AdmissionQueue plain(config_a);    // PR-4 style: no densities, tenant 0
+    AdmissionQueue stamped(config_b);  // same stream with random stamps
+    std::mt19937_64 rng(seed);
+    const double slacks[] = {0.5, 1.0, 1.0, 2.0, kInf};
+    uint64_t sequence = 0;
+    for (int op = 0; op < 200; ++op) {
+      const uint64_t roll = rng() % 100;
+      if (roll < 10) {
+        const double advance = static_cast<double>(rng() % 3);
+        clock_a.Advance(advance);
+        clock_b.Advance(advance);
+      }
+      if (roll < 60) {
+        const int cls = static_cast<int>(rng() % kNumPriorityClasses);
+        const double slack = slacks[rng() % std::size(slacks)];
+        const int tenant = static_cast<int>(rng() % 4);
+        const double density = static_cast<double>(rng() % 8);
+        std::vector<QueuedRequest> bounced_plain, bounced_stamped;
+        const AdmitOutcome a = plain.Enqueue(
+            MakeRequest(sequence, slack, cls), &bounced_plain);
+        const AdmitOutcome b = stamped.Enqueue(
+            MakeRequest(sequence, slack, cls, tenant, density),
+            &bounced_stamped);
+        ASSERT_EQ(a, b) << "seed " << seed;
+        ASSERT_EQ(bounced_plain.size(), bounced_stamped.size());
+        for (size_t v = 0; v < bounced_plain.size(); ++v) {
+          ASSERT_EQ(bounced_plain[v].sequence, bounced_stamped[v].sequence)
+              << "seed " << seed;
+        }
+        ++sequence;
+      } else {
+        QueuedRequest popped_plain, popped_stamped;
+        const bool got_plain = plain.TryPop(&popped_plain);
+        ASSERT_EQ(got_plain, stamped.TryPop(&popped_stamped));
+        if (got_plain) {
+          ASSERT_EQ(popped_plain.sequence, popped_stamped.sequence)
+              << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
 TEST(AdmissionModelTest, SaturatedHighPriorityStillDrainsBatchWithinKBound) {
   // The acceptance scenario, deterministically: strict interactive-over-
   // batch with a saturating interactive stream; queued batch work must
@@ -539,16 +882,255 @@ TEST(AdmissionModelTest, SaturatedHighPriorityStillDrainsBatchWithinKBound) {
   EXPECT_LE(pops, kBatchRequests * kBound);
 }
 
+// --- deterministic ordering / quota contract tests -------------------------
+
+TEST(AdmissionModelTest, DefaultConfigIsEdfWithNoQuotas) {
+  // The configuration-default lock behind the PR-4 parity guarantee.
+  const AdmissionConfig config;
+  EXPECT_EQ(config.within_class_order, WithinClassOrder::kEdf);
+  EXPECT_TRUE(config.tenant_quotas.empty());
+  for (const ClassConfig& cls : config.classes) {
+    EXPECT_FALSE(cls.order.has_value());
+  }
+}
+
+TEST(AdmissionModelTest, ValueDensityOrderPopsDensestFirstWithFifoTies) {
+  ManualClock clock;
+  AdmissionConfig config;
+  config.capacity = 8;
+  config.overload = OverloadPolicy::kReject;
+  config.within_class_order = WithinClassOrder::kValueDensity;
+  config.clock = &clock;
+  AdmissionQueue queue(config);
+  std::vector<QueuedRequest> bounced;
+  // Deadlines deliberately anti-correlated with density: seq 2 is the most
+  // urgent but least dense, so EDF would pop it first and value order must
+  // not.
+  const struct {
+    uint64_t seq;
+    double slack;
+    double density;
+  } arrivals[] = {{0, 5.0, 1.0}, {1, 9.0, 4.0}, {2, 0.5, 0.5},
+                  {3, 7.0, 4.0}, {4, 3.0, 2.0}};
+  for (const auto& a : arrivals) {
+    ASSERT_EQ(queue.Enqueue(MakeRequest(a.seq, a.slack, /*cls=*/1,
+                                        /*tenant=*/0, a.density),
+                            &bounced),
+              AdmitOutcome::kAccepted);
+  }
+  // Density order 4,4,2,1,0.5 with the FIFO tie between seq 1 and seq 3.
+  for (const uint64_t want : {1u, 3u, 4u, 0u, 2u}) {
+    QueuedRequest popped;
+    ASSERT_TRUE(queue.TryPop(&popped));
+    EXPECT_EQ(popped.sequence, want);
+  }
+}
+
+TEST(AdmissionModelTest, HybridServesFeasibleDensityAndFallsBackToEdf) {
+  ManualClock clock;
+  AdmissionConfig config;
+  config.capacity = 8;
+  config.overload = OverloadPolicy::kReject;
+  config.within_class_order = WithinClassOrder::kHybrid;
+  config.clock = &clock;
+  AdmissionQueue queue(config);
+  std::vector<QueuedRequest> bounced;
+  // All enqueued at t = 0: A expires at 1s, B at 100s, C at 100s.
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, 1.0, 1, 0, /*density=*/9.0),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(1, 100.0, 1, 0, /*density=*/1.0),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(2, 100.0, 1, 0, /*density=*/3.0),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  // t = 2: A is late. The densest FEASIBLE request (C) pops first — A's
+  // higher density no longer counts, its slack no longer admits it.
+  clock.Advance(2.0);
+  QueuedRequest popped;
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 2u);
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 1u);
+  // Only the late request remains: the EDF fallback drains it.
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 0u);
+  // And when EVERYTHING is late, the band is pure EDF: earliest deadline
+  // first regardless of density.
+  ASSERT_EQ(queue.Enqueue(MakeRequest(3, 1.0, 1, 0, /*density=*/1.0),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(4, 2.0, 1, 0, /*density=*/9.0),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  clock.Advance(50.0);
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 3u);
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 4u);
+}
+
+TEST(AdmissionModelTest, ShedVictimIsLowestDensityUnderValueOrdering) {
+  ManualClock clock;
+  AdmissionConfig config;
+  config.capacity = 2;
+  config.overload = OverloadPolicy::kShedOldest;
+  config.within_class_order = WithinClassOrder::kValueDensity;
+  config.clock = &clock;
+  AdmissionQueue queue(config);
+  std::vector<QueuedRequest> bounced;
+  // The OLDEST resident (seq 0) is also the densest; under value ordering
+  // the shed victim is the lowest-density resident (seq 1) instead.
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, kInf, 1, 0, /*density=*/5.0),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(1, kInf, 1, 0, /*density=*/1.0),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(2, kInf, 1, 0, /*density=*/3.0),
+                          &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(bounced.size(), 1u);
+  EXPECT_EQ(bounced[0].sequence, 1u);
+  QueuedRequest popped;
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 0u);
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 2u);
+}
+
+TEST(AdmissionModelTest, TenantQueuedCapShedsTheTenantsOwnOldestWork) {
+  ManualClock clock;
+  AdmissionConfig config;
+  config.capacity = 16;
+  config.overload = OverloadPolicy::kShedOldest;
+  config.tenant_quotas.default_quota = TenantQuota{/*max_queued=*/2, 0, 0, 0};
+  config.clock = &clock;
+  AdmissionQueue queue(config);
+  std::vector<QueuedRequest> bounced;
+  // Tenant 3's work is untouchable by tenant 7's quota pressure.
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, kInf, 1, /*tenant=*/3), &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(1, kInf, 1, /*tenant=*/7), &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(2, kInf, 1, /*tenant=*/7), &bounced),
+            AdmitOutcome::kAccepted);
+  EXPECT_EQ(queue.tenant_queued(7), 2);
+  // Tenant 7 over its queued cap: the arrival displaces tenant 7's own
+  // oldest request — the queue has plenty of global space.
+  ASSERT_EQ(queue.Enqueue(MakeRequest(3, kInf, 1, /*tenant=*/7), &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(bounced.size(), 1u);
+  EXPECT_EQ(bounced[0].sequence, 1u);
+  EXPECT_EQ(bounced[0].tenant_id, 7);
+  EXPECT_EQ(queue.tenant_queued(7), 2);
+  EXPECT_EQ(queue.tenant_queued(3), 1);
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(AdmissionModelTest, TenantQueuedCapRejectsUnderRejectPolicy) {
+  ManualClock clock;
+  AdmissionConfig config;
+  config.capacity = 16;
+  config.overload = OverloadPolicy::kReject;
+  config.tenant_quotas.per_tenant[5] = TenantQuota{/*max_queued=*/1, 0, 0, 0};
+  config.clock = &clock;
+  AdmissionQueue queue(config);
+  std::vector<QueuedRequest> bounced;
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, kInf, 1, /*tenant=*/5), &bounced),
+            AdmitOutcome::kAccepted);
+  // Over quota with an almost-empty queue: kRejectedQuota, not kRejected.
+  EXPECT_EQ(queue.Enqueue(MakeRequest(1, kInf, 1, /*tenant=*/5), &bounced),
+            AdmitOutcome::kRejectedQuota);
+  ASSERT_EQ(bounced.size(), 1u);
+  EXPECT_EQ(bounced[0].sequence, 1u);
+  // Unlisted tenants are unconstrained (no default quota configured).
+  EXPECT_EQ(queue.Enqueue(MakeRequest(2, kInf, 1, /*tenant=*/6), &bounced),
+            AdmitOutcome::kAccepted);
+}
+
+TEST(AdmissionModelTest, TenantInFlightCapFreesOnTenantFinished) {
+  ManualClock clock;
+  AdmissionConfig config;
+  config.capacity = 16;
+  config.overload = OverloadPolicy::kReject;
+  config.tenant_quotas.default_quota =
+      TenantQuota{0, /*max_in_flight=*/1, 0, 0};
+  config.clock = &clock;
+  AdmissionQueue queue(config);
+  std::vector<QueuedRequest> bounced;
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, kInf, 1, /*tenant=*/4), &bounced),
+            AdmitOutcome::kAccepted);
+  QueuedRequest popped;
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(queue.tenant_in_flight(4), 1);
+  // The tenant's single in-flight slot is taken; an in-flight breach is
+  // never sheddable, so the arrival bounces kRejectedQuota.
+  EXPECT_EQ(queue.Enqueue(MakeRequest(1, kInf, 1, /*tenant=*/4), &bounced),
+            AdmitOutcome::kRejectedQuota);
+  // Completion frees the slot and admission recovers.
+  queue.TenantFinished(4);
+  EXPECT_EQ(queue.tenant_in_flight(4), 0);
+  EXPECT_EQ(queue.Enqueue(MakeRequest(2, kInf, 1, /*tenant=*/4), &bounced),
+            AdmitOutcome::kAccepted);
+}
+
+TEST(AdmissionModelTest, TokenBucketRefillsOnTheManualClock) {
+  ManualClock clock;
+  AdmissionConfig config;
+  config.capacity = 16;
+  config.overload = OverloadPolicy::kBlock;  // bucket rejects regardless
+  config.tenant_quotas.per_tenant[9] =
+      TenantQuota{0, 0, /*rate_per_s=*/2.0, /*burst=*/2.0};
+  config.clock = &clock;
+  AdmissionQueue queue(config);
+  std::vector<QueuedRequest> bounced;
+  // Burst of 2 admits, then the bucket is dry — even under kBlock the
+  // arrival bounces kRejectedQuota (fail-fast rate control).
+  ASSERT_EQ(queue.Enqueue(MakeRequest(0, kInf, 1, /*tenant=*/9), &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(1, kInf, 1, /*tenant=*/9), &bounced),
+            AdmitOutcome::kAccepted);
+  EXPECT_EQ(queue.Enqueue(MakeRequest(2, kInf, 1, /*tenant=*/9), &bounced),
+            AdmitOutcome::kRejectedQuota);
+  // 0.5 s at 2/s refills one token.
+  clock.Advance(0.5);
+  EXPECT_EQ(queue.Enqueue(MakeRequest(3, kInf, 1, /*tenant=*/9), &bounced),
+            AdmitOutcome::kAccepted);
+  EXPECT_EQ(queue.Enqueue(MakeRequest(4, kInf, 1, /*tenant=*/9), &bounced),
+            AdmitOutcome::kRejectedQuota);
+  // A long idle period clamps at the burst size, not the elapsed time.
+  clock.Advance(100.0);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(5, kInf, 1, /*tenant=*/9), &bounced),
+            AdmitOutcome::kAccepted);
+  ASSERT_EQ(queue.Enqueue(MakeRequest(6, kInf, 1, /*tenant=*/9), &bounced),
+            AdmitOutcome::kAccepted);
+  EXPECT_EQ(queue.Enqueue(MakeRequest(7, kInf, 1, /*tenant=*/9), &bounced),
+            AdmitOutcome::kRejectedQuota);
+  // Other tenants never touch tenant 9's bucket.
+  EXPECT_EQ(queue.Enqueue(MakeRequest(8, kInf, 1, /*tenant=*/2), &bounced),
+            AdmitOutcome::kAccepted);
+}
+
 // --- concurrent conservation -----------------------------------------------
 
 /// Multi-threaded interleavings: ordering is timing-dependent, but request
 /// conservation is not — every enqueued sequence must surface exactly once
 /// as a pop, a shed victim, a rejection, or a post-close refusal.
-void RunConcurrentConservation(OverloadPolicy policy) {
+void RunConcurrentConservation(OverloadPolicy policy,
+                               WithinClassOrder order,
+                               bool with_quotas) {
   AdmissionConfig config;
   config.capacity = 8;
   config.overload = policy;
+  config.within_class_order = order;
   config.starvation_bound = 4;
+  if (with_quotas) {
+    // Loose caps so kBlock enqueues always have a worker-side unblocker
+    // (poppers call TenantFinished immediately: in-flight never saturates).
+    config.tenant_quotas.default_quota = TenantQuota{6, 0, 0.0, 0.0};
+  }
   AdmissionQueue queue(config);
 
   constexpr int kEnqueuers = 3;
@@ -569,9 +1151,11 @@ void RunConcurrentConservation(OverloadPolicy policy) {
             static_cast<uint64_t>(t) * kPerThread + static_cast<uint64_t>(i);
         const int cls = static_cast<int>(rng() % kNumPriorityClasses);
         const double slack = (rng() % 2 == 0) ? 1.0 : kInf;
+        const int tenant = static_cast<int>(rng() % 2);
+        const double density = static_cast<double>(rng() % 4);
         std::vector<QueuedRequest> bounced;
-        const AdmitOutcome outcome =
-            queue.Enqueue(MakeRequest(sequence, slack, cls), &bounced);
+        const AdmitOutcome outcome = queue.Enqueue(
+            MakeRequest(sequence, slack, cls, tenant, density), &bounced);
         if (outcome == AdmitOutcome::kAccepted) ++local_accepted;
         for (QueuedRequest& request : bounced) {
           local_bounced.push_back(request.sequence);
@@ -589,6 +1173,7 @@ void RunConcurrentConservation(OverloadPolicy policy) {
       QueuedRequest request;
       while (queue.WaitPop(&request)) {
         local_popped.push_back(request.sequence);
+        queue.TenantFinished(request.tenant_id);
       }
       std::lock_guard<std::mutex> lock(mu);
       popped.insert(popped.end(), local_popped.begin(), local_popped.end());
@@ -619,15 +1204,29 @@ void RunConcurrentConservation(OverloadPolicy policy) {
 }
 
 TEST(AdmissionModelTest, ConcurrentConservationUnderBlock) {
-  RunConcurrentConservation(OverloadPolicy::kBlock);
+  RunConcurrentConservation(OverloadPolicy::kBlock, WithinClassOrder::kEdf,
+                            /*with_quotas=*/false);
 }
 
 TEST(AdmissionModelTest, ConcurrentConservationUnderReject) {
-  RunConcurrentConservation(OverloadPolicy::kReject);
+  RunConcurrentConservation(OverloadPolicy::kReject, WithinClassOrder::kEdf,
+                            /*with_quotas=*/false);
 }
 
 TEST(AdmissionModelTest, ConcurrentConservationUnderShedOldest) {
-  RunConcurrentConservation(OverloadPolicy::kShedOldest);
+  RunConcurrentConservation(OverloadPolicy::kShedOldest,
+                            WithinClassOrder::kEdf, /*with_quotas=*/false);
+}
+
+TEST(AdmissionModelTest, ConcurrentConservationUnderValueOrderAndQuotas) {
+  RunConcurrentConservation(OverloadPolicy::kShedOldest,
+                            WithinClassOrder::kValueDensity,
+                            /*with_quotas=*/true);
+}
+
+TEST(AdmissionModelTest, ConcurrentConservationUnderHybridBlockAndQuotas) {
+  RunConcurrentConservation(OverloadPolicy::kBlock, WithinClassOrder::kHybrid,
+                            /*with_quotas=*/true);
 }
 
 }  // namespace

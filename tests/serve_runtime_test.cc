@@ -881,6 +881,191 @@ TEST_F(ServerRuntimeTest, EmptyHistogramQueriesAreWellDefined) {
   EXPECT_DOUBLE_EQ(histogram.Percentile(250.0), histogram.Percentile(100.0));
 }
 
+TEST_F(ServerRuntimeTest, ValueDensityOrderingNeverChangesOutcomes) {
+  // The estimator seam end-to-end: value-density admission (default
+  // ProfileValueEstimator over the session) reorders service but items are
+  // independent — every outcome must still equal offline Submit().
+  const int num_items = 30;
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 43);
+
+  core::LabelingService offline = BuildPredictorSession(agent.get(), 1);
+  std::vector<core::LabelOutcome> expected;
+  for (int i = 0; i < num_items; ++i) {
+    expected.push_back(offline.Submit(core::WorkItem::Stored(i)));
+  }
+
+  core::LabelingService session = BuildPredictorSession(agent.get(), 2);
+  ServeOptions options;
+  options.workers = 2;
+  options.max_resident_per_worker = 4;
+  options.within_class_order = WithinClassOrder::kValueDensity;
+  ServerRuntime runtime(&session, options);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < num_items; ++i) {
+    futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i)));
+  }
+  for (int i = 0; i < num_items; ++i) {
+    const ServeResult result = futures[static_cast<size_t>(i)].get();
+    ASSERT_EQ(result.status, ServeStatus::kOk) << "item " << i;
+    ExpectSameOutcome(expected[static_cast<size_t>(i)], result.outcome);
+  }
+}
+
+TEST_F(ServerRuntimeTest, ProfileValueEstimatorScoresItemsFromTheirProfiles) {
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 47);
+  core::LabelingService session = BuildPredictorSession(agent.get(), 1);
+  const ProfileValueEstimator estimator(&session);
+  // Stored items: density = 1 / oracle valuable time — strictly positive
+  // whenever the item has any value, and denser for cheaper items.
+  for (int i = 0; i < 8; ++i) {
+    const core::WorkEstimate estimate =
+        session.EstimateWork(core::WorkItem::Stored(i));
+    const double density = estimator.ValueDensity(core::WorkItem::Stored(i));
+    if (estimate.expected_value > 0.0) {
+      EXPECT_GT(estimate.expected_cost_s, 0.0) << "item " << i;
+      EXPECT_NEAR(density, 1.0 / estimate.expected_cost_s, 1e-12);
+    } else {
+      EXPECT_EQ(density, 0.0);
+    }
+  }
+  // Out-of-range stored items score zero instead of crashing.
+  EXPECT_EQ(estimator.ValueDensity(core::WorkItem::Stored(1 << 20)), 0.0);
+  // Live scenes: an empty scene promises no valuable output; a dog-only
+  // scene charges exactly the dog-classification models' mean times.
+  zoo::LatentScene empty_scene;
+  empty_scene.scene_clarity = 0.1;  // too murky for a valuable place label
+  EXPECT_EQ(estimator.ValueDensity(core::WorkItem::Live(&empty_scene)), 0.0);
+  zoo::LatentScene dog_scene;
+  dog_scene.scene_clarity = 0.1;
+  dog_scene.has_dog = true;
+  dog_scene.dog_visibility = 0.9;
+  double dog_cost = 0.0;
+  for (const int model : zoo_->ModelsForTask(zoo::TaskKind::kDogClassification)) {
+    dog_cost += zoo_->model(model).time_s;
+  }
+  const core::WorkEstimate dog_estimate =
+      session.EstimateWork(core::WorkItem::Live(&dog_scene));
+  EXPECT_DOUBLE_EQ(dog_estimate.expected_value, 1.0);
+  EXPECT_DOUBLE_EQ(dog_estimate.expected_cost_s, dog_cost);
+  EXPECT_GT(estimator.ValueDensity(core::WorkItem::Live(&dog_scene)), 0.0);
+}
+
+TEST_F(ServerRuntimeTest, TenantQuotaRejectionsResolveAndCountPerTenant) {
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 53);
+  core::LabelingService session = BuildPredictorSession(agent.get(), 2);
+  ManualClock clock(10.0);
+  ServeOptions options;
+  options.workers = 2;
+  options.clock = &clock;
+  // Tenant 1 may burst 2 requests and then refills glacially; tenant 2 is
+  // unconstrained (no default quota).
+  TenantQuota limited;
+  limited.rate_per_s = 1e-6;
+  limited.burst = 2.0;
+  options.tenant_quotas.per_tenant[1] = limited;
+  ServerRuntime runtime(&session, options);
+
+  ServerRuntime::RequestOptions tenant1;
+  tenant1.tenant_id = 1;
+  ServerRuntime::RequestOptions tenant2;
+  tenant2.tenant_id = 2;
+  std::vector<std::future<ServeResult>> limited_futures, free_futures;
+  for (int i = 0; i < 10; ++i) {
+    limited_futures.push_back(
+        runtime.Enqueue(core::WorkItem::Stored(i), tenant1));
+    free_futures.push_back(
+        runtime.Enqueue(core::WorkItem::Stored(i + 10), tenant2));
+  }
+  runtime.Drain();
+  int ok = 0, quota_rejected = 0;
+  for (std::future<ServeResult>& future : limited_futures) {
+    const ServeResult result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(result.status, ServeStatus::kRejected);
+      ++quota_rejected;
+    }
+  }
+  EXPECT_EQ(ok, 2) << "burst of 2, then the bucket is dry";
+  EXPECT_EQ(quota_rejected, 8);
+  for (std::future<ServeResult>& future : free_futures) {
+    EXPECT_TRUE(future.get().ok()) << "tenant 2 is unconstrained";
+  }
+
+  const Metrics& metrics = runtime.metrics();
+  EXPECT_EQ(metrics.quota_rejected.load(), 8);
+  const TenantMetrics* slice1 = metrics.find_tenant(1);
+  ASSERT_NE(slice1, nullptr);
+  EXPECT_EQ(slice1->enqueued.load(), 10);
+  EXPECT_EQ(slice1->completed.load(), 2);
+  EXPECT_EQ(slice1->rejected.load(), 8);
+  EXPECT_EQ(slice1->quota_rejected.load(), 8);
+  const TenantMetrics* slice2 = metrics.find_tenant(2);
+  ASSERT_NE(slice2, nullptr);
+  EXPECT_EQ(slice2->completed.load(), 10);
+  EXPECT_EQ(slice2->quota_rejected.load(), 0);
+  EXPECT_EQ(metrics.find_tenant(99), nullptr);
+
+  // The JSON snapshot breaks tenants out alongside classes.
+  const std::string json = runtime.MetricsJson();
+  for (const char* key :
+       {"\"tenants\"", "\"1\": {\"enqueued\": 10", "\"quota_rejected\": 8"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key
+                                                 << " in:\n" << json;
+  }
+}
+
+TEST_F(ServerRuntimeTest, TenantInFlightCapThrottlesAdmissionUntilCompletion) {
+  // max_in_flight couples admission to the runtime's completion feedback
+  // (AdmissionQueue::TenantFinished): with a cap of 1 and kReject overload,
+  // a second same-tenant arrival is only admitted once the first completed.
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 59);
+  core::LabelingService session = BuildPredictorSession(agent.get(), 1);
+  ServeOptions options;
+  options.workers = 1;
+  options.overload = OverloadPolicy::kReject;
+  TenantQuota quota;
+  quota.max_in_flight = 1;
+  options.tenant_quotas.default_quota = quota;
+  ServerRuntime runtime(&session, options);
+
+  // Sequential enqueue-drain pairs are the deterministic proof that the
+  // runtime reports completions back to the queue: with a cap of 1, request
+  // i+1 is only admissible because request i's completion freed the
+  // tenant's in-flight slot — were TenantFinished never called, every
+  // request after the first would bounce.
+  for (int i = 0; i < 4; ++i) {
+    std::future<ServeResult> future =
+        runtime.Enqueue(core::WorkItem::Stored(i));
+    runtime.Drain();
+    EXPECT_TRUE(future.get().ok()) << "request " << i;
+  }
+  EXPECT_EQ(runtime.metrics().quota_rejected.load(), 0);
+  // A concurrent burst races worker pops against arrivals, so how many
+  // bounce is timing-dependent — but every future resolves one way, the
+  // quota counter matches the rejections exactly, and accepted work all
+  // completes.
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 30; ++i) {
+    futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i % 48)));
+  }
+  runtime.Drain();
+  int ok = 0, rejected = 0;
+  for (std::future<ServeResult>& future : futures) {
+    const ServeResult result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(result.status, ServeStatus::kRejected);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 30);
+  EXPECT_GE(ok, 1);
+  EXPECT_EQ(runtime.metrics().quota_rejected.load(), rejected);
+}
+
 TEST_F(ServerRuntimeTest, SteppersRejectStatefulPolicySessions) {
   core::LabelingService session =
       core::LabelingServiceBuilder(zoo_)

@@ -6,8 +6,9 @@
 // Usage:
 //   ams_serve [--dataset NAME] [--items N] [--requests N] [--rate R]
 //             [--workers N] [--queue-cap N] [--resident N]
-//             [--overload block|reject|shed] [--slack S]
-//             [--class-mix I:S:B] [--starvation-bound K]
+//             [--overload block|reject|shed] [--order edf|value|hybrid]
+//             [--slack S] [--class-mix I:S:B] [--starvation-bound K]
+//             [--tenants N] [--quota SPEC]
 //             [--deadline S] [--memory GB] [--hidden N] [--seed N]
 //             [--json PATH]
 //
@@ -18,7 +19,15 @@
 // request a priority class (interactive:standard:batch) with the given
 // relative shares, seeded — thinning the single Poisson arrival process
 // into independent per-class Poisson streams of rate * share each; the
-// report then breaks admission and latency out per class. The scheduling
+// report then breaks admission and latency out per class. `--order` picks
+// the within-class admission order: "edf" (deadline only, the default),
+// "value" (highest estimated marginal recall per unit cost first, scored by
+// the runtime's ProfileValueEstimator), or "hybrid" (densest request whose
+// slack still admits it). `--tenants N` spreads requests over N tenants
+// with a seeded harmonic skew (tenant 0 heaviest — share of tenant t is
+// proportional to 1/(t+1)), and `--quota` applies one quota to every tenant
+// as comma-separated key=value pairs from {queued=N, inflight=N, rate=R,
+// burst=B}; the report then breaks admission out per tenant. The scheduling
 // agent is an untrained net with the paper's architecture — per-decision
 // cost matches a trained agent while setup stays in milliseconds (train and
 // serve real checkpoints through ams_label's cache if needed).
@@ -27,6 +36,8 @@
 //   ams_serve --rate 2000 --workers 4 --slack 0.05
 //   ams_serve --rate 8000 --queue-cap 64 --overload shed --requests 20000
 //   ams_serve --rate 4000 --class-mix 70:25:5 --overload shed --slack 0.1
+//   ams_serve --order value --overload shed --queue-cap 64 --rate 8000
+//   ams_serve --tenants 4 --quota queued=32,rate=500,burst=50 --rate 4000
 
 #include <array>
 #include <cmath>
@@ -65,9 +76,13 @@ struct Options {
   int queue_cap = 1024;
   int resident = 16;
   std::string overload = "block";
+  std::string order = "edf";  // raw spelling for the banner
+  serve::WithinClassOrder order_enum = serve::WithinClassOrder::kEdf;
   double slack_s = 0.0;   // 0 = no deadlines
   std::string class_mix;  // "I:S:B" shares; empty = all standard
   int starvation_bound = 16;
+  int tenants = 1;        // request spread; > 1 enables the per-tenant report
+  std::string quota;      // "queued=N,inflight=N,rate=R,burst=B"; empty = none
   double deadline = 1.0;  // per-item scheduling time budget (simulated)
   double memory_gb = 8.0; // per-item memory budget (Algorithm 2)
   int hidden = 256;
@@ -81,7 +96,9 @@ struct Options {
       "usage: %s [--dataset mscoco|places365|mirflickr25|stanford40|voc2012]\n"
       "          [--items N] [--requests N] [--rate R] [--workers N]\n"
       "          [--queue-cap N] [--resident N] [--overload block|reject|shed]\n"
-      "          [--slack S] [--class-mix I:S:B] [--starvation-bound K]\n"
+      "          [--order edf|value|hybrid] [--slack S] [--class-mix I:S:B]\n"
+      "          [--starvation-bound K] [--tenants N]\n"
+      "          [--quota queued=N,inflight=N,rate=R,burst=B]\n"
       "          [--deadline S] [--memory GB] [--hidden N]\n"
       "          [--seed N] [--json PATH]\n",
       argv0);
@@ -111,12 +128,18 @@ Options Parse(int argc, char** argv) {
       opts.resident = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--overload")) {
       opts.overload = next();
+    } else if (!std::strcmp(argv[i], "--order")) {
+      opts.order = next();
     } else if (!std::strcmp(argv[i], "--slack")) {
       opts.slack_s = std::atof(next());
     } else if (!std::strcmp(argv[i], "--class-mix")) {
       opts.class_mix = next();
     } else if (!std::strcmp(argv[i], "--starvation-bound")) {
       opts.starvation_bound = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--tenants")) {
+      opts.tenants = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--quota")) {
+      opts.quota = next();
     } else if (!std::strcmp(argv[i], "--deadline")) {
       opts.deadline = std::atof(next());
     } else if (!std::strcmp(argv[i], "--memory")) {
@@ -143,7 +166,55 @@ Options Parse(int argc, char** argv) {
                  serve::kNumPriorityClasses);
     Usage(argv[0]);
   }
+  if (!serve::WithinClassOrderFromName(opts.order.c_str(),
+                                       &opts.order_enum)) {
+    std::fprintf(stderr, "unknown --order (want edf|value|hybrid): %s\n",
+                 opts.order.c_str());
+    Usage(argv[0]);
+  }
+  if (opts.tenants < 1) {
+    std::fprintf(stderr, "--tenants must be >= 1\n");
+    Usage(argv[0]);
+  }
   return opts;
+}
+
+/// Parses "--quota queued=N,inflight=N,rate=R,burst=B" (any subset) into a
+/// TenantQuota; exits on malformed specs.
+serve::TenantQuota QuotaFromSpec(const std::string& spec) {
+  serve::TenantQuota quota;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string pair = spec.substr(start, end - start);
+    const size_t eq = pair.find('=');
+    bool ok = eq != std::string::npos && eq + 1 < pair.size();
+    if (ok) {
+      const std::string key = pair.substr(0, eq);
+      const double value = std::atof(pair.c_str() + eq + 1);
+      if (key == "queued") {
+        quota.max_queued = static_cast<int>(value);
+      } else if (key == "inflight") {
+        quota.max_in_flight = static_cast<int>(value);
+      } else if (key == "rate") {
+        quota.rate_per_s = value;
+      } else if (key == "burst") {
+        quota.burst = value;
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "bad --quota entry (want queued=N,inflight=N,rate=R,"
+                   "burst=B): %s\n",
+                   pair.c_str());
+      std::exit(2);
+    }
+    start = end + 1;
+  }
+  return quota;
 }
 
 data::DatasetProfile ProfileFromName(const std::string& name) {
@@ -227,24 +298,39 @@ int main(int argc, char** argv) {
   serve_options.max_resident_per_worker = opts.resident;
   serve_options.overload = PolicyFromName(opts.overload);
   serve_options.starvation_bound = opts.starvation_bound;
+  serve_options.within_class_order = opts.order_enum;
+  if (!opts.quota.empty()) {
+    serve_options.tenant_quotas.default_quota = QuotaFromSpec(opts.quota);
+  }
   if (opts.slack_s > 0.0) serve_options.default_slack_s = opts.slack_s;
   serve::ServerRuntime runtime(&session, serve_options);
 
   std::printf(
       "serving %d requests (rate %s/s, %d workers, queue %d, overload %s, "
-      "slack %s, mix %s)...\n",
+      "order %s, slack %s, mix %s, %d tenant%s%s)...\n",
       opts.requests,
       opts.rate > 0.0 ? util::FormatDouble(opts.rate, 0).c_str() : "inf",
       runtime.worker_count(), opts.queue_cap, opts.overload.c_str(),
+      opts.order.c_str(),
       opts.slack_s > 0.0 ? util::FormatDouble(opts.slack_s, 3).c_str()
                          : "inf",
-      opts.class_mix.empty() ? "standard-only" : opts.class_mix.c_str());
+      opts.class_mix.empty() ? "standard-only" : opts.class_mix.c_str(),
+      opts.tenants, opts.tenants == 1 ? "" : "s",
+      opts.quota.empty() ? "" : ", quota-limited");
 
   // Open-loop arrivals: exponential inter-arrival gaps at --rate, paced
   // against the wall clock so service-time jitter never slows admission.
   std::mt19937_64 rng(opts.seed);
   std::exponential_distribution<double> gap(opts.rate > 0.0 ? opts.rate : 1.0);
   std::discrete_distribution<int> class_of(mix.begin(), mix.end());
+  // Seeded harmonic tenant skew: tenant t's arrival share is proportional
+  // to 1/(t+1), so tenant 0 dominates — the regime quotas are for.
+  std::vector<double> tenant_weights;
+  for (int t = 0; t < opts.tenants; ++t) {
+    tenant_weights.push_back(1.0 / static_cast<double>(t + 1));
+  }
+  std::discrete_distribution<int> tenant_of(tenant_weights.begin(),
+                                            tenant_weights.end());
   util::Timer wall;
   double next_arrival_s = 0.0;
   std::vector<std::future<serve::ServeResult>> futures;
@@ -257,9 +343,11 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
       }
     }
+    serve::ServerRuntime::RequestOptions request;
+    request.priority_class = static_cast<serve::PriorityClass>(class_of(rng));
+    request.tenant_id = opts.tenants > 1 ? tenant_of(rng) : 0;
     futures.push_back(
-        runtime.Enqueue(core::WorkItem::Stored(r % opts.items),
-                        static_cast<serve::PriorityClass>(class_of(rng))));
+        runtime.Enqueue(core::WorkItem::Stored(r % opts.items), request));
   }
   runtime.Drain();
   const double wall_s = wall.ElapsedSeconds();
@@ -290,6 +378,8 @@ int main(int argc, char** argv) {
   table.SetHeader({"metric", "value"});
   table.AddRow("completed", {static_cast<double>(ok)});
   table.AddRow("rejected", {static_cast<double>(rejected)});
+  table.AddRow("quota rejected",
+               {static_cast<double>(metrics.quota_rejected.load())});
   table.AddRow("shed", {static_cast<double>(shed)});
   table.AddRow("deadline misses", {static_cast<double>(misses)});
   table.AddRow("wall (s)", {wall_s});
@@ -326,6 +416,27 @@ int main(int argc, char** argv) {
            slice.total_latency.Percentile(99) * 1e3});
     }
     per_class.Print(std::cout);
+  }
+
+  if (opts.tenants > 1) {
+    // The quota-accounting view: how each tenant's traffic fared.
+    util::AsciiTable per_tenant;
+    per_tenant.SetHeader({"tenant", "enqueued", "completed", "rejected",
+                          "quota rej", "shed", "p50 (ms)", "p99 (ms)"});
+    for (int t = 0; t < opts.tenants; ++t) {
+      const serve::TenantMetrics* slice = metrics.find_tenant(t);
+      if (slice == nullptr) continue;
+      per_tenant.AddRow(
+          std::to_string(t),
+          {static_cast<double>(slice->enqueued.load()),
+           static_cast<double>(slice->completed.load()),
+           static_cast<double>(slice->rejected.load()),
+           static_cast<double>(slice->quota_rejected.load()),
+           static_cast<double>(slice->shed.load()),
+           slice->total_latency.Percentile(50) * 1e3,
+           slice->total_latency.Percentile(99) * 1e3});
+    }
+    per_tenant.Print(std::cout);
   }
 
   const std::string snapshot = runtime.MetricsJson();
