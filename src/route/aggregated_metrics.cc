@@ -1,0 +1,42 @@
+#include "route/aggregated_metrics.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ams::route {
+
+AggregatedMetrics::AggregatedMetrics(std::vector<const serve::Metrics*> shards)
+    : shards_(std::move(shards)) {
+  AMS_CHECK(!shards_.empty(), "aggregating zero shards");
+  for (const serve::Metrics* shard : shards_) {
+    AMS_CHECK(shard != nullptr, "null shard registry");
+  }
+}
+
+void AggregatedMetrics::MergeInto(serve::Metrics* out) const {
+  AMS_CHECK(out != nullptr);
+  for (const serve::Metrics* shard : shards_) {
+    out->MergeFrom(*shard);
+  }
+}
+
+std::string AggregatedMetrics::SnapshotJson(
+    double uptime_s, const std::string& extra_json) const {
+  serve::Metrics merged;
+  MergeInto(&merged);
+  std::ostringstream out;
+  out << "{\n\"aggregate\": " << merged.SnapshotJson(uptime_s)
+      << ",\n\"shards\": [";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shards_[i]->SnapshotJson();
+  }
+  out << "]";
+  if (!extra_json.empty()) out << ",\n\"router\": " << extra_json;
+  out << "\n}";
+  return out.str();
+}
+
+}  // namespace ams::route

@@ -1,0 +1,46 @@
+#ifndef AMS_ROUTE_AGGREGATED_METRICS_H_
+#define AMS_ROUTE_AGGREGATED_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "serve/metrics.h"
+
+namespace ams::route {
+
+/// Cluster-level view over N shard metric registries: merges counters
+/// (summed), latency histograms (bucket-wise — exact, all registries share
+/// the fixed bucket layout), and per-class / per-tenant slices into one
+/// aggregate, while keeping the per-shard snapshots available as a
+/// breakdown. Reading is scrape-consistent, not transactional: each shard
+/// keeps serving while it is merged, so cross-counter identities hold only
+/// at quiescence — the same contract as scraping a single live registry.
+class AggregatedMetrics {
+ public:
+  /// The registries must outlive this view.
+  explicit AggregatedMetrics(std::vector<const serve::Metrics*> shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Merges every shard registry into `out` (see serve::Metrics::MergeFrom;
+  /// `out` must be private to the caller). Exposed separately from the JSON
+  /// so programmatic consumers get summed counters without parsing.
+  void MergeInto(serve::Metrics* out) const;
+
+  /// One JSON object:
+  ///   {"aggregate": <merged registry snapshot>,
+  ///    "shards": [<shard 0 snapshot>, ...],
+  ///    "router": <extra_json>}            (omitted when extra_json empty)
+  /// `uptime_s` stamps the aggregate's throughput axis; per-shard snapshots
+  /// use each registry's own attached clock. `extra_json`, when non-empty,
+  /// must be a complete JSON value (the router's own counters).
+  std::string SnapshotJson(double uptime_s,
+                           const std::string& extra_json = "") const;
+
+ private:
+  std::vector<const serve::Metrics*> shards_;
+};
+
+}  // namespace ams::route
+
+#endif  // AMS_ROUTE_AGGREGATED_METRICS_H_

@@ -1,0 +1,120 @@
+#include "route/placement.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace ams::route {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash. Pure arithmetic —
+/// identical on every platform and run, which is what makes hash placement
+/// restart- and process-stable.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashKey(const RouteKey& key) {
+  return Mix64(Mix64(static_cast<uint64_t>(static_cast<int64_t>(
+                   key.tenant_id))) ^
+               key.key);
+}
+
+}  // namespace
+
+int ConsistentHashPlacement::ShardFor(const RouteKey& key,
+                                      const ShardLoadView& load) {
+  const int shards = load.num_shards();
+  AMS_CHECK(shards > 0, "placement over zero shards");
+  if (shards == 1) return 0;
+  const uint64_t h = HashKey(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_shards_ != shards) {
+    ring_.clear();
+    ring_.reserve(static_cast<size_t>(shards) * kVirtualNodesPerShard);
+    for (int shard = 0; shard < shards; ++shard) {
+      for (int v = 0; v < kVirtualNodesPerShard; ++v) {
+        // Each virtual node's position is a pure function of (shard, v):
+        // the ring for N shards is identical in every process.
+        const uint64_t point =
+            Mix64((static_cast<uint64_t>(shard) << 32) |
+                  static_cast<uint64_t>(v));
+        ring_.push_back({point, shard});
+      }
+    }
+    std::sort(ring_.begin(), ring_.end(),
+              [](const RingPoint& a, const RingPoint& b) {
+                // Shard index breaks hash ties so the ring order is total
+                // and deterministic even on a (2^-64) collision.
+                return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+              });
+    ring_shards_ = shards;
+  }
+  // First ring point clockwise of the key's hash, wrapping at the top.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const RingPoint& p, uint64_t value) { return p.hash < value; });
+  return it == ring_.end() ? ring_.front().shard : it->shard;
+}
+
+int LeastQueuedPlacement::ShardFor(const RouteKey& /*key*/,
+                                   const ShardLoadView& load) {
+  const int shards = load.num_shards();
+  AMS_CHECK(shards > 0, "placement over zero shards");
+  int best = 0;
+  size_t best_depth = load.QueueDepth(0);
+  for (int shard = 1; shard < shards; ++shard) {
+    const size_t depth = load.QueueDepth(shard);
+    if (depth < best_depth) {
+      best = shard;
+      best_depth = depth;
+    }
+  }
+  return best;
+}
+
+PowerOfTwoChoicesPlacement::PowerOfTwoChoicesPlacement(uint64_t seed)
+    : seed_(seed) {}
+
+int PowerOfTwoChoicesPlacement::ShardFor(const RouteKey& /*key*/,
+                                         const ShardLoadView& load) {
+  const int shards = load.num_shards();
+  AMS_CHECK(shards > 0, "placement over zero shards");
+  if (shards == 1) return 0;
+  // Two pseudo-random draws from a seeded counter: deterministic for a
+  // given seed and call ordinal (no global RNG), contention-free.
+  const uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t draw = Mix64(seed_ ^ n);
+  const int a = static_cast<int>(draw % static_cast<uint64_t>(shards));
+  // Second choice from the upper bits, shifted past the first so the two
+  // candidates are always distinct.
+  const int b = (a + 1 +
+                 static_cast<int>((draw >> 32) %
+                                  static_cast<uint64_t>(shards - 1))) %
+                shards;
+  const size_t depth_a = load.QueueDepth(a);
+  const size_t depth_b = load.QueueDepth(b);
+  if (depth_a != depth_b) return depth_a < depth_b ? a : b;
+  return std::min(a, b);
+}
+
+std::unique_ptr<Placement> PlacementFromName(const char* name, uint64_t seed) {
+  if (std::strcmp(name, "hash") == 0) {
+    return std::make_unique<ConsistentHashPlacement>();
+  }
+  if (std::strcmp(name, "least") == 0) {
+    return std::make_unique<LeastQueuedPlacement>();
+  }
+  if (std::strcmp(name, "p2c") == 0) {
+    return seed != 0 ? std::make_unique<PowerOfTwoChoicesPlacement>(seed)
+                     : std::make_unique<PowerOfTwoChoicesPlacement>();
+  }
+  return nullptr;
+}
+
+}  // namespace ams::route

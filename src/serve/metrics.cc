@@ -101,6 +101,80 @@ std::string LatencyHistogram::SnapshotJson() const {
   return out.str();
 }
 
+namespace {
+
+/// other += into target, both relaxed — the merge contract allows torn
+/// cross-counter views (same as any scrape of live counters).
+void AddCounter(std::atomic<long>* target, const std::atomic<long>& other) {
+  const long n = other.load(std::memory_order_relaxed);
+  if (n != 0) target->fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    AddCounter(&buckets_[static_cast<size_t>(b)],
+               other.buckets_[static_cast<size_t>(b)]);
+  }
+  AddCounter(&count_, other.count_);
+  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  AtomicMax(&max_, other.max_.load(std::memory_order_relaxed));
+}
+
+void ClassMetrics::MergeFrom(const ClassMetrics& other) {
+  AddCounter(&enqueued, other.enqueued);
+  AddCounter(&completed, other.completed);
+  AddCounter(&rejected, other.rejected);
+  AddCounter(&shed, other.shed);
+  AddCounter(&shutdown_refused, other.shutdown_refused);
+  AddCounter(&deadline_misses, other.deadline_misses);
+  queue_delay.MergeFrom(other.queue_delay);
+  total_latency.MergeFrom(other.total_latency);
+}
+
+void TenantMetrics::MergeFrom(const TenantMetrics& other) {
+  AddCounter(&enqueued, other.enqueued);
+  AddCounter(&completed, other.completed);
+  AddCounter(&rejected, other.rejected);
+  AddCounter(&quota_rejected, other.quota_rejected);
+  AddCounter(&shed, other.shed);
+  AddCounter(&shutdown_refused, other.shutdown_refused);
+  AddCounter(&deadline_misses, other.deadline_misses);
+  queue_delay.MergeFrom(other.queue_delay);
+  total_latency.MergeFrom(other.total_latency);
+}
+
+void Metrics::MergeFrom(const Metrics& other) {
+  AddCounter(&enqueued, other.enqueued);
+  AddCounter(&completed, other.completed);
+  AddCounter(&rejected, other.rejected);
+  AddCounter(&quota_rejected, other.quota_rejected);
+  AddCounter(&shed, other.shed);
+  AddCounter(&shutdown_refused, other.shutdown_refused);
+  AddCounter(&deadline_misses, other.deadline_misses);
+  AddCounter(&migrated_in, other.migrated_in);
+  AddCounter(&migrated_out, other.migrated_out);
+  AddCounter(&queue_depth, other.queue_depth);
+  AddCounter(&in_flight, other.in_flight);
+  queue_delay.MergeFrom(other.queue_delay);
+  service_time.MergeFrom(other.service_time);
+  total_latency.MergeFrom(other.total_latency);
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    by_class[static_cast<size_t>(c)].MergeFrom(
+        other.by_class[static_cast<size_t>(c)]);
+  }
+  default_tenant_.MergeFrom(other.default_tenant_);
+  // Other's map mutex only; for_tenant locks this registry's own mutex, so
+  // no ordering cycle as long as nobody merges two registries into each
+  // other concurrently (the documented one-directional contract).
+  std::lock_guard<std::mutex> lock(other.tenants_mu_);
+  for (const auto& [tenant_id, tenant] : other.tenants_) {
+    for_tenant(tenant_id).MergeFrom(tenant);
+  }
+}
+
 TenantMetrics& Metrics::for_tenant(int tenant_id) {
   if (tenant_id == 0) return default_tenant_;
   std::lock_guard<std::mutex> lock(tenants_mu_);
@@ -138,7 +212,10 @@ std::string Metrics::SnapshotJson(double uptime_s) const {
       << ", \"shutdown_refused\": "
       << shutdown_refused.load(std::memory_order_relaxed)
       << ", \"deadline_misses\": "
-      << deadline_misses.load(std::memory_order_relaxed) << "},\n";
+      << deadline_misses.load(std::memory_order_relaxed)
+      << ", \"migrated_in\": " << migrated_in.load(std::memory_order_relaxed)
+      << ", \"migrated_out\": " << migrated_out.load(std::memory_order_relaxed)
+      << "},\n";
   out << "  \"gauges\": {\"queue_depth\": "
       << queue_depth.load(std::memory_order_relaxed) << ", \"in_flight\": "
       << in_flight.load(std::memory_order_relaxed) << "},\n";

@@ -301,6 +301,33 @@ void ServerRuntime::WorkerLoop(int worker_index) {
   }
 }
 
+int ServerRuntime::StealQueued(int max_requests,
+                               std::vector<QueuedRequest>* out) {
+  const int stolen = queue_.StealBatch(max_requests, out);
+  if (stolen == 0) return 0;
+  metrics_.queue_depth.store(static_cast<long>(queue_.size()),
+                             std::memory_order_relaxed);
+  metrics_.migrated_out.fetch_add(stolen, std::memory_order_relaxed);
+  // Ownership left with the batch: this runtime's Drain() must not wait on
+  // requests another shard will complete.
+  for (int i = 0; i < stolen; ++i) FinishOne();
+  return stolen;
+}
+
+bool ServerRuntime::RequeueMigrated(QueuedRequest&& request) {
+  // Count outstanding before the queue sees the request, mirroring Enqueue:
+  // a worker could pop and finish it before we returned.
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (!queue_.Requeue(std::move(request))) {
+    FinishOne();  // undo; the caller still owns the request
+    return false;
+  }
+  metrics_.migrated_in.fetch_add(1, std::memory_order_relaxed);
+  metrics_.queue_depth.store(static_cast<long>(queue_.size()),
+                             std::memory_order_relaxed);
+  return true;
+}
+
 void ServerRuntime::Drain() {
   std::unique_lock<std::mutex> lock(drain_mu_);
   drain_cv_.wait(lock, [this] {

@@ -140,6 +140,23 @@ class ServerRuntime {
   /// a full kBlock queue are woken with that status.
   void Shutdown();
 
+  /// Migration seam for route::ShardRouter. Steals up to `max_requests`
+  /// queued-but-not-started requests (the ones this runtime would serve
+  /// last; see AdmissionQueue::StealBatch) with their promises and
+  /// admission stamps intact, transferring ownership to the caller: this
+  /// runtime's Drain() no longer waits on them and `migrated_out` is
+  /// counted. Returns the number stolen (0 while shutting down). The caller
+  /// must either RequeueMigrated each request on a peer runtime sharing the
+  /// same serve Clock (deadlines are absolute clock readings) or resolve
+  /// its promise itself.
+  int StealQueued(int max_requests, std::vector<QueuedRequest>* out);
+
+  /// Admits a request stolen from a peer runtime, preserving its stamps and
+  /// bypassing admission gates (see AdmissionQueue::Requeue); counts
+  /// `migrated_in` and makes Drain() wait on it. False iff this runtime is
+  /// shutting down — the request is left intact for the caller.
+  bool RequeueMigrated(QueuedRequest&& request);
+
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
   /// Metrics snapshot stamped with the runtime's uptime on the serve clock.

@@ -525,6 +525,50 @@ TEST_F(ServerRuntimeTest, ServedOutcomesMatchOfflineSubmitExactly) {
   }
 }
 
+TEST_F(ServerRuntimeTest, LiveScenesServeLikeOfflineSubmitAndMixWithStored) {
+  // The WorkItem::Live seam through the async runtime: live scenes have no
+  // stored id, no replay cache, and no recall accumulator. The borrowed
+  // scene pointer must stay valid until the future resolves — here the
+  // scenes live in the suite-static dataset, which outlives the runtime.
+  // Interleaving live and stored requests in one queue checks neither path
+  // corrupts the other's bookkeeping.
+  const int num_items = 24;
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 41);
+
+  core::LabelingService offline = BuildPredictorSession(agent.get(), 1);
+  std::vector<core::LabelOutcome> expected_live;
+  std::vector<core::LabelOutcome> expected_stored;
+  for (int i = 0; i < num_items; ++i) {
+    expected_live.push_back(
+        offline.Submit(core::WorkItem::Live(&dataset_->item(i).scene)));
+    expected_stored.push_back(offline.Submit(core::WorkItem::Stored(i)));
+  }
+
+  core::LabelingService session = BuildPredictorSession(agent.get(), 2);
+  ServeOptions options;
+  options.workers = 2;
+  options.max_resident_per_worker = 4;
+  ServerRuntime runtime(&session, options);
+  std::vector<std::future<ServeResult>> live_futures;
+  std::vector<std::future<ServeResult>> stored_futures;
+  for (int i = 0; i < num_items; ++i) {
+    live_futures.push_back(
+        runtime.Enqueue(core::WorkItem::Live(&dataset_->item(i).scene)));
+    stored_futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i)));
+  }
+  for (int i = 0; i < num_items; ++i) {
+    const ServeResult live = live_futures[static_cast<size_t>(i)].get();
+    ASSERT_EQ(live.status, ServeStatus::kOk) << "live item " << i;
+    ExpectSameOutcome(expected_live[static_cast<size_t>(i)], live.outcome);
+    const ServeResult stored = stored_futures[static_cast<size_t>(i)].get();
+    ASSERT_EQ(stored.status, ServeStatus::kOk) << "stored item " << i;
+    ExpectSameOutcome(expected_stored[static_cast<size_t>(i)],
+                      stored.outcome);
+  }
+  runtime.Drain();
+  EXPECT_EQ(runtime.metrics().completed.load(), 2 * num_items);
+}
+
 TEST_F(ServerRuntimeTest, PriorityClassesChangeOrderButNeverOutcomes) {
   // Items are independent: riding a different service band reorders work
   // but must not change any labeling result.

@@ -25,10 +25,14 @@ Setting AMS_BENCH_GATE_ABSOLUTE=1 additionally gates raw items_per_s with
 the same threshold — only meaningful on a stable dedicated runner producing
 both files under identical settings.
 
-Scenarios present in the candidate but not the baseline (new benches) pass
-with a note; scenarios missing from the candidate fail (a silently dropped
-bench must not pass the gate). The reference scenario itself is gated only
-in absolute mode (its normalized value is 1 by construction).
+Scenarios present in the candidate but not the baseline (new benches) pass,
+flagged "new" in the table and listed in an informational note — they are
+gated starting from the first baseline regeneration that includes them.
+Scenarios present in the baseline but missing from the candidate fail with
+a message naming the scenario and both files (a silently dropped bench must
+not pass the gate); deliberately removing a scenario requires regenerating
+the committed baseline in the same change. The reference scenario itself is
+gated only in absolute mode (its normalized value is 1 by construction).
 
 The per-scenario delta table is printed to stdout and appended to
 $GITHUB_STEP_SUMMARY when set.
@@ -58,7 +62,7 @@ def load_configs(path):
 
 
 def compare_pair(baseline_path, candidate_path, threshold_pct, absolute):
-    """Returns (rows, failures): one table row per scenario."""
+    """Returns (rows, failures, notes): one table row per scenario."""
     baseline = load_configs(baseline_path)
     candidate = load_configs(candidate_path)
     if baseline[0][0] != candidate[0][0]:
@@ -75,10 +79,15 @@ def compare_pair(baseline_path, candidate_path, threshold_pct, absolute):
 
     rows = []
     failures = []
+    notes = []
     for name, base_raw in baseline:
         if name not in cand_by_name:
-            failures.append(f"{name}: present in baseline but missing from "
-                            f"{candidate_path}")
+            failures.append(
+                f"scenario '{name}' is in the baseline {baseline_path} but "
+                f"the fresh run {candidate_path} did not produce it — the "
+                f"bench no longer emits this scenario; if that is "
+                f"intentional, regenerate the committed baseline in the "
+                f"same change")
             rows.append((name, "missing", "", "", "FAIL"))
             continue
         cand_raw = cand_by_name[name]
@@ -102,8 +111,12 @@ def compare_pair(baseline_path, candidate_path, threshold_pct, absolute):
     for name, _ in candidate:
         if name not in base_by_name:
             rows.append((name, "(new)", f"{cand_by_name[name] / cand_ref:.3f}",
-                         "", "ok"))
-    return rows, failures
+                         "", "new"))
+            notes.append(
+                f"scenario '{name}' is new (not in the baseline "
+                f"{baseline_path}); informational only until the committed "
+                f"baseline is regenerated to include it")
+    return rows, failures, notes
 
 
 def format_table(title, rows):
@@ -125,18 +138,22 @@ def main(argv):
 
     output = []
     all_failures = []
+    all_notes = []
     for i in range(1, len(argv), 2):
         baseline_path, candidate_path = argv[i], argv[i + 1]
-        rows, failures = compare_pair(baseline_path, candidate_path,
-                                      threshold_pct, absolute)
+        rows, failures, notes = compare_pair(baseline_path, candidate_path,
+                                             threshold_pct, absolute)
         output.append(format_table(os.path.basename(baseline_path), rows))
-        all_failures.extend(f"{os.path.basename(baseline_path)} {f}"
+        all_failures.extend(f"{os.path.basename(baseline_path)}: {f}"
                             for f in failures)
+        all_notes.extend(notes)
 
     report = "\n".join(output)
     mode = "normalized+absolute" if absolute else "normalized"
     report += (f"\nthreshold: {threshold_pct:.0f}% ({mode}; "
                f"AMS_BENCH_GATE_PCT / AMS_BENCH_GATE_ABSOLUTE)\n")
+    for note in all_notes:
+        report += f"NOTE: {note}\n"
     print(report)
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
