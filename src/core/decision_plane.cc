@@ -56,7 +56,68 @@ void DecisionPlane::ReleaseSlot(Slot* slot) {
   free_slots_.push_back(slot);
 }
 
+void DecisionPlane::PrefetchArena(const std::vector<SlotView>& views) {
+  // Parallel arrays instead of a SlotView array: std::pair is not
+  // trivially copyable, which Arena::AllocArray requires.
+  Slot** stale_slots = arena_->AllocArray<Slot*>(views.size());
+  const LabelingState** stale_states =
+      arena_->AllocArray<const LabelingState*>(views.size());
+  size_t n_stale = 0;
+  for (const SlotView& view : views) {
+    AMS_CHECK(view.first != nullptr && view.second != nullptr);
+    if (view.first->Fresh(*view.second)) continue;
+    if (ServeFromMemo(view.first, *view.second)) continue;
+    stale_slots[n_stale] = view.first;
+    stale_states[n_stale] = view.second;
+    ++n_stale;
+  }
+  if (n_stale == 0) return;
+
+  // Same cross-item dedup as the member-vector path below.
+  const std::vector<float>** features =
+      arena_->AllocArray<const std::vector<float>*>(n_stale);
+  const std::vector<int>** indices =
+      arena_->AllocArray<const std::vector<int>*>(n_stale);
+  size_t* row_of = arena_->AllocArray<size_t>(n_stale);
+  size_t n_rows = 0;
+  for (size_t i = 0; i < n_stale; ++i) {
+    const std::vector<int>& idx = stale_states[i]->SetIndices();
+    size_t row = n_rows;
+    for (size_t u = 0; u < n_rows; ++u) {
+      if (indices[u]->size() == idx.size() &&
+          std::equal(idx.begin(), idx.end(), indices[u]->begin())) {
+        row = u;
+        break;
+      }
+    }
+    if (row == n_rows) {
+      features[n_rows] = &stale_states[i]->Features();
+      indices[n_rows] = &idx;
+      ++n_rows;
+    }
+    row_of[i] = row;
+  }
+
+  const size_t stride = static_cast<size_t>(predictor_->num_actions());
+  double* flat_q = arena_->AllocArray<double>(n_rows * stride);
+  predictor_->PredictValuesBatchTo(features, indices, n_rows, flat_q);
+  ++batched_predictions_;
+  batched_rows_ += static_cast<long>(n_rows);
+  for (size_t u = 0; u < n_rows; ++u) {
+    MemoizeRow(*indices[u], flat_q + u * stride, stride);
+  }
+  for (size_t i = 0; i < n_stale; ++i) {
+    const double* row = flat_q + row_of[i] * stride;
+    stale_slots[i]->q_.assign(row, row + stride);
+    stale_slots[i]->labels_at_ = stale_states[i]->num_labels_set();
+  }
+}
+
 void DecisionPlane::Prefetch(const std::vector<SlotView>& views) {
+  if (arena_ != nullptr) {
+    PrefetchArena(views);
+    return;
+  }
   stale_.clear();
   for (const SlotView& view : views) {
     AMS_CHECK(view.first != nullptr && view.second != nullptr);

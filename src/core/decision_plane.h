@@ -9,6 +9,7 @@
 
 #include "core/labeling_state.h"
 #include "core/predictor.h"
+#include "util/arena.h"
 
 namespace ams::core {
 
@@ -83,6 +84,15 @@ class DecisionPlane {
   /// or reallocates per round.
   void Prefetch(const std::vector<SlotView>& views);
 
+  /// Routes Prefetch scratch (stale list, dedup tables, the flat Q buffer)
+  /// through a caller-owned bump arena instead of the plane's member
+  /// vectors, and the batched forward through the raw-buffer
+  /// PredictValuesBatchTo. The owner resets the arena once per tick/round,
+  /// so scratch never mallocs in steady state regardless of round size.
+  /// Pass nullptr to detach. The arena must outlive the plane or be
+  /// detached first; arena storage is only valid within one Prefetch call.
+  void AttachArena(util::Arena* arena) { arena_ = arena; }
+
   ModelValuePredictor* predictor() const { return predictor_; }
 
   /// Forward passes issued so far, for tests and perf accounting.
@@ -108,6 +118,9 @@ class DecisionPlane {
 
   /// Serves `slot` from the plane-lifetime row memo; false on miss.
   bool ServeFromMemo(Slot* slot, const LabelingState& state);
+  /// Prefetch body when an arena is attached: identical dedup/refresh
+  /// semantics, arena-backed scratch, raw-buffer batched forward.
+  void PrefetchArena(const std::vector<SlotView>& views);
   /// Memoizes a computed row (first-come bounded; see kRowMemoCap).
   void MemoizeRow(const std::vector<int>& indices, const double* row,
                   size_t stride);
@@ -136,6 +149,7 @@ class DecisionPlane {
   std::unordered_map<std::vector<int>, std::vector<double>, IndexListHash>
       row_memo_;
   bool memoize_rows_ = false;
+  util::Arena* arena_ = nullptr;  // optional; see AttachArena
   long scalar_predictions_ = 0;
   long batched_predictions_ = 0;
   long batched_rows_ = 0;

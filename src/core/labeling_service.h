@@ -125,6 +125,7 @@ class LabelingService {
   ExecutionMode mode() const { return config_.mode; }
   KernelMode kernel_mode() const { return config_.kernel_mode; }
   bool batched_prediction() const { return config_.batch_predictions; }
+  bool quantized_inference() const { return config_.quantized_inference; }
   bool replay_cache_enabled() const { return replay_cache_ != nullptr; }
   const ScheduleConstraints& constraints() const {
     return config_.constraints;
@@ -193,6 +194,7 @@ class LabelingService {
     KernelMode kernel_mode = KernelMode::kFull;
     bool batch_predictions = false;
     bool cache_replay = false;
+    bool quantized_inference = false;
     int workers = 0;  // <= 0: resolved to hardware concurrency in Build()
     uint64_t seed = 1;
     double recall_target = -1.0;
@@ -228,6 +230,12 @@ class LabelingService {
                                        DecisionState* state,
                                        uint64_t stream_id,
                                        DecisionPlane::Slot* slot) const;
+
+  /// Sampled state-feature rows for int8 calibration: the all-zero row plus
+  /// progressive label-states replayed from stored oracle outputs (or a
+  /// seeded density sweep of random binary rows without an oracle), so the
+  /// per-layer activation scales see the input distribution serving will.
+  std::vector<std::vector<float>> BuildCalibrationRows() const;
 
   /// Labels one item with the given decision state. `stream_id` seeds the
   /// random-packing mode (the stored item id, or the submission sequence
@@ -299,6 +307,9 @@ class LabelingService::ItemStepper {
   /// Present iff the session is predictor-driven: the coalescing point for
   /// the per-tick batched forward pass.
   std::unique_ptr<DecisionPlane> plane_;
+  /// Worker-affine scratch for the plane's per-tick batch buffers, rewound
+  /// at the top of every Tick so steady-state ticks never malloc.
+  util::Arena arena_;
   std::vector<InFlight> inflight_;
   /// Completions waiting for the next Tick (items skipped at admission).
   std::vector<Completion> pending_;
@@ -348,6 +359,15 @@ class LabelingServiceBuilder {
   /// batched forward pass per event round (predictor-driven sessions only;
   /// outcomes are bitwise identical to the scalar path).
   LabelingServiceBuilder& WithBatchedPrediction(bool batch);
+  /// Serves each worker's pooled clone as a FROZEN int8-quantized snapshot
+  /// of the predictor (ModelValuePredictor::CloneQuantized), calibrated
+  /// against sampled state rows at first use. Quantized clones trade exact
+  /// Q values for throughput: action ranking — hence recall — stays within
+  /// tolerance, but outcomes are no longer bitwise identical to fp32, and
+  /// later predictor weight changes are NOT picked up (the snapshot is
+  /// frozen). Falls back to fp32 clones when the predictor has no quantized
+  /// form. Needs WithPredictor.
+  LabelingServiceBuilder& WithQuantizedInference(bool quantized);
   /// Memoizes per-item replay contexts for the session's lifetime, shared
   /// across workers and batches: each (item, model) execution is fetched
   /// once and served by reference thereafter. Needs WithOracle.

@@ -10,6 +10,9 @@ LabelingState::LabelingState(int num_labels, int num_models)
     : labels_(static_cast<size_t>(num_labels), 0.0f),
       executed_(static_cast<size_t>(num_models), false) {
   AMS_CHECK(num_labels > 0 && num_models > 0);
+  // Worst-case capacities so ApplyInto never allocates in steady state.
+  set_indices_.reserve(static_cast<size_t>(num_labels));
+  order_.reserve(static_cast<size_t>(num_models));
 }
 
 void LabelingState::Reset() {

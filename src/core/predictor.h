@@ -74,6 +74,30 @@ class ModelValuePredictor {
     }
   }
 
+  /// Raw-buffer form of PredictValuesBatchInto for allocation-free hot
+  /// paths: writes exactly `count * num_actions()` doubles into `out`
+  /// (caller-sized, typically util::Arena storage). `set_indices` may be
+  /// null (no hint for any row) or point at `count` entries parallel to
+  /// `states` with the same per-row semantics as the Into form. Rows are
+  /// bitwise identical to PredictValuesBatchInto.
+  ///
+  /// The default wraps the virtual Into form through temporary vectors —
+  /// allocating, but it keeps fakes/wrappers that only override Into on
+  /// the path. rl::Agent overrides this with the real zero-allocation
+  /// forward and implements Into on top of it.
+  virtual void PredictValuesBatchTo(
+      const std::vector<float>* const* states,
+      const std::vector<int>* const* set_indices, size_t count, double* out) {
+    std::vector<const std::vector<float>*> state_vec(states, states + count);
+    std::vector<const std::vector<int>*> index_vec;
+    if (set_indices != nullptr) {
+      index_vec.assign(set_indices, set_indices + count);
+    }
+    std::vector<double> flat;
+    PredictValuesBatchInto(state_vec, index_vec, &flat);
+    std::copy(flat.begin(), flat.end(), out);
+  }
+
   /// Convenience vector-of-rows form of PredictValuesBatchInto (same rows,
   /// one allocation per row — use the Into form in hot loops).
   std::vector<std::vector<double>> PredictValuesBatch(
@@ -95,6 +119,18 @@ class ModelValuePredictor {
   /// must implement this to be fanned out by LabelingService; predictors
   /// returning nullptr are shared across workers and must be thread-safe.
   virtual std::unique_ptr<ModelValuePredictor> ClonePredictor() const {
+    return nullptr;
+  }
+
+  /// Builds a FROZEN int8-quantized snapshot of this predictor for serving
+  /// clones, calibrated against `calibration_rows` (a sample of observed
+  /// state-feature rows). Returns nullptr when unsupported (the default) —
+  /// callers then fall back to fp32 clones. Unlike fp32 clones, a quantized
+  /// clone cannot SyncWeightsFrom its source: later weight updates are not
+  /// picked up until it is rebuilt.
+  virtual std::unique_ptr<ModelValuePredictor> CloneQuantized(
+      const std::vector<std::vector<float>>& calibration_rows) const {
+    (void)calibration_rows;
     return nullptr;
   }
 

@@ -139,9 +139,15 @@ ScheduleKernel::ScheduleKernel(const ExecutionContext* exec,
       mode_(mode),
       state_(exec->zoo().labels().total_labels(), exec->num_models()),
       started_(static_cast<size_t>(exec->num_models()), false),
-      mem_free_(constraints.memory_budget_mb) {
+      mem_free_(constraints.memory_budget_mb),
+      best_conf_(static_cast<size_t>(exec->zoo().labels().total_labels()),
+                 0.0) {
   constraints_.Validate();
   AMS_CHECK(picker_ != nullptr);
+  // Worst-case capacities up front so steady-state Steps never allocate.
+  touched_labels_.reserve(best_conf_.size());
+  running_.reserve(static_cast<size_t>(exec->num_models()));
+  scratch_record_.fresh.reserve(best_conf_.size());
 }
 
 void ScheduleKernel::StartModels() {
@@ -192,10 +198,13 @@ bool ScheduleKernel::Step() {
       exec_->Execute(done_run.model_id);
 
   // f(S, d): credit each valuable label with its best confidence so far.
+  // best == 0 means never credited (valuable confidences are > 0), so the
+  // first credit also records the label in the touched list.
   for (const auto& out : outputs) {
     if (out.confidence < zoo::kValuableConfidence) continue;
-    double& best = best_conf_[out.label_id];
+    double& best = best_conf_[static_cast<size_t>(out.label_id)];
     if (out.confidence > best) {
+      if (best == 0.0) touched_labels_.push_back(out.label_id);
       result_.value += out.confidence - best;
       best = out.confidence;
     }
@@ -238,9 +247,12 @@ ScheduleResult ScheduleKernel::TakeResult() {
   AMS_CHECK(!result_taken_, "TakeResult called twice");
   result_taken_ = true;
   if (mode_ == KernelMode::kFull) {
-    result_.recalled_labels.reserve(best_conf_.size());
-    for (const auto& [label, conf] : best_conf_) {
-      result_.recalled_labels.push_back({label, conf});
+    // Ascending label order, matching the sorted-map export this replaces.
+    std::sort(touched_labels_.begin(), touched_labels_.end());
+    result_.recalled_labels.reserve(touched_labels_.size());
+    for (const int label : touched_labels_) {
+      result_.recalled_labels.push_back(
+          {label, best_conf_[static_cast<size_t>(label)]});
     }
   }
   return std::move(result_);

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <limits>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -294,8 +293,13 @@ class ScheduleKernel {
   bool result_taken_ = false;
   // Lean-mode scratch reused across events (no per-event allocations).
   ExecutionRecord scratch_record_;
-  // Best-confidence union of valuable labels, for f(S, d).
-  std::map<int, double> best_conf_;
+  // Best-confidence union of valuable labels, for f(S, d): flat table
+  // indexed by label id (0 = never credited; valuable confidences are
+  // strictly positive) plus the first-touch list of credited labels. Both
+  // are sized at construction, so value accounting never allocates
+  // per event — part of the zero-allocation steady-state tick contract.
+  std::vector<double> best_conf_;
+  std::vector<int> touched_labels_;
 };
 
 /// Runs one schedule start to finish (the single-shot form of the kernel).

@@ -2,7 +2,11 @@
 
 #include <cmath>
 
+#include "nn/simd.h"
 #include "util/check.h"
+
+// Compiled with -ffp-contract=off (CMakeLists.txt) so the scalar fallback
+// loops stay bitwise identical to the SIMD tiers under -march=native.
 
 namespace ams::nn {
 
@@ -31,12 +35,13 @@ void DenseLayer::ForwardSparseRows(
             "sparse index lists must be absent or parallel to the rows");
   y->Resize(n, out);
   y->Fill(0.0f);
+  const simd::Kernels& K = simd::Active();
   for (int i = 0; i < n; ++i) {
     const std::vector<float>& x = *rows[static_cast<size_t>(i)];
     AMS_CHECK(static_cast<int>(x.size()) == in,
               "dense layer input dim mismatch");
-    float* __restrict y_row = y->Row(i);
-    const float* __restrict x_data = x.data();
+    float* y_row = y->Row(i);
+    const float* x_data = x.data();
     const std::vector<int>* idx =
         indices.empty() ? nullptr : indices[static_cast<size_t>(i)];
     if (idx != nullptr) {
@@ -46,19 +51,16 @@ void DenseLayer::ForwardSparseRows(
       for (const int kk : *idx) {
         const float v = x_data[kk];
         if (v == 0.0f) continue;
-        const float* __restrict w_row = w_.Row(kk);
-        for (int j = 0; j < out; ++j) y_row[j] += v * w_row[j];
+        K.axpy(v, w_.Row(kk), y_row, out);
       }
     } else {
       for (int kk = 0; kk < in; ++kk) {
         const float v = x_data[kk];
         if (v == 0.0f) continue;
-        const float* __restrict w_row = w_.Row(kk);
-        for (int j = 0; j < out; ++j) y_row[j] += v * w_row[j];
+        K.axpy(v, w_.Row(kk), y_row, out);
       }
     }
-    const float* __restrict bias = b_.data();
-    for (int j = 0; j < out; ++j) y_row[j] += bias[j];
+    K.add_inplace(b_.data(), y_row, out);
   }
 }
 

@@ -62,6 +62,8 @@ class DenseLayer {
 
   Matrix& weights() { return w_; }
   std::vector<float>& bias() { return b_; }
+  const Matrix& weights() const { return w_; }
+  const std::vector<float>& bias() const { return b_; }
 
  private:
   Matrix w_;   // [in_dim, out_dim]

@@ -4,12 +4,16 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/rng.h"
 
 namespace ams::nn {
 
 /// Dense row-major float32 matrix. The only tensor type the NN substrate
-/// needs: batches are rows, features are columns.
+/// needs: batches are rows, features are columns. Storage is 64-byte
+/// aligned (util::AlignedVector) so the SIMD kernels in nn/simd.h start
+/// from a cache-line-aligned base; rows themselves begin at arbitrary
+/// offsets (stride = cols), so kernels still use unaligned loads.
 class Matrix {
  public:
   Matrix() = default;
@@ -50,8 +54,16 @@ class Matrix {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  util::AlignedVector<float> data_;
 };
+
+// Zero-init contract for the three Gemm variants: Resize() leaves contents
+// unspecified, so each variant must neutralize stale output storage itself.
+// Gemm and GemmTransA accumulate (+=) into the output and therefore Fill(0)
+// first; GemmTransB computes each out[i][j] into a fresh accumulator and
+// stores it exactly once, so it deliberately skips the fill. All three are
+// safe to call on a Matrix holding arbitrary garbage (regression-tested in
+// nn_matrix_test).
 
 /// out = a * b. Shapes: a[m,k], b[k,n], out[m,n]. out may not alias inputs.
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out);
@@ -59,7 +71,8 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* out);
 /// out = a^T * b. Shapes: a[m,k], b[m,n], out[k,n].
 void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out);
 
-/// out = a * b^T. Shapes: a[m,n], b[p,n], out[m,p].
+/// out = a * b^T. Shapes: a[m,n], b[p,n], out[m,p]. Writes every output
+/// element exactly once (no Fill(0) — see the zero-init contract above).
 void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Adds bias vector (size = m->cols()) to every row of m.

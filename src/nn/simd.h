@@ -1,0 +1,87 @@
+#ifndef AMS_NN_SIMD_H_
+#define AMS_NN_SIMD_H_
+
+#include <cstdint>
+
+namespace ams::nn::simd {
+
+/// Instruction-set tiers the inference kernels can run at. The scalar tier
+/// is always compiled; the vector tiers are compiled on their architecture
+/// and picked at runtime, so one Release binary runs (fast) everywhere.
+enum class Tier : int {
+  kScalar = 0,
+  kAvx2 = 1,  // x86-64, runtime-detected via CPUID
+  kNeon = 2,  // aarch64 baseline
+};
+
+/// The vectorizable inner loops of the nn substrate, as a function-pointer
+/// table resolved once at startup. Every fp32 kernel is elementwise
+/// equivalent to its scalar counterpart — vector lanes map to output
+/// columns, each lane performs the same mul-then-add sequence in the same
+/// order, and no tier may use FMA contraction — so switching tiers never
+/// changes results bitwise. (The int8 kernels feed the quantized path,
+/// which is held to recall tolerance, not bitwise parity.)
+struct Kernels {
+  /// out[j] += v * b[j] for j in [0, n). Callers skip v == 0 themselves
+  /// (the scalar kernels' sparse zero-skip; adding 0 * b[j] would differ
+  /// for inf/NaN inputs).
+  void (*axpy)(float v, const float* b, float* out, int n);
+  /// Four axpys sharing one pass over b. All four v's must be nonzero —
+  /// callers fall back to individual axpy calls otherwise to preserve the
+  /// zero-skip exactly.
+  void (*axpy4)(float v0, float v1, float v2, float v3, const float* b,
+                float* o0, float* o1, float* o2, float* o3, int n);
+  /// out[j] += b[j].
+  void (*add_inplace)(const float* b, float* out, int n);
+  /// out[j] = in[j] > 0 ? in[j] : 0, with scalar-identical -0.0/NaN
+  /// behavior (both map to +0.0). in == out is allowed.
+  void (*relu)(const float* in, float* out, int n);
+  /// acc8[l] += sum_c a[c] * bt8[c*8 + l] for l in [0, 8): eight
+  /// dot-products against the columns of an n x 8 panel, each lane
+  /// accumulating sequentially over c in index order.
+  void (*dot8)(const float* a, const float* bt8, int n, float* acc8);
+  /// acc[j] += v * w[j] with int8 weights widened to int32.
+  void (*qaxpy)(int32_t v, const int8_t* w, int32_t* acc, int n);
+  /// out[j] = float(acc[j]) * scale[j] + bias[j].
+  void (*dequant)(const int32_t* acc, const float* scale, const float* bias,
+                  float* out, int n);
+};
+
+/// Human-readable tier name ("scalar", "avx2", "neon").
+const char* TierName(Tier tier);
+
+/// Whether this binary both compiled the tier and runs on hardware that
+/// supports it.
+bool TierSupported(Tier tier);
+
+/// Highest supported tier on this machine.
+Tier BestSupportedTier();
+
+/// The tier Active() dispatches to. Resolved once from the AMS_SIMD
+/// environment variable: unset/"on"/"auto" pick BestSupportedTier(),
+/// "off"/"scalar" force the scalar kernels (kill switch), "avx2"/"neon"
+/// force a specific tier and abort if it is unsupported.
+Tier ActiveTier();
+
+/// Kernel table for an explicit tier; aborts if unsupported.
+const Kernels& KernelsFor(Tier tier);
+
+/// The active kernel table. Hot loops hoist this reference once per call.
+const Kernels& Active();
+
+/// Test/bench hook: overrides the active tier (aborts if unsupported).
+/// Not thread-safe — call before spawning workers.
+void ForceTier(Tier tier);
+/// Undoes ForceTier, returning to the AMS_SIMD/auto resolution.
+void ResetForcedTier();
+
+namespace internal {
+/// Defined in simd_kernels_avx2.cc / simd_kernels_neon.cc; null when the
+/// tier was not compiled into this binary.
+const Kernels* Avx2KernelsOrNull();
+const Kernels* NeonKernelsOrNull();
+}  // namespace internal
+
+}  // namespace ams::nn::simd
+
+#endif  // AMS_NN_SIMD_H_

@@ -1,0 +1,137 @@
+// AVX2 kernel tier. This translation unit is compiled with
+// -mavx2 -mno-fma -ffp-contract=off (see CMakeLists.txt) on x86 and is an
+// empty stub elsewhere; the #if below keys on __AVX2__ so the file is inert
+// whenever those flags are absent. -mno-fma matters: with FMA available the
+// compiler may contract the separate mul+add intrinsics below into fused
+// ops, which would round once instead of twice and break the bitwise parity
+// contract with the scalar kernels.
+
+#include "nn/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace ams::nn::simd::internal {
+
+namespace {
+
+// Rows start at arbitrary offsets (row stride = cols), so all loads are
+// unaligned even though Matrix buffers are 64-byte aligned.
+
+void Avx2Axpy(float v, const float* b, float* out, int n) {
+  const __m256 vv = _mm256_set1_ps(v);
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 prod = _mm256_mul_ps(vv, _mm256_loadu_ps(b + j));
+    _mm256_storeu_ps(out + j, _mm256_add_ps(_mm256_loadu_ps(out + j), prod));
+  }
+  for (; j < n; ++j) out[j] += v * b[j];
+}
+
+void Avx2Axpy4(float v0, float v1, float v2, float v3, const float* b,
+               float* o0, float* o1, float* o2, float* o3, int n) {
+  const __m256 w0 = _mm256_set1_ps(v0);
+  const __m256 w1 = _mm256_set1_ps(v1);
+  const __m256 w2 = _mm256_set1_ps(v2);
+  const __m256 w3 = _mm256_set1_ps(v3);
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 bj = _mm256_loadu_ps(b + j);
+    _mm256_storeu_ps(
+        o0 + j, _mm256_add_ps(_mm256_loadu_ps(o0 + j), _mm256_mul_ps(w0, bj)));
+    _mm256_storeu_ps(
+        o1 + j, _mm256_add_ps(_mm256_loadu_ps(o1 + j), _mm256_mul_ps(w1, bj)));
+    _mm256_storeu_ps(
+        o2 + j, _mm256_add_ps(_mm256_loadu_ps(o2 + j), _mm256_mul_ps(w2, bj)));
+    _mm256_storeu_ps(
+        o3 + j, _mm256_add_ps(_mm256_loadu_ps(o3 + j), _mm256_mul_ps(w3, bj)));
+  }
+  for (; j < n; ++j) {
+    const float bj = b[j];
+    o0[j] += v0 * bj;
+    o1[j] += v1 * bj;
+    o2[j] += v2 * bj;
+    o3[j] += v3 * bj;
+  }
+}
+
+void Avx2AddInplace(const float* b, float* out, int n) {
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(
+        out + j, _mm256_add_ps(_mm256_loadu_ps(out + j), _mm256_loadu_ps(b + j)));
+  }
+  for (; j < n; ++j) out[j] += b[j];
+}
+
+void Avx2Relu(const float* in, float* out, int n) {
+  // maxps(x, 0) returns the SECOND operand when x is NaN or the compare
+  // ties (-0.0 vs +0.0), which is exactly the scalar `x > 0 ? x : 0`.
+  const __m256 zero = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(out + j, _mm256_max_ps(_mm256_loadu_ps(in + j), zero));
+  }
+  for (; j < n; ++j) out[j] = in[j] > 0.0f ? in[j] : 0.0f;
+}
+
+void Avx2Dot8(const float* a, const float* bt8, int n, float* acc8) {
+  // One vector register holds the 8 accumulators; lane l sums
+  // a[c] * bt8[c*8+l] over c in index order — the same per-lane sequence as
+  // the scalar kernel, so the result is bitwise identical.
+  __m256 acc = _mm256_loadu_ps(acc8);
+  for (int c = 0; c < n; ++c) {
+    const __m256 panel = _mm256_loadu_ps(bt8 + static_cast<size_t>(c) * 8);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[c]), panel));
+  }
+  _mm256_storeu_ps(acc8, acc);
+}
+
+void Avx2Qaxpy(int32_t v, const int8_t* w, int32_t* acc, int n) {
+  const __m256i vv = _mm256_set1_epi32(v);
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m128i w8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(w + j));
+    const __m256i w32 = _mm256_cvtepi8_epi32(w8);
+    const __m256i prod = _mm256_mullo_epi32(vv, w32);
+    __m256i* slot = reinterpret_cast<__m256i*>(acc + j);
+    _mm256_storeu_si256(slot,
+                        _mm256_add_epi32(_mm256_loadu_si256(slot), prod));
+  }
+  for (; j < n; ++j) acc[j] += v * static_cast<int32_t>(w[j]);
+}
+
+void Avx2Dequant(const int32_t* acc, const float* scale, const float* bias,
+                 float* out, int n) {
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 a = _mm256_cvtepi32_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j)));
+    const __m256 scaled = _mm256_mul_ps(a, _mm256_loadu_ps(scale + j));
+    _mm256_storeu_ps(out + j, _mm256_add_ps(scaled, _mm256_loadu_ps(bias + j)));
+  }
+  for (; j < n; ++j) {
+    out[j] = static_cast<float>(acc[j]) * scale[j] + bias[j];
+  }
+}
+
+const Kernels kAvx2Kernels = {
+    Avx2Axpy,   Avx2Axpy4, Avx2AddInplace, Avx2Relu,
+    Avx2Dot8,   Avx2Qaxpy, Avx2Dequant,
+};
+
+}  // namespace
+
+const Kernels* Avx2KernelsOrNull() { return &kAvx2Kernels; }
+
+}  // namespace ams::nn::simd::internal
+
+#else  // !__AVX2__
+
+namespace ams::nn::simd::internal {
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+}  // namespace ams::nn::simd::internal
+
+#endif  // __AVX2__

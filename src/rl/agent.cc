@@ -26,14 +26,31 @@ void Agent::PredictValuesBatchInto(
     const std::vector<const std::vector<float>*>& states,
     const std::vector<const std::vector<int>*>& set_indices,
     std::vector<double>* out) {
-  const int n = static_cast<int>(states.size());
   const size_t stride = static_cast<size_t>(num_actions());
-  out->resize(static_cast<size_t>(n) * stride);
-  if (n == 0) return;
-  net_->PredictBatch(states, set_indices, &batch_q_);
-  double* dst = out->data();
-  for (int i = 0; i < n; ++i) {
-    const float* row = batch_q_.Row(i);
+  out->resize(states.size() * stride);
+  if (states.empty()) return;
+  PredictValuesBatchTo(states.data(),
+                       set_indices.empty() ? nullptr : set_indices.data(),
+                       states.size(), out->data());
+}
+
+void Agent::PredictValuesBatchTo(const std::vector<float>* const* states,
+                                 const std::vector<int>* const* set_indices,
+                                 size_t count, double* out) {
+  if (count == 0) return;
+  // assign() reuses the pointer-scratch capacity; after warm-up this whole
+  // call (including the net's activation matrices) allocates nothing.
+  batch_rows_.assign(states, states + count);
+  if (set_indices != nullptr) {
+    batch_indices_.assign(set_indices, set_indices + count);
+  } else {
+    batch_indices_.clear();
+  }
+  net_->PredictBatch(batch_rows_, batch_indices_, &batch_q_);
+  const size_t stride = static_cast<size_t>(num_actions());
+  double* dst = out;
+  for (size_t i = 0; i < count; ++i) {
+    const float* row = batch_q_.Row(static_cast<int>(i));
     for (size_t j = 0; j < stride; ++j) dst[j] = row[j];
     dst += stride;
   }
@@ -70,8 +87,22 @@ bool Agent::SyncWeightsFrom(core::ModelValuePredictor* source) {
       other->net_->output_dim() != net_->output_dim()) {
     return false;
   }
+  // Quantized nets have no trainable tensors to copy into or out of; a
+  // frozen quantized clone stays frozen (see CloneQuantized).
+  if (net_->IsQuantized() || other->net_->IsQuantized()) return false;
   net_->CopyWeightsFrom(other->net_.get());
   return true;
+}
+
+std::unique_ptr<core::ModelValuePredictor> Agent::CloneQuantized(
+    const std::vector<std::vector<float>>& calibration_rows) const {
+  // Quantize() runs calibration forwards that clobber cached activations,
+  // so it operates on a throwaway fp32 clone rather than this net.
+  std::unique_ptr<nn::QValueNet> scratch = net_->Clone();
+  std::unique_ptr<nn::QValueNet> quantized =
+      scratch->Quantize(calibration_rows);
+  if (quantized == nullptr) return nullptr;
+  return std::make_unique<Agent>(std::move(quantized), kind_);
 }
 
 }  // namespace ams::rl

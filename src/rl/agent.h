@@ -30,6 +30,14 @@ class Agent : public core::ModelValuePredictor {
       const std::vector<const std::vector<int>*>& set_indices,
       std::vector<double>* out) override;
 
+  /// Raw-buffer batched forward: the allocation-free primitive both batch
+  /// entry points share. After warm-up (pointer scratch + net activation
+  /// matrices at steady capacity) a call performs zero heap allocations,
+  /// which is what lets an arena-fed DecisionPlane tick allocation-free.
+  void PredictValuesBatchTo(const std::vector<float>* const* states,
+                            const std::vector<int>* const* set_indices,
+                            size_t count, double* out) override;
+
   int num_actions() const override { return net_->output_dim(); }
   int feature_dim() const { return net_->input_dim(); }
 
@@ -50,13 +58,22 @@ class Agent : public core::ModelValuePredictor {
 
   /// Raw weight copy from a same-architecture agent (no checkpoint
   /// round-trip), so pooled clones can track a live source per batch.
+  /// Returns false when either side holds a quantized (frozen) net.
   bool SyncWeightsFrom(core::ModelValuePredictor* source) override;
+
+  /// Frozen int8 snapshot via QValueNet::Quantize (nn/quantized.h); the
+  /// calibration rows set the per-layer activation scales. Returns nullptr
+  /// if the underlying net has no quantized form.
+  std::unique_ptr<core::ModelValuePredictor> CloneQuantized(
+      const std::vector<std::vector<float>>& calibration_rows) const override;
 
  private:
   std::unique_ptr<nn::QValueNet> net_;
   nn::NetKind kind_;
-  /// Scratch for PredictValuesBatchInto, reused across calls.
+  /// Scratch for the batched forwards, reused across calls.
   nn::Matrix batch_q_;
+  std::vector<const std::vector<float>*> batch_rows_;
+  std::vector<const std::vector<int>*> batch_indices_;
 };
 
 }  // namespace ams::rl

@@ -1,0 +1,52 @@
+#ifndef AMS_UTIL_ALIGNED_H_
+#define AMS_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace ams::util {
+
+/// Minimal std::allocator replacement that over-aligns every allocation.
+/// Matrix buffers use it (64-byte lines) so SIMD kernels can rely on the
+/// base pointer being cache-line aligned; individual rows still start at
+/// arbitrary offsets (row stride = cols), so kernels use unaligned loads.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be 2^k");
+  static_assert(Alignment >= alignof(T), "alignment below the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// Vector whose buffer starts on a 64-byte boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace ams::util
+
+#endif  // AMS_UTIL_ALIGNED_H_

@@ -1,0 +1,87 @@
+#include "util/arena.h"
+
+#include <new>
+
+#include "util/check.h"
+
+namespace ams::util {
+
+namespace {
+constexpr size_t kBlockAlign = 64;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+char* AlignUp(char* p, size_t align) {
+  const uintptr_t u = reinterpret_cast<uintptr_t>(p);
+  return reinterpret_cast<char*>((u + align - 1) & ~(align - 1));
+}
+}  // namespace
+
+Arena::Arena(size_t initial_bytes) {
+  primary_ = NewBlock(RoundUpPow2(initial_bytes));
+  primary_size_ = primary_.size;
+  head_ = primary_.data;
+  end_ = primary_.data + primary_.size;
+}
+
+Arena::~Arena() {
+  for (Block& block : overflow_) FreeBlock(&block);
+  FreeBlock(&primary_);
+}
+
+Arena::Block Arena::NewBlock(size_t bytes) {
+  ++block_allocs_;
+  return Block{static_cast<char*>(
+                   ::operator new(bytes, std::align_val_t(kBlockAlign))),
+               bytes};
+}
+
+void Arena::FreeBlock(Block* block) {
+  if (block->data != nullptr) {
+    ::operator delete(block->data, block->size, std::align_val_t(kBlockAlign));
+    block->data = nullptr;
+  }
+}
+
+void* Arena::Alloc(size_t bytes, size_t align) {
+  AMS_DCHECK(align != 0 && (align & (align - 1)) == 0 && align <= kBlockAlign,
+             "arena alignment must be a power of two <= 64");
+  char* p = AlignUp(head_, align);
+  if (p + bytes > end_) {
+    // Overflow: satisfy this allocation from a fresh block and keep bumping
+    // there. Reset() folds the extra capacity back into the primary block.
+    Block block = NewBlock(RoundUpPow2(bytes + align + primary_size_));
+    overflow_.push_back(block);
+    head_ = block.data;
+    end_ = block.data + block.size;
+    p = AlignUp(head_, align);
+  }
+  cycle_used_ += static_cast<size_t>((p + bytes) - head_);
+  head_ = p + bytes;
+  return p;
+}
+
+void Arena::Reset() {
+  if (!overflow_.empty()) {
+    // The last cycle outgrew the primary block: replace it with one block
+    // sized to the observed high water mark so the next cycle fits without
+    // overflow and subsequent Resets become pointer rewinds.
+    const size_t want = RoundUpPow2(cycle_used_ + kBlockAlign);
+    for (Block& block : overflow_) FreeBlock(&block);
+    overflow_.clear();
+    if (want > primary_.size) {
+      FreeBlock(&primary_);
+      primary_ = NewBlock(want);
+      primary_size_ = primary_.size;
+    }
+  }
+  head_ = primary_.data;
+  end_ = primary_.data + primary_.size;
+  cycle_used_ = 0;
+}
+
+}  // namespace ams::util

@@ -1,0 +1,77 @@
+#ifndef AMS_UTIL_ARENA_H_
+#define AMS_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace ams::util {
+
+/// Bump allocator for per-tick scratch memory.
+///
+/// The serving hot path (ItemStepper::Tick -> DecisionPlane::Prefetch ->
+/// Agent batch forward) needs a handful of short-lived arrays every tick.
+/// Growing std::vectors amortize, but never reach zero allocations because
+/// tick shapes vary. An arena does: each worker owns one, Reset()s it at the
+/// top of its tick, and every Alloc is a pointer bump. After warm-up Reset
+/// is a pointer rewind — no heap traffic at all.
+///
+/// Allocation outlives only the current cycle: Reset() invalidates every
+/// pointer handed out since the previous Reset(). Not thread-safe; one arena
+/// per worker.
+class Arena {
+ public:
+  explicit Arena(size_t initial_bytes = 1 << 16);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align` (a power of
+  /// two, at most 64). Never fails (grows on overflow).
+  void* Alloc(size_t bytes, size_t align);
+
+  /// Typed array of n elements. T must be trivial: the arena never runs
+  /// constructors or destructors.
+  template <typename T>
+  T* AllocArray(size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "arena storage is raw memory");
+    return static_cast<T*>(Alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles all storage. If the previous cycle overflowed into extra
+  /// blocks, they are coalesced into one block sized to the cycle's high
+  /// water mark, so a steady-state workload settles into malloc-free Resets.
+  void Reset();
+
+  /// Bytes handed out since the last Reset (including alignment padding).
+  size_t used() const { return cycle_used_; }
+  /// Capacity of the primary block.
+  size_t capacity() const { return primary_size_; }
+  /// Heap allocations performed by the arena since construction (growth
+  /// events); flat across ticks once warm.
+  size_t block_allocs() const { return block_allocs_; }
+
+ private:
+  struct Block {
+    char* data;
+    size_t size;
+  };
+
+  Block NewBlock(size_t bytes);
+  static void FreeBlock(Block* block);
+
+  Block primary_{nullptr, 0};
+  size_t primary_size_ = 0;
+  std::vector<Block> overflow_;
+  char* head_ = nullptr;
+  char* end_ = nullptr;
+  size_t cycle_used_ = 0;
+  size_t block_allocs_ = 0;
+};
+
+}  // namespace ams::util
+
+#endif  // AMS_UTIL_ARENA_H_

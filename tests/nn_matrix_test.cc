@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 
 #include "nn/matrix.h"
@@ -108,6 +109,45 @@ TEST(MatrixTest, GemmWithSparseZeroRowsSkipsCorrectly) {
     EXPECT_FLOAT_EQ(out.At(0, j), 0.0f);
     EXPECT_FLOAT_EQ(out.At(3, j), 0.0f);
   }
+}
+
+TEST(MatrixTest, GemmVariantsOverwritePoisonedOutput) {
+  // Regression for the zero-init contract (nn/matrix.h): Gemm and
+  // GemmTransA zero-fill before accumulating; GemmTransB writes every
+  // element exactly once. Either way, stale output contents — here NaN
+  // poison in a correctly-sized buffer, the shape Resize() won't clear —
+  // must never leak into results.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  util::Rng rng(123);
+
+  const Matrix a = RandomMatrix(5, 9, &rng);
+  const Matrix b = RandomMatrix(9, 7, &rng);
+  Matrix out(5, 7);
+  out.Fill(nan);
+  Gemm(a, b, &out);
+  ExpectNear(out, NaiveGemm(a, b));
+
+  const Matrix a2 = RandomMatrix(9, 5, &rng);  // a2^T * b2
+  const Matrix b2 = RandomMatrix(9, 7, &rng);
+  Matrix at(5, 9);
+  for (int r = 0; r < 9; ++r) {
+    for (int c = 0; c < 5; ++c) at.At(c, r) = a2.At(r, c);
+  }
+  Matrix out2(5, 7);
+  out2.Fill(nan);
+  GemmTransA(a2, b2, &out2);
+  ExpectNear(out2, NaiveGemm(at, b2));
+
+  const Matrix a3 = RandomMatrix(5, 9, &rng);  // a3 * b3^T
+  const Matrix b3 = RandomMatrix(7, 9, &rng);
+  Matrix bt(9, 7);
+  for (int r = 0; r < 7; ++r) {
+    for (int c = 0; c < 9; ++c) bt.At(c, r) = b3.At(r, c);
+  }
+  Matrix out3(5, 7);
+  out3.Fill(nan);
+  GemmTransB(a3, b3, &out3);
+  ExpectNear(out3, NaiveGemm(a3, bt));
 }
 
 TEST(MatrixTest, AddRowVectorBroadcasts) {

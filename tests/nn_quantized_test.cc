@@ -1,0 +1,307 @@
+// Tests of the int8 quantized inference path (nn/quantized.h): layer- and
+// net-level closeness to fp32, the inference-only contract, the frozen-clone
+// semantics through rl::Agent, and the end-to-end A/B recall tolerance
+// through LabelingService and ServerRuntime. Quantized results are held to
+// tolerance, never bitwise parity — that lock belongs to the fp32 SIMD path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/labeling_service.h"
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "nn/layer.h"
+#include "nn/net.h"
+#include "nn/quantized.h"
+#include "rl/agent.h"
+#include "serve/server_runtime.h"
+#include "util/rng.h"
+
+namespace ams {
+namespace {
+
+std::vector<std::vector<float>> BinaryRows(int count, int dim, int set_bits,
+                                           util::Rng* rng) {
+  std::vector<std::vector<float>> rows(
+      static_cast<size_t>(count), std::vector<float>(static_cast<size_t>(dim), 0.0f));
+  for (auto& row : rows) {
+    for (const int i : rng->SampleWithoutReplacement(dim, set_bits)) {
+      row[static_cast<size_t>(i)] = 1.0f;
+    }
+  }
+  return rows;
+}
+
+TEST(QuantizedDenseLayerTest, ApproximatesFp32LayerOnBinaryInputs) {
+  util::Rng rng(5);
+  nn::DenseLayer layer(32, 9, &rng);
+  // Binary inputs: max |x| = 1, so the input quantization is exact and the
+  // only error left is the per-column int8 weight rounding (<= scale/2 per
+  // weight, i.e. <= max|W[:,j]| / 254 per product).
+  nn::QuantizedDenseLayer qlayer(layer.weights(), layer.bias(),
+                                 /*input_maxabs=*/1.0f);
+  EXPECT_EQ(qlayer.in_dim(), 32);
+  EXPECT_EQ(qlayer.out_dim(), 9);
+
+  const std::vector<std::vector<float>> rows = BinaryRows(8, 32, 5, &rng);
+  std::vector<const std::vector<float>*> row_ptrs;
+  for (const auto& row : rows) row_ptrs.push_back(&row);
+  nn::Matrix y_fp32;
+  layer.ForwardSparseRows(row_ptrs, &y_fp32);
+
+  float max_w = 0.0f;
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 9; ++c) {
+      max_w = std::max(max_w, std::fabs(layer.weights().At(r, c)));
+    }
+  }
+  // 5 active inputs, each product off by at most scale/2 = max_w / 254.
+  const float tol = 5.0f * max_w / 254.0f + 1e-6f;
+  std::vector<float> y_q(9);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    qlayer.ForwardRow(rows[r].data(), nullptr, y_q.data());
+    for (int j = 0; j < 9; ++j) {
+      EXPECT_NEAR(y_q[static_cast<size_t>(j)], y_fp32.At(static_cast<int>(r), j),
+                  tol)
+          << "row " << r << " out " << j;
+    }
+  }
+}
+
+TEST(QuantizedDenseLayerTest, SparseIndexHintMatchesDenseScan) {
+  util::Rng rng(6);
+  nn::DenseLayer layer(24, 7, &rng);
+  nn::QuantizedDenseLayer qlayer(layer.weights(), layer.bias(), 1.0f);
+  std::vector<float> row(24, 0.0f);
+  std::vector<int> idx;
+  for (const int i : rng.SampleWithoutReplacement(24, 4)) {
+    row[static_cast<size_t>(i)] = 1.0f;
+  }
+  for (int i = 0; i < 24; ++i) {
+    if (row[static_cast<size_t>(i)] != 0.0f) idx.push_back(i);
+  }
+  std::vector<float> dense(7), sparse(7);
+  qlayer.ForwardRow(row.data(), nullptr, dense.data());
+  qlayer.ForwardRow(row.data(), &idx, sparse.data());
+  // Same int32 accumulation both ways: exactly equal.
+  EXPECT_EQ(dense, sparse);
+}
+
+class QuantizedNetTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(QuantizedNetTest, QuantizeTracksFp32Predictions) {
+  const bool dueling = GetParam();
+  nn::MlpConfig config;
+  config.input_dim = 80;
+  config.hidden_dims = {32};
+  config.output_dim = 13;
+  std::unique_ptr<nn::QValueNet> net;
+  if (dueling) {
+    net = std::make_unique<nn::DuelingMlp>(config, 9);
+  } else {
+    net = std::make_unique<nn::Mlp>(config, 9);
+  }
+
+  util::Rng rng(7);
+  std::vector<std::vector<float>> calibration = BinaryRows(16, 80, 8, &rng);
+  // Quantize on a clone: calibration forwards clobber cached activations.
+  std::unique_ptr<nn::QValueNet> quantized =
+      net->Clone()->Quantize(calibration);
+  ASSERT_NE(quantized, nullptr);
+  EXPECT_TRUE(quantized->IsQuantized());
+  EXPECT_FALSE(net->IsQuantized());
+  EXPECT_EQ(quantized->input_dim(), 80);
+  EXPECT_EQ(quantized->output_dim(), 13);
+
+  const std::vector<std::vector<float>> rows = BinaryRows(6, 80, 8, &rng);
+  std::vector<const std::vector<float>*> row_ptrs;
+  for (const auto& row : rows) row_ptrs.push_back(&row);
+  nn::Matrix q_fp32, q_int8;
+  net->PredictBatch(row_ptrs, &q_fp32);
+  quantized->PredictBatch(row_ptrs, &q_int8);
+  // He-init activations here are O(1); two quantized layers compound to
+  // well under 0.05 absolute on every Q value.
+  for (int r = 0; r < q_fp32.rows(); ++r) {
+    for (int c = 0; c < q_fp32.cols(); ++c) {
+      EXPECT_NEAR(q_int8.At(r, c), q_fp32.At(r, c), 0.05)
+          << (dueling ? "dueling" : "mlp") << " row " << r << " col " << c;
+    }
+  }
+
+  // A quantized clone of a quantized net still predicts identically.
+  std::unique_ptr<nn::QValueNet> clone = quantized->Clone();
+  nn::Matrix q_clone;
+  clone->PredictBatch(row_ptrs, &q_clone);
+  for (int r = 0; r < q_int8.rows(); ++r) {
+    for (int c = 0; c < q_int8.cols(); ++c) {
+      EXPECT_EQ(q_clone.At(r, c), q_int8.At(r, c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MlpAndDueling, QuantizedNetTest, ::testing::Bool());
+
+TEST(QuantizedAgentTest, CloneQuantizedIsFrozenAndRefusesWeightSync) {
+  nn::MlpConfig config;
+  config.input_dim = 40;
+  config.hidden_dims = {16};
+  config.output_dim = 7;
+  rl::Agent agent(std::make_unique<nn::Mlp>(config, 3), nn::NetKind::kMlp);
+
+  util::Rng rng(8);
+  const std::vector<std::vector<float>> calibration = BinaryRows(8, 40, 5, &rng);
+  std::unique_ptr<core::ModelValuePredictor> quantized =
+      agent.CloneQuantized(calibration);
+  ASSERT_NE(quantized, nullptr);
+  EXPECT_EQ(quantized->num_actions(), 7);
+
+  // Predictions exist and are finite.
+  std::vector<float> state(40, 0.0f);
+  state[3] = 1.0f;
+  const std::vector<double> q = quantized->PredictValues(state);
+  ASSERT_EQ(q.size(), 7u);
+  for (const double v : q) EXPECT_TRUE(std::isfinite(v));
+
+  // Frozen: the quantized clone refuses to sync from its source (and the
+  // source refuses to sync from it), so clone pools must rebuild instead
+  // of silently replacing the snapshot.
+  EXPECT_FALSE(quantized->SyncWeightsFrom(&agent));
+  EXPECT_FALSE(agent.SyncWeightsFrom(quantized.get()));
+}
+
+TEST(QuantizedAgentTest, DefaultPredictorHasNoQuantizedForm) {
+  class FixedPredictor : public core::ModelValuePredictor {
+   public:
+    std::vector<double> PredictValues(const std::vector<float>&) override {
+      return std::vector<double>(3, 0.0);
+    }
+    int num_actions() const override { return 3; }
+  };
+  FixedPredictor fixed;
+  EXPECT_EQ(fixed.CloneQuantized({}), nullptr);
+}
+
+// --- end-to-end A/B: quantized serving stays within recall tolerance -------
+
+class QuantizedServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    zoo_ = new zoo::ModelZoo(zoo::ModelZoo::CreateDefault());
+    dataset_ = new data::Dataset(data::Dataset::Generate(
+        data::DatasetProfile::MirFlickr25(), zoo_->labels(), 48, 31));
+    oracle_ = new data::Oracle(zoo_, dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete dataset_;
+    delete zoo_;
+  }
+
+  static std::unique_ptr<rl::Agent> MakeAgent(uint64_t seed) {
+    nn::MlpConfig config;
+    config.input_dim = zoo_->labels().total_labels();
+    config.hidden_dims = {64};
+    config.output_dim = zoo_->num_models() + 1;
+    return std::make_unique<rl::Agent>(std::make_unique<nn::Mlp>(config, seed),
+                                       nn::NetKind::kMlp);
+  }
+
+  static core::LabelingService BuildSession(rl::Agent* agent, int workers,
+                                            bool quantized) {
+    core::ScheduleConstraints constraints;
+    constraints.time_budget_s = 1.0;
+    constraints.memory_budget_mb = 8000.0;
+    return core::LabelingServiceBuilder(zoo_)
+        .WithOracle(oracle_)
+        .WithPredictor(agent)
+        .WithMode(core::ExecutionMode::kParallel)
+        .WithConstraints(constraints)
+        .WithWorkers(workers)
+        .WithQuantizedInference(quantized)
+        .Build();
+  }
+
+  static double MeanRecall(const std::vector<core::LabelOutcome>& outcomes) {
+    double sum = 0.0;
+    int counted = 0;
+    for (const core::LabelOutcome& outcome : outcomes) {
+      if (outcome.recall < 0.0) continue;
+      sum += outcome.recall;
+      ++counted;
+    }
+    return counted > 0 ? sum / counted : 0.0;
+  }
+
+  static zoo::ModelZoo* zoo_;
+  static data::Dataset* dataset_;
+  static data::Oracle* oracle_;
+};
+
+zoo::ModelZoo* QuantizedServingTest::zoo_ = nullptr;
+data::Dataset* QuantizedServingTest::dataset_ = nullptr;
+data::Oracle* QuantizedServingTest::oracle_ = nullptr;
+
+TEST_F(QuantizedServingTest, LabelingServiceRecallWithinToleranceOfFp32) {
+  const int num_items = 48;
+  std::unique_ptr<rl::Agent> agent = MakeAgent(7);
+  std::vector<core::WorkItem> items;
+  for (int i = 0; i < num_items; ++i) {
+    items.push_back(core::WorkItem::Stored(i));
+  }
+
+  core::LabelingService fp32 = BuildSession(agent.get(), 1, false);
+  const std::vector<core::LabelOutcome> base = fp32.SubmitBatch(items);
+
+  core::LabelingService quantized = BuildSession(agent.get(), 1, true);
+  EXPECT_TRUE(quantized.quantized_inference());
+  const std::vector<core::LabelOutcome> quant = quantized.SubmitBatch(items);
+
+  const double base_recall = MeanRecall(base);
+  const double quant_recall = MeanRecall(quant);
+  // Both schedules are real (non-degenerate) and the int8 path ranks
+  // actions closely enough that aggregate recall stays within tolerance.
+  EXPECT_GT(base_recall, 0.0);
+  EXPECT_GT(quant_recall, 0.0);
+  EXPECT_NEAR(quant_recall, base_recall, 0.05);
+}
+
+TEST_F(QuantizedServingTest, ServerRuntimeServesQuantizedWithinTolerance) {
+  const int num_items = 48;
+  std::unique_ptr<rl::Agent> agent = MakeAgent(7);
+  std::vector<core::WorkItem> items;
+  for (int i = 0; i < num_items; ++i) {
+    items.push_back(core::WorkItem::Stored(i));
+  }
+
+  core::LabelingService fp32 = BuildSession(agent.get(), 1, false);
+  const std::vector<core::LabelOutcome> base = fp32.SubmitBatch(items);
+
+  core::LabelingService session = BuildSession(agent.get(), 2, true);
+  serve::ServeOptions options;
+  options.workers = 2;
+  options.max_resident_per_worker = 4;
+  serve::ServerRuntime runtime(&session, options);
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (int i = 0; i < num_items; ++i) {
+    futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i)));
+  }
+  std::vector<core::LabelOutcome> served;
+  for (auto& future : futures) {
+    serve::ServeResult result = future.get();
+    ASSERT_EQ(result.status, serve::ServeStatus::kOk);
+    served.push_back(std::move(result.outcome));
+  }
+
+  const double base_recall = MeanRecall(base);
+  const double served_recall = MeanRecall(served);
+  EXPECT_GT(served_recall, 0.0);
+  EXPECT_NEAR(served_recall, base_recall, 0.05);
+}
+
+}  // namespace
+}  // namespace ams

@@ -1,0 +1,256 @@
+// Allocation-counting regression for the serving hot path: with the
+// worker-affine scratch arena attached (the default for ItemStepper) and the
+// kernel in lean mode, a steady-state Tick — batched Q refresh through the
+// DecisionPlane, one kernel step per resident item, completion handling —
+// must perform ZERO heap allocations once the first pass over the workload
+// has sized every buffer. The raw-buffer Agent forward underneath carries
+// the same contract and is checked on its own.
+//
+// The hook is a global operator new/delete replacement with a flag-gated
+// counter. It is compiled out under sanitizers (they interpose allocation
+// themselves); the tests skip there.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/labeling_service.h"
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "nn/net.h"
+#include "rl/agent.h"
+#include "util/rng.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define AMS_ALLOC_HOOKS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define AMS_ALLOC_HOOKS 0
+#else
+#define AMS_ALLOC_HOOKS 1
+#endif
+#else
+#define AMS_ALLOC_HOOKS 1
+#endif
+
+namespace ams::alloc_hooks {
+std::atomic<bool> counting{false};
+std::atomic<size_t> allocations{0};
+}  // namespace ams::alloc_hooks
+
+#if AMS_ALLOC_HOOKS
+
+namespace {
+
+void* CountedAlloc(std::size_t size, std::size_t align) {
+  if (ams::alloc_hooks::counting.load(std::memory_order_relaxed)) {
+    ams::alloc_hooks::allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  void* ptr = nullptr;
+  if (align <= alignof(std::max_align_t)) {
+    ptr = std::malloc(size);
+  } else if (posix_memalign(&ptr, align < sizeof(void*) ? sizeof(void*) : align,
+                            size) != 0) {
+    ptr = nullptr;
+  }
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return CountedAlloc(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size) {
+  return CountedAlloc(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+
+#endif  // AMS_ALLOC_HOOKS
+
+namespace ams {
+namespace {
+
+/// Runs `fn` with the allocation counter armed and returns how many heap
+/// allocations it performed.
+template <typename Fn>
+size_t CountAllocations(Fn&& fn) {
+  alloc_hooks::allocations.store(0, std::memory_order_relaxed);
+  alloc_hooks::counting.store(true, std::memory_order_relaxed);
+  fn();
+  alloc_hooks::counting.store(false, std::memory_order_relaxed);
+  return alloc_hooks::allocations.load(std::memory_order_relaxed);
+}
+
+#if !AMS_ALLOC_HOOKS
+#define AMS_SKIP_WITHOUT_ALLOC_HOOKS() \
+  GTEST_SKIP() << "allocation hooks are disabled under sanitizers"
+#else
+#define AMS_SKIP_WITHOUT_ALLOC_HOOKS() (void)0
+#endif
+
+std::unique_ptr<rl::Agent> MakeAgent(int input_dim, int output_dim,
+                                     nn::NetKind kind, uint64_t seed) {
+  nn::MlpConfig config;
+  config.input_dim = input_dim;
+  config.hidden_dims = {24};
+  config.output_dim = output_dim;
+  std::unique_ptr<nn::QValueNet> net;
+  if (kind == nn::NetKind::kDueling) {
+    net = std::make_unique<nn::DuelingMlp>(config, seed);
+  } else {
+    net = std::make_unique<nn::Mlp>(config, seed);
+  }
+  return std::make_unique<rl::Agent>(std::move(net), kind);
+}
+
+TEST(AgentAllocTest, PredictValuesBatchToIsAllocationFreeAfterWarmup) {
+  AMS_SKIP_WITHOUT_ALLOC_HOOKS();
+  constexpr int kInput = 40;
+  constexpr int kOutput = 9;
+  constexpr size_t kRows = 6;
+  for (const nn::NetKind kind : {nn::NetKind::kMlp, nn::NetKind::kDueling}) {
+    std::unique_ptr<rl::Agent> agent = MakeAgent(kInput, kOutput, kind, 11);
+
+    util::Rng rng(3);
+    std::vector<std::vector<float>> rows(kRows,
+                                         std::vector<float>(kInput, 0.0f));
+    std::vector<std::vector<int>> indices(kRows);
+    for (size_t r = 0; r < kRows; ++r) {
+      for (const int i : rng.SampleWithoutReplacement(kInput, 5)) {
+        rows[r][static_cast<size_t>(i)] = 1.0f;
+        indices[r].push_back(i);
+      }
+    }
+    std::vector<const std::vector<float>*> row_ptrs;
+    std::vector<const std::vector<int>*> index_ptrs;
+    for (size_t r = 0; r < kRows; ++r) {
+      row_ptrs.push_back(&rows[r]);
+      index_ptrs.push_back(&indices[r]);
+    }
+    std::vector<double> out(kRows * kOutput, 0.0);
+
+    // Two warm-up passes size the pointer scratch and the net's activation
+    // matrices; every later same-shape call must stay off the heap.
+    for (int warm = 0; warm < 2; ++warm) {
+      agent->PredictValuesBatchTo(row_ptrs.data(), index_ptrs.data(), kRows,
+                                  out.data());
+    }
+    const size_t allocs = CountAllocations([&] {
+      agent->PredictValuesBatchTo(row_ptrs.data(), index_ptrs.data(), kRows,
+                                  out.data());
+    });
+    EXPECT_EQ(allocs, 0u) << "net kind " << static_cast<int>(kind);
+  }
+}
+
+class TickAllocTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    zoo_ = new zoo::ModelZoo(zoo::ModelZoo::CreateDefault());
+    dataset_ = new data::Dataset(data::Dataset::Generate(
+        data::DatasetProfile::MirFlickr25(), zoo_->labels(), 48, 31));
+    oracle_ = new data::Oracle(zoo_, dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete dataset_;
+    delete zoo_;
+  }
+
+  static zoo::ModelZoo* zoo_;
+  static data::Dataset* dataset_;
+  static data::Oracle* oracle_;
+};
+
+zoo::ModelZoo* TickAllocTest::zoo_ = nullptr;
+data::Dataset* TickAllocTest::dataset_ = nullptr;
+data::Oracle* TickAllocTest::oracle_ = nullptr;
+
+TEST_F(TickAllocTest, SteadyStateLeanStepperTicksAreAllocationFree) {
+  AMS_SKIP_WITHOUT_ALLOC_HOOKS();
+  // Lean kernels reuse one scratch record per step; kFull materializes an
+  // ExecutionRecord (outputs copy + fresh-label list) per execution event by
+  // design, so the zero-allocation steady-state contract is lean-mode only.
+  std::unique_ptr<rl::Agent> agent = MakeAgent(
+      zoo_->labels().total_labels(), zoo_->num_models() + 1, nn::NetKind::kMlp,
+      7);
+  core::ScheduleConstraints constraints;
+  constraints.time_budget_s = 1.0;
+  constraints.memory_budget_mb = 8000.0;
+  core::LabelingService session =
+      core::LabelingServiceBuilder(zoo_)
+          .WithOracle(oracle_)
+          .WithPredictor(agent.get())
+          .WithMode(core::ExecutionMode::kParallel)
+          .WithConstraints(constraints)
+          .WithKernelMode(core::KernelMode::kLean)
+          .WithWorkers(1)
+          .Build();
+  std::unique_ptr<core::LabelingService::ItemStepper> stepper =
+      session.NewItemStepper(0);
+
+  constexpr int kItems = 8;
+  constexpr int kTickBound = 10000;
+  std::vector<core::LabelingService::ItemStepper::Completion> completed;
+  completed.reserve(kItems * 2);
+
+  // Warm-up pass: runs the full workload once, sizing the arena, the plane's
+  // row memo + slot buffers, the agent's batch scratch, and every kernel
+  // capacity the admission path reserves.
+  for (int i = 0; i < kItems; ++i) {
+    stepper->Admit(core::WorkItem::Stored(i), static_cast<uint64_t>(i));
+  }
+  for (int t = 0; !stepper->idle(); ++t) {
+    ASSERT_LT(t, kTickBound) << "warm-up did not converge";
+    stepper->Tick(&completed);
+  }
+  ASSERT_EQ(completed.size(), static_cast<size_t>(kItems));
+  completed.clear();
+
+  // Measured pass: identical workload. Admission allocates (new kernels and
+  // replay contexts per item — that is per-item setup, not tick work); every
+  // Tick must not.
+  for (int i = 0; i < kItems; ++i) {
+    stepper->Admit(core::WorkItem::Stored(i), static_cast<uint64_t>(i));
+  }
+  int measured_ticks = 0;
+  for (int t = 0; !stepper->idle(); ++t) {
+    ASSERT_LT(t, kTickBound) << "measured pass did not converge";
+    const size_t allocs = CountAllocations([&] { stepper->Tick(&completed); });
+    EXPECT_EQ(allocs, 0u) << "tick " << t << " touched the heap";
+    ++measured_ticks;
+  }
+  EXPECT_EQ(completed.size(), static_cast<size_t>(kItems));
+  // The contract is about steady-state work, so the workload must actually
+  // tick a few times (admission skips would trivially pass).
+  EXPECT_GE(measured_ticks, 3);
+}
+
+}  // namespace
+}  // namespace ams

@@ -1,0 +1,70 @@
+// Unit tests of the bump-allocator scratch arena (util/arena.h): alignment,
+// overflow chaining, and the steady-state guarantee that Reset() coalesces
+// capacity so later identical cycles never allocate new blocks.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace ams::util {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(1024);
+  char* a = arena.AllocArray<char>(3);
+  double* d = arena.AllocArray<double>(5);
+  float* f = static_cast<float*>(arena.Alloc(4 * sizeof(float), 64));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(f) % 64, 0u);
+  // Writes to one span must not clobber another.
+  for (int i = 0; i < 3; ++i) a[i] = 'x';
+  for (int i = 0; i < 5; ++i) d[i] = 1.5;
+  for (int i = 0; i < 4; ++i) f[i] = 2.5f;
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(a[i], 'x');
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d[i], 1.5);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(f[i], 2.5f);
+}
+
+TEST(ArenaTest, OverflowChainsNewBlocksAndResetCoalesces) {
+  Arena arena(64);
+  // Far beyond the primary block: must chain overflow blocks, not crash.
+  for (int i = 0; i < 16; ++i) {
+    int* span = arena.AllocArray<int>(100);
+    span[0] = i;
+    span[99] = -i;
+  }
+  EXPECT_GT(arena.block_allocs(), 1u);
+  const size_t used_per_cycle = arena.used();
+
+  // After one Reset the primary block covers the whole cycle: later
+  // identical cycles reuse it with zero new blocks.
+  arena.Reset();
+  const size_t blocks_after_coalesce = arena.block_allocs();
+  EXPECT_GE(arena.capacity(), used_per_cycle);
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (int i = 0; i < 16; ++i) {
+      int* span = arena.AllocArray<int>(100);
+      span[0] = cycle;
+    }
+    arena.Reset();
+  }
+  EXPECT_EQ(arena.block_allocs(), blocks_after_coalesce);
+}
+
+TEST(ArenaTest, ResetRewindsUsage) {
+  Arena arena(1 << 12);
+  arena.AllocArray<double>(64);
+  EXPECT_GE(arena.used(), 64 * sizeof(double));
+  arena.Reset();
+  EXPECT_EQ(arena.used(), 0u);
+  // Storage is reusable after Reset.
+  double* p = arena.AllocArray<double>(64);
+  p[63] = 7.0;
+  EXPECT_EQ(p[63], 7.0);
+}
+
+}  // namespace
+}  // namespace ams::util

@@ -10,7 +10,7 @@
 //             [--slack S] [--class-mix I:S:B] [--starvation-bound K]
 //             [--tenants N] [--quota SPEC]
 //             [--shards N] [--placement hash|least|p2c] [--rebalance S]
-//             [--live]
+//             [--live] [--quantized]
 //             [--deadline S] [--memory GB] [--hidden N] [--seed N]
 //             [--json PATH]
 //
@@ -44,7 +44,11 @@
 // view plus the per-shard breakdown. `--live` submits each request as a
 // WorkItem::Live over the corpus scene instead of a stored item id —
 // exercising the no-replay-cache live path (live requests have no stable
-// identity, so hash placement keys them by arrival order).
+// identity, so hash placement keys them by arrival order). `--quantized`
+// serves every worker's pooled predictor clone as a frozen int8 snapshot
+// (LabelingServiceBuilder::WithQuantizedInference): Q values move within
+// quantization tolerance, so served outcomes are no longer bit-identical to
+// the fp32 run, but action ranking — hence recall — holds.
 //
 // Examples:
 //   ams_serve --rate 2000 --workers 4 --slack 0.05
@@ -106,6 +110,7 @@ struct Options {
   std::string placement = "hash";  // hash | least | p2c
   double rebalance_s = 0.0;  // > 0 starts the router's rebalance tick
   bool live = false;      // submit WorkItem::Live scenes, not stored ids
+  bool quantized = false; // serve frozen int8 predictor snapshots
   double deadline = 1.0;  // per-item scheduling time budget (simulated)
   double memory_gb = 8.0; // per-item memory budget (Algorithm 2)
   int hidden = 256;
@@ -123,8 +128,8 @@ struct Options {
       "          [--starvation-bound K] [--tenants N]\n"
       "          [--quota queued=N,inflight=N,rate=R,burst=B]\n"
       "          [--shards N] [--placement hash|least|p2c] [--rebalance S]\n"
-      "          [--live] [--deadline S] [--memory GB] [--hidden N]\n"
-      "          [--seed N] [--json PATH]\n",
+      "          [--live] [--quantized] [--deadline S] [--memory GB]\n"
+      "          [--hidden N] [--seed N] [--json PATH]\n",
       argv0);
   std::exit(2);
 }
@@ -172,6 +177,8 @@ Options Parse(int argc, char** argv) {
       opts.rebalance_s = std::atof(next());
     } else if (!std::strcmp(argv[i], "--live")) {
       opts.live = true;
+    } else if (!std::strcmp(argv[i], "--quantized")) {
+      opts.quantized = true;
     } else if (!std::strcmp(argv[i], "--deadline")) {
       opts.deadline = std::atof(next());
     } else if (!std::strcmp(argv[i], "--memory")) {
@@ -352,6 +359,7 @@ int main(int argc, char** argv) {
                            .WithMode(core::ExecutionMode::kParallel)
                            .WithConstraints(constraints)
                            .WithKernelMode(core::KernelMode::kLean)
+                           .WithQuantizedInference(opts.quantized)
                            .WithWorkers(per_shard_workers)
                            .WithSeed(opts.seed + static_cast<uint64_t>(s))
                            .Build());
@@ -394,7 +402,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "serving %d %srequests (rate %s/s, %d workers, queue %d, overload %s, "
-      "order %s, slack %s, mix %s, %d tenant%s%s)...\n",
+      "order %s, slack %s, mix %s, %d tenant%s%s%s)...\n",
       opts.requests, opts.live ? "live " : "",
       opts.rate > 0.0 ? util::FormatDouble(opts.rate, 0).c_str() : "inf",
       worker_count, opts.queue_cap, opts.overload.c_str(),
@@ -403,7 +411,8 @@ int main(int argc, char** argv) {
                          : "inf",
       opts.class_mix.empty() ? "standard-only" : opts.class_mix.c_str(),
       opts.tenants, opts.tenants == 1 ? "" : "s",
-      opts.quota.empty() ? "" : ", quota-limited");
+      opts.quota.empty() ? "" : ", quota-limited",
+      opts.quantized ? ", int8 predictor" : "");
   if (router != nullptr) {
     std::printf("routing over %d shards (%s placement, rebalance %s)\n",
                 opts.shards, opts.placement.c_str(),
