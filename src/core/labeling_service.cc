@@ -403,6 +403,20 @@ LabelingService::ItemStepper::ItemStepper(const LabelingService* session,
 
 LabelingService::ItemStepper::~ItemStepper() = default;
 
+void LabelingService::ItemStepper::AttachTracer(const obs::Tracer* tracer,
+                                                obs::TraceBuffer* lane,
+                                                const util::Clock* clock) {
+  tracer_ = tracer;
+  trace_lane_ = lane;
+  trace_clock_ = clock;
+  if (state_.predictor != nullptr) {
+    const ModelValuePredictor::BackendInfo info =
+        state_.predictor->backend_info();
+    backend_tier_ = info.simd_tier;
+    backend_int8_ = info.int8;
+  }
+}
+
 uint64_t LabelingService::ItemStepper::Admit(const WorkItem& item,
                                              uint64_t stream_id) {
   const uint64_t ticket = next_ticket_++;
@@ -429,12 +443,26 @@ uint64_t LabelingService::ItemStepper::Admit(const WorkItem& item,
 }
 
 void LabelingService::ItemStepper::Tick(std::vector<Completion>* completed) {
+  // The tick span skips empty ticks (nothing resident, nothing pending) so
+  // an idle polling loop cannot flood the trace ring. Everything the span
+  // does — clock reads, stores into a preallocated ring slot — is
+  // allocation-free, preserving the zero-heap steady-state tick.
+  const int resident_at_entry = resident();
+  obs::ScopedSpan tick_span(resident_at_entry > 0 ? tracer_ : nullptr,
+                            trace_lane_, trace_clock_, obs::Phase::kTick);
+  tick_stats_ = TickStats();
+  const size_t completed_at_entry = completed->size();
+
   // Rewind the tick scratch arena: after the first few ticks sized it, this
   // is a pointer reset and the whole tick runs without touching the heap.
   arena_.Reset();
   for (Completion& done : pending_) completed->push_back(std::move(done));
   pending_.clear();
-  if (inflight_.empty()) return;
+  if (inflight_.empty()) {
+    FinishTickSpan(&tick_span, resident_at_entry,
+                   static_cast<int>(completed->size() - completed_at_entry));
+    return;
+  }
 
   // One deduplicated batched forward pass refreshes every resident item
   // still consulting the picker; items mid-drain (stopped, or nothing new
@@ -446,7 +474,21 @@ void LabelingService::ItemStepper::Tick(std::vector<Completion>* completed) {
         views_.push_back({flight.slot, &flight.kernel->state()});
       }
     }
-    plane_->Prefetch(views_);
+    if (tick_span.active() && !views_.empty()) {
+      obs::ScopedSpan forward_span(tracer_, trace_lane_, trace_clock_,
+                                   obs::Phase::kForward);
+      const long rows_before = plane_->batched_rows();
+      const long memo_before = plane_->memo_hits();
+      plane_->Prefetch(views_);
+      const int rows = static_cast<int>(plane_->batched_rows() - rows_before);
+      const int hits = static_cast<int>(plane_->memo_hits() - memo_before);
+      forward_span.set_args(rows, hits, backend_tier_, backend_int8_ ? 1 : 0);
+      tick_stats_.forward_s = forward_span.Close();
+      tick_stats_.forward_rows = rows;
+      tick_stats_.memo_hits = hits;
+    } else {
+      plane_->Prefetch(views_);
+    }
   }
 
   // Advance every kernel past one finish event, compacting the resident set
@@ -469,6 +511,21 @@ void LabelingService::ItemStepper::Tick(std::vector<Completion>* completed) {
     if (flight.slot != nullptr) plane_->ReleaseSlot(flight.slot);
   }
   inflight_.resize(live);
+  FinishTickSpan(&tick_span, resident_at_entry,
+                 static_cast<int>(completed->size() - completed_at_entry));
+}
+
+void LabelingService::ItemStepper::FinishTickSpan(obs::ScopedSpan* span,
+                                                  int resident_at_entry,
+                                                  int completed_this_tick) {
+  if (!span->active()) return;
+  span->set_args(resident_at_entry, completed_this_tick,
+                 static_cast<int32_t>(arena_.used()));
+  tick_stats_.traced = true;
+  tick_stats_.resident = resident_at_entry;
+  tick_stats_.completed = completed_this_tick;
+  tick_stats_.arena_used = arena_.used();
+  tick_stats_.tick_s = span->Close();
 }
 
 int LabelingService::ItemStepper::resident() const {

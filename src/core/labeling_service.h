@@ -12,6 +12,7 @@
 #include "core/schedule_kernel.h"
 #include "data/oracle.h"
 #include "data/stream.h"
+#include "obs/trace.h"
 #include "sched/policy.h"
 #include "sched/policy_registry.h"
 
@@ -291,9 +292,39 @@ class LabelingService::ItemStepper {
   int resident() const;
   bool idle() const { return resident() == 0; }
 
+  /// What the last traced Tick() measured, published so the serving runtime
+  /// can fold phase durations into its metrics without timing the tick a
+  /// second time. `traced` is false (and the rest zero) when no tracer was
+  /// attached, the tracer was disabled, or the tick had nothing resident.
+  struct TickStats {
+    bool traced = false;
+    double tick_s = 0.0;
+    double forward_s = 0.0;
+    int forward_rows = 0;
+    int memo_hits = 0;
+    int resident = 0;
+    int completed = 0;
+    std::size_t arena_used = 0;
+  };
+
+  /// Attaches the tracing seam: while `tracer` is enabled, every non-empty
+  /// Tick() records a kTick span (and a kForward span around the batched Q
+  /// refresh when the stepper is predictor-driven) into `lane` stamped on
+  /// `clock`, and publishes TickStats. All three must outlive the stepper;
+  /// recording stays free of heap allocations (preallocated ring slots), so
+  /// the zero-allocation steady-state tick contract holds with tracing on.
+  void AttachTracer(const obs::Tracer* tracer, obs::TraceBuffer* lane,
+                    const util::Clock* clock);
+
+  const TickStats& last_tick_stats() const { return tick_stats_; }
+
  private:
   friend class LabelingService;
   ItemStepper(const LabelingService* session, int worker_index);
+
+  /// Stamps args on the tick span, publishes TickStats, and closes it.
+  void FinishTickSpan(obs::ScopedSpan* span, int resident_at_entry,
+                      int completed_this_tick);
 
   struct InFlight {
     uint64_t ticket = 0;
@@ -315,6 +346,15 @@ class LabelingService::ItemStepper {
   std::vector<Completion> pending_;
   std::vector<DecisionPlane::SlotView> views_;  // Tick scratch
   uint64_t next_ticket_ = 0;
+  /// Tracing seam (AttachTracer): null until attached. The backend args for
+  /// kForward spans are resolved once at attach time — steppers serve from
+  /// a frozen predictor clone, so tier/int8 cannot change afterwards.
+  const obs::Tracer* tracer_ = nullptr;
+  obs::TraceBuffer* trace_lane_ = nullptr;
+  const util::Clock* trace_clock_ = nullptr;
+  int backend_tier_ = -1;
+  bool backend_int8_ = false;
+  TickStats tick_stats_;
 };
 
 /// Builder of LabelingService sessions. Exactly one decision source —

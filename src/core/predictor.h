@@ -114,6 +114,16 @@ class ModelValuePredictor {
 
   virtual int num_actions() const = 0;
 
+  /// Observability descriptor of the inference backend, surfaced as args on
+  /// kForward trace spans. `simd_tier` is the numeric nn::simd::Tier the
+  /// kernels dispatch to (-1 when the backend is not nn-based or unknown,
+  /// the default); `int8` marks a quantized (frozen) serving snapshot.
+  struct BackendInfo {
+    int simd_tier = -1;
+    bool int8 = false;
+  };
+  virtual BackendInfo backend_info() const { return BackendInfo(); }
+
   /// Independent copy for concurrent use, or nullptr when the predictor
   /// cannot be cloned. Stateful predictors (rl::Agent caches activations)
   /// must implement this to be fanned out by LabelingService; predictors

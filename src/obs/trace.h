@@ -1,0 +1,245 @@
+#ifndef AMS_OBS_TRACE_H_
+#define AMS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace ams::obs {
+
+/// Span taxonomy for the request lifecycle. Instants mark a decision point;
+/// spans carry a duration. Every phase's four int args have fixed meanings
+/// (see kPhaseArgNames in trace.cc and the README "Observability" section):
+///
+///   kEnqueue     instant  admission decision   a0=class a1=tenant a2=outcome
+///   kQuotaReject instant  quota refusal        a0=class a1=tenant
+///   kPlacement   instant  router pick          a0=shard a1=class
+///   kQueueWait   span     enqueue -> pop       a0=class a1=tenant
+///   kExec        span     pop -> completion    a0=class a1=deadline_missed
+///   kTick        span     one stepper tick     a0=resident a1=completed
+///                                              a2=arena_used_bytes
+///   kForward     span     batched Q-forward    a0=rows a1=memo_hits
+///                                              a2=simd_tier a3=int8
+///   kMigrateOut  instant  StealBatch handoff   a0=from_shard a1=to_shard
+///   kMigrateIn   instant  Requeue arrival      a0=from_shard a1=to_shard
+enum class Phase : std::uint8_t {
+  kEnqueue = 0,
+  kQuotaReject,
+  kPlacement,
+  kQueueWait,
+  kExec,
+  kTick,
+  kForward,
+  kMigrateOut,
+  kMigrateIn,
+};
+inline constexpr int kNumPhases = 9;
+
+/// Stable lowercase name used in trace JSON and summaries.
+const char* PhaseName(Phase phase);
+
+/// One trace record. Plain data, fixed size, no owned storage — recording
+/// one is a handful of stores into a preallocated ring slot, which is what
+/// keeps the instrumented steady-state tick at zero heap allocations.
+/// `id` is the request's trace id (0 for lane-scoped events like ticks);
+/// `dur_s` == 0 marks an instant. Unused args stay 0.
+struct TraceEvent {
+  std::uint64_t id = 0;
+  double ts_s = 0.0;
+  double dur_s = 0.0;
+  std::uint16_t shard = 0;
+  std::uint16_t lane = 0;
+  std::uint8_t phase = 0;
+  std::int32_t a0 = 0;
+  std::int32_t a1 = 0;
+  std::int32_t a2 = 0;
+  std::int32_t a3 = 0;
+};
+
+/// The lane index admission-side events (enqueue/placement/migration) are
+/// recorded under; worker lanes use their worker index. Exported traces name
+/// this lane "admission" instead of "worker 65535".
+inline constexpr std::uint16_t kAdmissionLane = 0xFFFF;
+
+/// Bounded drop-oldest ring of TraceEvents. All slots are allocated at
+/// construction; Record() claims a slot with one relaxed fetch_add and
+/// overwrites whatever was there, so the hot path never allocates, never
+/// locks, and never blocks on a slow reader — old events simply fall off.
+///
+/// Concurrency contract: multiple producers may Record() concurrently
+/// (distinct fetch_add tickets write distinct slots). A producer lapping the
+/// ring while Snapshot() copies it can tear individual slots; snapshots are
+/// an operational debugging view, not a transactional log. Deterministic
+/// tests drive a single thread and see exact contents.
+class TraceBuffer {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 8).
+  TraceBuffer(std::size_t capacity, std::uint16_t shard, std::uint16_t lane);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Stamps shard/lane and stores the event into the next ring slot.
+  void Record(TraceEvent event);
+
+  std::uint16_t shard() const { return shard_; }
+  std::uint16_t lane() const { return lane_; }
+  std::size_t capacity() const { return slots_.size(); }
+  /// Total events ever recorded (including since-overwritten ones).
+  std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to drop-oldest overwrite.
+  std::uint64_t dropped() const;
+
+  /// Copies the retained events out, oldest first. Safe against concurrent
+  /// Record() with the tearing caveat above.
+  std::vector<TraceEvent> Snapshot() const;
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::size_t mask_;
+  const std::uint16_t shard_;
+  const std::uint16_t lane_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Sampling decision + identity that rides on a request through the queue
+/// and across shard migrations (a field on serve::QueuedRequest). `id` is
+/// cluster-unique: (admitting shard + 1) << 40 | admission sequence.
+struct TraceContext {
+  std::uint64_t id = 0;
+  bool sampled = false;
+};
+
+/// Owner of the per-(shard, lane) TraceBuffers and the runtime on/off
+/// switch. One Tracer serves a whole process — a sharded router hands the
+/// same Tracer to every shard runtime; lanes are keyed by (shard, lane).
+///
+/// Cost model: when disabled (or when a request was not sampled) every
+/// instrumentation site reduces to one relaxed atomic load and a branch.
+/// Lanes register once at startup under a mutex and hand back a stable
+/// TraceBuffer* that hot paths cache; recording is lock-free thereafter.
+class Tracer {
+ public:
+  struct Options {
+    /// Per-lane ring capacity (events), rounded up to a power of two.
+    std::size_t lane_capacity = 1 << 14;
+    /// Record every Nth request's lifecycle spans (1 = all). Lane-scoped
+    /// events (kTick/kForward) are not sampled — they are already bounded
+    /// at one per tick.
+    std::uint64_t sample_every = 1;
+    /// Start enabled? The toggle can flip at runtime either way.
+    bool enabled = true;
+  };
+
+  Tracer();
+  explicit Tracer(Options options);
+
+  /// The single branch every instrumentation site takes first.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// True when request `sequence` should get lifecycle spans.
+  bool ShouldSample(std::uint64_t sequence) const {
+    return sample_every_ <= 1 || sequence % sample_every_ == 0;
+  }
+
+  /// The lane's buffer, created on first use. Not for hot paths — callers
+  /// cache the pointer (stable for the Tracer's lifetime).
+  TraceBuffer* EnsureLane(std::uint16_t shard, std::uint16_t lane);
+
+  /// All retained events across every lane, merged and sorted by timestamp
+  /// (stable, so equal-timestamp events keep lane order).
+  std::vector<TraceEvent> Collect() const;
+
+  /// Total events lost to drop-oldest overwrite across all lanes.
+  std::uint64_t TotalDropped() const;
+
+ private:
+  const std::size_t lane_capacity_;
+  const std::uint64_t sample_every_;
+  std::atomic<bool> enabled_;
+  mutable std::mutex lanes_mu_;
+  /// deque gives pointer stability; the map indexes it by (shard, lane).
+  std::deque<TraceBuffer> lanes_;
+  std::map<std::pair<std::uint16_t, std::uint16_t>, TraceBuffer*> by_key_;
+};
+
+/// RAII span: stamps the start on construction, records one TraceEvent with
+/// the measured duration on destruction (or on Close()). Does nothing — not
+/// even a clock read — when the tracer is off or `lane` is null, so it can
+/// sit unconditionally in hot loops.
+class ScopedSpan {
+ public:
+  ScopedSpan(const Tracer* tracer, TraceBuffer* lane, const util::Clock* clock,
+             Phase phase, std::uint64_t id = 0)
+      : lane_(tracer != nullptr && tracer->enabled() ? lane : nullptr),
+        clock_(clock),
+        phase_(phase),
+        id_(id) {
+    if (lane_ != nullptr) start_s_ = clock_->NowSeconds();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { Close(); }
+
+  bool active() const { return lane_ != nullptr; }
+  double start_s() const { return start_s_; }
+
+  void set_args(std::int32_t a0, std::int32_t a1 = 0, std::int32_t a2 = 0,
+                std::int32_t a3 = 0) {
+    a0_ = a0;
+    a1_ = a1;
+    a2_ = a2;
+    a3_ = a3;
+  }
+
+  /// Records the span now (idempotent); returns its duration in seconds
+  /// (0 when inactive).
+  double Close();
+
+ private:
+  TraceBuffer* lane_;
+  const util::Clock* clock_;
+  const Phase phase_;
+  const std::uint64_t id_;
+  double start_s_ = 0.0;
+  std::int32_t a0_ = 0, a1_ = 0, a2_ = 0, a3_ = 0;
+};
+
+/// Export seam: turns collected events into bytes. Implementations must not
+/// assume events are request-complete — a ring that wrapped has holes.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Write(const std::vector<TraceEvent>& events,
+                     std::ostream& out) const = 0;
+};
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}), loadable in Perfetto
+/// and chrome://tracing. Spans become complete ("ph":"X") events, instants
+/// become thread-scoped instants ("ph":"i"); pid = shard, tid = lane, with
+/// process/thread-name metadata so shards and workers read naturally.
+/// Timestamps are microseconds on the recording clock's own axis.
+class ChromeTraceSink : public TraceSink {
+ public:
+  void Write(const std::vector<TraceEvent>& events,
+             std::ostream& out) const override;
+};
+
+}  // namespace ams::obs
+
+#endif  // AMS_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "nn/simd.h"
 #include "util/check.h"
 #include "util/serialize.h"
 
@@ -14,6 +15,13 @@ constexpr uint32_t kCheckpointMagic = 0x414D5331;  // "AMS1"
 Agent::Agent(std::unique_ptr<nn::QValueNet> net, nn::NetKind kind)
     : net_(std::move(net)), kind_(kind) {
   AMS_CHECK(net_ != nullptr);
+}
+
+core::ModelValuePredictor::BackendInfo Agent::backend_info() const {
+  BackendInfo info;
+  info.simd_tier = static_cast<int>(nn::simd::ActiveTier());
+  info.int8 = net_->IsQuantized();
+  return info;
 }
 
 std::vector<double> Agent::PredictValues(

@@ -41,6 +41,10 @@ class Agent : public core::ModelValuePredictor {
   int num_actions() const override { return net_->output_dim(); }
   int feature_dim() const { return net_->input_dim(); }
 
+  /// Reports the runtime-dispatched SIMD tier and whether this agent serves
+  /// from a frozen int8 snapshot (kForward trace-span args).
+  BackendInfo backend_info() const override;
+
   nn::QValueNet* net() { return net_.get(); }
   nn::NetKind kind() const { return kind_; }
 

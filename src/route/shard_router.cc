@@ -63,9 +63,13 @@ ShardRouter::ShardRouter(const std::vector<core::LabelingService*>& sessions,
     placement_ = owned_placement_.get();
   }
   shards_.reserve(sessions.size());
-  for (core::LabelingService* session : sessions) {
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    // Uniform serve options except the shard id: shard i's trace lanes and
+    // trace ids carry its own index, all feeding the one shared tracer.
+    serve::ServeOptions shard_options = options_.serve;
+    shard_options.shard_id = static_cast<int>(i);
     shards_.push_back(
-        std::make_unique<serve::ServerRuntime>(session, options_.serve));
+        std::make_unique<serve::ServerRuntime>(sessions[i], shard_options));
   }
   routed_ = std::make_unique<std::atomic<long>[]>(sessions.size());
   for (size_t i = 0; i < sessions.size(); ++i) {
@@ -122,6 +126,20 @@ std::future<serve::ServeResult> ShardRouter::Enqueue(
   AMS_CHECK(shard >= 0 && shard < num_shards(),
             "placement returned an out-of-range shard");
   routed_[static_cast<size_t>(shard)].fetch_add(1, std::memory_order_relaxed);
+  obs::Tracer* tracer = options_.serve.tracer;
+  if (tracer != nullptr && tracer->enabled()) {
+    // Placement precedes admission, so the request has no trace id yet:
+    // the instant is lane-scoped (id 0), recording where the router sent
+    // traffic and in which class. Lane lookup is a mutex-guarded map probe;
+    // placement is not the per-tick hot path, so no cached pointer here.
+    obs::TraceEvent event;
+    event.ts_s = clock_->NowSeconds();
+    event.phase = static_cast<uint8_t>(obs::Phase::kPlacement);
+    event.a0 = shard;
+    event.a1 = static_cast<int32_t>(request.priority_class);
+    tracer->EnsureLane(static_cast<uint16_t>(shard), obs::kAdmissionLane)
+        ->Record(event);
+  }
   return shards_[static_cast<size_t>(shard)]->Enqueue(item, request);
 }
 
@@ -144,15 +162,60 @@ int ShardRouter::RebalanceOnce() {
   // remain to steal — StealBatch takes what is there.
   hot.StealQueued(plan.moves, &batch);
   int moved = 0;
+  obs::Tracer* tracer = options_.serve.tracer;
+  obs::TraceBuffer* out_lane = nullptr;
+  obs::TraceBuffer* in_lane = nullptr;
+  if (tracer != nullptr && tracer->enabled()) {
+    out_lane = tracer->EnsureLane(static_cast<uint16_t>(plan.from),
+                                  obs::kAdmissionLane);
+    in_lane = tracer->EnsureLane(static_cast<uint16_t>(plan.to),
+                                 obs::kAdmissionLane);
+  }
   for (serve::QueuedRequest& stolen : batch) {
+    // Both migration instants are recorded here, where source and
+    // destination are both known: kMigrateOut on the hot shard's lane the
+    // moment the request leaves it, kMigrateIn on the cold shard's lane
+    // once Requeue accepts it. The trace id rides the QueuedRequest, so the
+    // pair stitches the request's cross-shard span chain together.
+    const obs::TraceContext trace = stolen.trace;
+    if (out_lane != nullptr && trace.sampled) {
+      obs::TraceEvent event;
+      event.id = trace.id;
+      event.ts_s = clock_->NowSeconds();
+      event.phase = static_cast<uint8_t>(obs::Phase::kMigrateOut);
+      event.a0 = plan.from;
+      event.a1 = plan.to;
+      out_lane->Record(event);
+    }
     if (cold.RequeueMigrated(std::move(stolen))) {
       ++moved;
+      if (in_lane != nullptr && trace.sampled) {
+        obs::TraceEvent event;
+        event.id = trace.id;
+        event.ts_s = clock_->NowSeconds();
+        event.phase = static_cast<uint8_t>(obs::Phase::kMigrateIn);
+        event.a0 = plan.from;
+        event.a1 = plan.to;
+        in_lane->Record(event);
+      }
       continue;
     }
     // Unreachable while the shutdown ordering holds (shut_down_ flips under
     // rebalance_mu_ before any queue closes); kept as a safety net so a
     // stolen request can never be stranded without a result.
-    if (!hot.RequeueMigrated(std::move(stolen))) {
+    if (hot.RequeueMigrated(std::move(stolen))) {
+      // Bounced back home: close the hop so every kMigrateOut still pairs
+      // with exactly one kMigrateIn (span conservation).
+      if (out_lane != nullptr && trace.sampled) {
+        obs::TraceEvent event;
+        event.id = trace.id;
+        event.ts_s = clock_->NowSeconds();
+        event.phase = static_cast<uint8_t>(obs::Phase::kMigrateIn);
+        event.a0 = plan.from;
+        event.a1 = plan.from;
+        out_lane->Record(event);
+      }
+    } else {
       serve::ServeResult result;
       result.status = serve::ServeStatus::kShutdown;
       stolen.promise.set_value(std::move(result));
@@ -203,6 +266,18 @@ void ShardRouter::Shutdown() {
   for (const std::unique_ptr<serve::ServerRuntime>& shard : shards_) {
     shard->Shutdown();
   }
+}
+
+void ShardRouter::DumpTrace(std::ostream& out) const {
+  DumpTrace(out, obs::ChromeTraceSink());
+}
+
+void ShardRouter::DumpTrace(std::ostream& out,
+                            const obs::TraceSink& sink) const {
+  const obs::Tracer* tracer = options_.serve.tracer;
+  sink.Write(tracer != nullptr ? tracer->Collect()
+                               : std::vector<obs::TraceEvent>(),
+             out);
 }
 
 std::string ShardRouter::MetricsJson() const {

@@ -6,6 +6,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -154,6 +155,13 @@ class ShardRouter final : public ShardLoadView {
   /// Aggregated-metrics snapshot: {"aggregate": ..., "shards": [...],
   /// "router": {placement, per-shard routed counts, migrated, ticks}}.
   std::string MetricsJson() const;
+
+  /// Exports every shard's retained trace events through `sink` (all lanes
+  /// merged, timestamp-sorted). With the default obs::ChromeTraceSink the
+  /// output loads in Perfetto / chrome://tracing; an empty trace (no tracer
+  /// configured, or nothing recorded) still writes a valid document.
+  void DumpTrace(std::ostream& out) const;
+  void DumpTrace(std::ostream& out, const obs::TraceSink& sink) const;
 
  private:
   void RebalanceLoop();

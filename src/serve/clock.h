@@ -1,50 +1,16 @@
 #ifndef AMS_SERVE_CLOCK_H_
 #define AMS_SERVE_CLOCK_H_
 
-#include <atomic>
+// The clock seam moved to util/clock.h so lower layers (obs:: tracing,
+// core:: steppers) can take timestamps without depending on serve::. The
+// serve::Clock / serve::ManualClock names stay valid as aliases — serve::
+// code and tests keep reading naturally.
+#include "util/clock.h"
 
 namespace ams::serve {
 
-/// Time source for the serving runtime: every timestamp the serve:: layer
-/// takes (admission stamps, deadlines, latency measurements, metrics uptime)
-/// goes through this seam, so tests can substitute a deterministic
-/// ManualClock and assert exact latencies, deadline misses and EDF order
-/// without sleeping. Implementations must be monotonic non-decreasing and
-/// safe to read from any thread.
-class Clock {
- public:
-  virtual ~Clock() = default;
-
-  /// Seconds on this clock's own monotonic axis (only differences and
-  /// orderings are meaningful; the epoch is implementation-defined).
-  virtual double NowSeconds() const = 0;
-
-  /// The process-wide default: a steady wall clock whose epoch is its first
-  /// use. Never destroyed (safe to read during static teardown).
-  static const Clock& Monotonic();
-};
-
-/// Deterministic test clock: time moves only when the test advances it.
-/// Reads are lock-free; Advance is safe to call concurrently with readers
-/// (but advancing from multiple threads at once makes "now" racy by
-/// definition — tests should own time from one thread).
-class ManualClock : public Clock {
- public:
-  explicit ManualClock(double start_s = 0.0) : now_s_(start_s) {}
-
-  double NowSeconds() const override {
-    return now_s_.load(std::memory_order_acquire);
-  }
-
-  /// Moves time forward by `seconds` (>= 0).
-  void Advance(double seconds);
-
-  /// Jumps to an absolute reading; must not move time backwards.
-  void Set(double seconds);
-
- private:
-  std::atomic<double> now_s_;
-};
+using Clock = util::Clock;
+using ManualClock = util::ManualClock;
 
 }  // namespace ams::serve
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace ams::serve {
 
@@ -11,6 +13,14 @@ namespace {
 /// Relaxed CAS max for atomic<double> (no fetch_max in C++17).
 void AtomicMax(std::atomic<double>* target, double value) {
   double current = target->load(std::memory_order_relaxed);
+  while (current < value && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Same for atomic<long>: steady state is one relaxed load.
+void AtomicMaxLong(std::atomic<long>* target, long value) {
+  long current = target->load(std::memory_order_relaxed);
   while (current < value && !target->compare_exchange_weak(
                                 current, value, std::memory_order_relaxed)) {
   }
@@ -146,6 +156,19 @@ void TenantMetrics::MergeFrom(const TenantMetrics& other) {
   total_latency.MergeFrom(other.total_latency);
 }
 
+void Metrics::RecordTick(double tick_s, std::size_t arena_used_bytes) {
+  tick_duration.Record(tick_s);
+  AtomicMaxLong(&arena_high_water_bytes,
+                static_cast<long>(arena_used_bytes));
+}
+
+void Metrics::RecordForward(double forward_s, int rows) {
+  forward_duration.Record(forward_s);
+  forward_batches.fetch_add(1, std::memory_order_relaxed);
+  forward_rows.fetch_add(rows, std::memory_order_relaxed);
+  AtomicMaxLong(&forward_rows_max, rows);
+}
+
 void Metrics::MergeFrom(const Metrics& other) {
   AddCounter(&enqueued, other.enqueued);
   AddCounter(&completed, other.completed);
@@ -161,6 +184,14 @@ void Metrics::MergeFrom(const Metrics& other) {
   queue_delay.MergeFrom(other.queue_delay);
   service_time.MergeFrom(other.service_time);
   total_latency.MergeFrom(other.total_latency);
+  tick_duration.MergeFrom(other.tick_duration);
+  forward_duration.MergeFrom(other.forward_duration);
+  AddCounter(&forward_batches, other.forward_batches);
+  AddCounter(&forward_rows, other.forward_rows);
+  AtomicMaxLong(&forward_rows_max,
+                other.forward_rows_max.load(std::memory_order_relaxed));
+  AtomicMaxLong(&arena_high_water_bytes,
+                other.arena_high_water_bytes.load(std::memory_order_relaxed));
   for (int c = 0; c < kNumPriorityClasses; ++c) {
     by_class[static_cast<size_t>(c)].MergeFrom(
         other.by_class[static_cast<size_t>(c)]);
@@ -199,77 +230,155 @@ std::string Metrics::SnapshotJson() const {
   return SnapshotJson(uptime_s);
 }
 
+namespace {
+
+/// Plain-value images of the registry's counter sections: SnapshotJson
+/// loads each section into one of these in a tight pass *before* any
+/// stream formatting, so the values in one emitted snapshot come from a
+/// single narrow read window instead of interleaving atomic reads with
+/// (comparatively slow) JSON formatting. See the header's consistency
+/// contract for what can still tear.
+struct CounterSnapshot {
+  long enqueued, completed, rejected, quota_rejected, shed, shutdown_refused,
+      deadline_misses, migrated_in, migrated_out, queue_depth, in_flight,
+      forward_batches, forward_rows, forward_rows_max, arena_high_water_bytes;
+};
+
+struct ClassSnapshot {
+  long enqueued, completed, rejected, shed, shutdown_refused, deadline_misses;
+};
+
+struct TenantSnapshot {
+  long enqueued, completed, rejected, quota_rejected, shed, shutdown_refused,
+      deadline_misses;
+};
+
+ClassSnapshot LoadClass(const ClassMetrics& cls) {
+  ClassSnapshot s;
+  s.enqueued = cls.enqueued.load(std::memory_order_relaxed);
+  s.completed = cls.completed.load(std::memory_order_relaxed);
+  s.rejected = cls.rejected.load(std::memory_order_relaxed);
+  s.shed = cls.shed.load(std::memory_order_relaxed);
+  s.shutdown_refused = cls.shutdown_refused.load(std::memory_order_relaxed);
+  s.deadline_misses = cls.deadline_misses.load(std::memory_order_relaxed);
+  return s;
+}
+
+TenantSnapshot LoadTenant(const TenantMetrics& tenant) {
+  TenantSnapshot s;
+  s.enqueued = tenant.enqueued.load(std::memory_order_relaxed);
+  s.completed = tenant.completed.load(std::memory_order_relaxed);
+  s.rejected = tenant.rejected.load(std::memory_order_relaxed);
+  s.quota_rejected = tenant.quota_rejected.load(std::memory_order_relaxed);
+  s.shed = tenant.shed.load(std::memory_order_relaxed);
+  s.shutdown_refused = tenant.shutdown_refused.load(std::memory_order_relaxed);
+  s.deadline_misses = tenant.deadline_misses.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace
+
 std::string Metrics::SnapshotJson(double uptime_s) const {
-  const long done = completed.load(std::memory_order_relaxed);
+  // Phase 1: the consistent read pass — every counter in the registry is
+  // loaded once, back to back, before a single byte is formatted.
+  CounterSnapshot top;
+  top.enqueued = enqueued.load(std::memory_order_relaxed);
+  top.completed = completed.load(std::memory_order_relaxed);
+  top.rejected = rejected.load(std::memory_order_relaxed);
+  top.quota_rejected = quota_rejected.load(std::memory_order_relaxed);
+  top.shed = shed.load(std::memory_order_relaxed);
+  top.shutdown_refused = shutdown_refused.load(std::memory_order_relaxed);
+  top.deadline_misses = deadline_misses.load(std::memory_order_relaxed);
+  top.migrated_in = migrated_in.load(std::memory_order_relaxed);
+  top.migrated_out = migrated_out.load(std::memory_order_relaxed);
+  top.queue_depth = queue_depth.load(std::memory_order_relaxed);
+  top.in_flight = in_flight.load(std::memory_order_relaxed);
+  top.forward_batches = forward_batches.load(std::memory_order_relaxed);
+  top.forward_rows = forward_rows.load(std::memory_order_relaxed);
+  top.forward_rows_max = forward_rows_max.load(std::memory_order_relaxed);
+  top.arena_high_water_bytes =
+      arena_high_water_bytes.load(std::memory_order_relaxed);
+  std::array<ClassSnapshot, kNumPriorityClasses> classes;
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    classes[static_cast<size_t>(c)] = LoadClass(by_class[static_cast<size_t>(c)]);
+  }
+  std::vector<std::pair<int, TenantSnapshot>> tenants;
+  std::vector<const TenantMetrics*> tenant_slices;
+  tenants.emplace_back(0, LoadTenant(default_tenant_));
+  tenant_slices.push_back(&default_tenant_);
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    for (const auto& [tenant_id, tenant] : tenants_) {
+      tenants.emplace_back(tenant_id, LoadTenant(tenant));
+      tenant_slices.push_back(&tenant);
+    }
+  }
+
+  // Phase 2: formatting, from the plain-value images. Histograms snapshot
+  // at format time (bucket-consistent, best effort vs. the counter pass).
   std::ostringstream out;
   out << "{\n";
-  out << "  \"counters\": {\"enqueued\": "
-      << enqueued.load(std::memory_order_relaxed) << ", \"completed\": " << done
-      << ", \"rejected\": " << rejected.load(std::memory_order_relaxed)
-      << ", \"quota_rejected\": "
-      << quota_rejected.load(std::memory_order_relaxed)
-      << ", \"shed\": " << shed.load(std::memory_order_relaxed)
-      << ", \"shutdown_refused\": "
-      << shutdown_refused.load(std::memory_order_relaxed)
-      << ", \"deadline_misses\": "
-      << deadline_misses.load(std::memory_order_relaxed)
-      << ", \"migrated_in\": " << migrated_in.load(std::memory_order_relaxed)
-      << ", \"migrated_out\": " << migrated_out.load(std::memory_order_relaxed)
-      << "},\n";
-  out << "  \"gauges\": {\"queue_depth\": "
-      << queue_depth.load(std::memory_order_relaxed) << ", \"in_flight\": "
-      << in_flight.load(std::memory_order_relaxed) << "},\n";
+  out << "  \"counters\": {\"enqueued\": " << top.enqueued
+      << ", \"completed\": " << top.completed
+      << ", \"rejected\": " << top.rejected
+      << ", \"quota_rejected\": " << top.quota_rejected
+      << ", \"shed\": " << top.shed
+      << ", \"shutdown_refused\": " << top.shutdown_refused
+      << ", \"deadline_misses\": " << top.deadline_misses
+      << ", \"migrated_in\": " << top.migrated_in
+      << ", \"migrated_out\": " << top.migrated_out << "},\n";
+  out << "  \"gauges\": {\"queue_depth\": " << top.queue_depth
+      << ", \"in_flight\": " << top.in_flight << "},\n";
   out << "  \"uptime_s\": " << FormatSeconds(uptime_s)
       << ", \"completed_per_s\": "
-      << FormatSeconds(uptime_s > 0.0 ? static_cast<double>(done) / uptime_s
-                                      : 0.0)
+      << FormatSeconds(uptime_s > 0.0
+                           ? static_cast<double>(top.completed) / uptime_s
+                           : 0.0)
       << ",\n";
   out << "  \"latency\": {\"queue_delay\": " << queue_delay.SnapshotJson()
       << ", \"service\": " << service_time.SnapshotJson()
       << ", \"total\": " << total_latency.SnapshotJson() << "},\n";
+  out << "  \"phases\": {\"tick\": " << tick_duration.SnapshotJson()
+      << ", \"forward\": " << forward_duration.SnapshotJson()
+      << ", \"forward_batches\": " << top.forward_batches
+      << ", \"forward_rows\": " << top.forward_rows
+      << ", \"forward_rows_max\": " << top.forward_rows_max
+      << ", \"forward_rows_mean\": "
+      << FormatSeconds(top.forward_batches > 0
+                           ? static_cast<double>(top.forward_rows) /
+                                 static_cast<double>(top.forward_batches)
+                           : 0.0)
+      << ", \"arena_high_water_bytes\": " << top.arena_high_water_bytes
+      << "},\n";
   out << "  \"classes\": {";
   for (int c = 0; c < kNumPriorityClasses; ++c) {
+    const ClassSnapshot& s = classes[static_cast<size_t>(c)];
     const ClassMetrics& cls = by_class[static_cast<size_t>(c)];
     if (c > 0) out << ", ";
     out << "\"" << PriorityClassName(static_cast<PriorityClass>(c))
-        << "\": {\"enqueued\": " << cls.enqueued.load(std::memory_order_relaxed)
-        << ", \"completed\": " << cls.completed.load(std::memory_order_relaxed)
-        << ", \"rejected\": " << cls.rejected.load(std::memory_order_relaxed)
-        << ", \"shed\": " << cls.shed.load(std::memory_order_relaxed)
-        << ", \"shutdown_refused\": "
-        << cls.shutdown_refused.load(std::memory_order_relaxed)
-        << ", \"deadline_misses\": "
-        << cls.deadline_misses.load(std::memory_order_relaxed)
+        << "\": {\"enqueued\": " << s.enqueued
+        << ", \"completed\": " << s.completed
+        << ", \"rejected\": " << s.rejected << ", \"shed\": " << s.shed
+        << ", \"shutdown_refused\": " << s.shutdown_refused
+        << ", \"deadline_misses\": " << s.deadline_misses
         << ", \"queue_delay\": " << cls.queue_delay.SnapshotJson()
         << ", \"total\": " << cls.total_latency.SnapshotJson() << "}";
   }
   out << "},\n";
   out << "  \"tenants\": {";
-  const auto tenant_json = [&out](int tenant_id, const TenantMetrics& tenant,
-                                  bool first) {
-    if (!first) out << ", ";
-    out << "\"" << tenant_id << "\": {\"enqueued\": "
-        << tenant.enqueued.load(std::memory_order_relaxed)
-        << ", \"completed\": "
-        << tenant.completed.load(std::memory_order_relaxed)
-        << ", \"rejected\": "
-        << tenant.rejected.load(std::memory_order_relaxed)
-        << ", \"quota_rejected\": "
-        << tenant.quota_rejected.load(std::memory_order_relaxed)
-        << ", \"shed\": " << tenant.shed.load(std::memory_order_relaxed)
-        << ", \"shutdown_refused\": "
-        << tenant.shutdown_refused.load(std::memory_order_relaxed)
-        << ", \"deadline_misses\": "
-        << tenant.deadline_misses.load(std::memory_order_relaxed)
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    const auto& [tenant_id, s] = tenants[i];
+    const TenantMetrics& tenant = *tenant_slices[i];
+    if (i > 0) out << ", ";
+    out << "\"" << tenant_id << "\": {\"enqueued\": " << s.enqueued
+        << ", \"completed\": " << s.completed
+        << ", \"rejected\": " << s.rejected
+        << ", \"quota_rejected\": " << s.quota_rejected
+        << ", \"shed\": " << s.shed
+        << ", \"shutdown_refused\": " << s.shutdown_refused
+        << ", \"deadline_misses\": " << s.deadline_misses
         << ", \"queue_delay\": " << tenant.queue_delay.SnapshotJson()
         << ", \"total\": " << tenant.total_latency.SnapshotJson() << "}";
-  };
-  tenant_json(0, default_tenant_, /*first=*/true);
-  {
-    std::lock_guard<std::mutex> lock(tenants_mu_);
-    for (const auto& [tenant_id, tenant] : tenants_) {
-      tenant_json(tenant_id, tenant, /*first=*/false);
-    }
   }
   out << "}\n";
   out << "}";

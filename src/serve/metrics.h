@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -151,6 +152,28 @@ class Metrics {
   LatencyHistogram service_time;
   LatencyHistogram total_latency;
 
+  // --- phase attribution (the MetricsJson face of the obs:: tracing layer;
+  //     populated only while a Tracer is attached to the runtime and
+  //     enabled, so the untraced hot path never touches these) ---
+  /// Duration of one worker stepper tick (arena rewind + batched forward +
+  /// one kernel step per resident item).
+  LatencyHistogram tick_duration;
+  /// Duration of the per-tick deduplicated batched Q-forward (ticks whose
+  /// forward had zero fresh rows are not recorded).
+  LatencyHistogram forward_duration;
+  /// Count / total rows / largest row batch of recorded Q-forwards — the
+  /// forward-batch-size gauge (mean = forward_rows / forward_batches).
+  std::atomic<long> forward_batches{0};
+  std::atomic<long> forward_rows{0};
+  std::atomic<long> forward_rows_max{0};
+  /// High-water mark of a worker's per-tick arena scratch footprint.
+  std::atomic<long> arena_high_water_bytes{0};
+
+  /// Folds one traced tick into the phase section (CAS-max on the gauges).
+  void RecordTick(double tick_s, std::size_t arena_used_bytes);
+  /// Folds one traced forward pass (rows > 0) into the phase section.
+  void RecordForward(double forward_s, int rows);
+
   // --- per-class slices, indexed by PriorityClass ---
   std::array<ClassMetrics, kNumPriorityClasses> by_class;
 
@@ -176,9 +199,20 @@ class Metrics {
   /// must outlive the registry.
   void AttachClock(const Clock* clock);
 
-  /// One JSON object with counters, gauges, histograms, the per-class
-  /// breakdown, and the completion throughput over `uptime_s` (pass the
-  /// runtime's clock reading).
+  /// One JSON object with counters, gauges, histograms, the phase section,
+  /// the per-class breakdown, and the completion throughput over `uptime_s`
+  /// (pass the runtime's clock reading).
+  ///
+  /// Consistency contract: each section's counters are loaded into plain
+  /// locals in one tight pass *before* any formatting, so a snapshot taken
+  /// mid-run reflects one narrow read window rather than values drifting
+  /// apart over the milliseconds JSON formatting takes. What is still NOT
+  /// guaranteed — and cannot be without stalling the hot path — is
+  /// cross-counter exactness: a request completing inside the read window
+  /// can make identities like enqueued == completed + ... off by the
+  /// requests in flight during the pass, and histograms (read after the
+  /// counter pass) may include a few events the counters missed. At any
+  /// quiescent instant every identity holds exactly.
   std::string SnapshotJson(double uptime_s) const;
 
   /// Same, with uptime taken from the attached clock (0 when none).

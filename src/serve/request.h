@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/labeling_service.h"
+#include "obs/trace.h"
 #include "serve/priority_class.h"
 
 namespace ams::serve {
@@ -81,6 +82,11 @@ struct QueuedRequest {
   /// When the request entered the queue; stamped by AdmissionQueue on the
   /// serve clock (before any kBlock wait: arrival time, not admit time).
   double enqueue_time_s = 0.0;
+  /// Tracing identity, stamped once at original admission (obs::Tracer
+  /// sampling decision + cluster-unique id). Rides the request through
+  /// StealBatch/Requeue migration so a request's span chain stays connected
+  /// across shards; zero/unsampled when tracing is off.
+  obs::TraceContext trace;
   std::promise<ServeResult> promise;
 };
 

@@ -41,9 +41,14 @@ ServerRuntime::ServerRuntime(core::LabelingService* session,
     : session_(session),
       options_(options),
       clock_(options.clock != nullptr ? options.clock : &Clock::Monotonic()),
-      queue_(AdmissionConfigFrom(options)) {
+      queue_(AdmissionConfigFrom(options)),
+      tracer_(options.tracer) {
   AMS_CHECK(session != nullptr);
   if (options_.workers <= 0) options_.workers = session->worker_count();
+  if (tracer_ != nullptr) {
+    admission_lane_ = tracer_->EnsureLane(
+        static_cast<uint16_t>(options_.shard_id), obs::kAdmissionLane);
+  }
   AMS_CHECK(options_.max_resident_per_worker >= 1,
             "a worker must hold at least one resident item");
   AMS_CHECK(options_.default_slack_s > 0.0, "deadline slack must be positive");
@@ -112,6 +117,16 @@ std::future<ServeResult> ServerRuntime::Enqueue(
     // bands and picks shed victims.
     request.value_density = estimator_->ValueDensity(item);
   }
+  if (tracer_ != nullptr && tracer_->enabled() &&
+      tracer_->ShouldSample(request.sequence)) {
+    // Cluster-unique id: shard in the high bits, admission sequence below.
+    // Stamped exactly once — migrated requests keep the id of the shard
+    // that admitted them, which is what connects a cross-shard span chain.
+    request.trace.id =
+        (static_cast<uint64_t>(options_.shard_id) + 1) << 40 | request.sequence;
+    request.trace.sampled = true;
+  }
+  const obs::TraceContext trace = request.trace;
   std::future<ServeResult> future = request.promise.get_future();
 
   metrics_.enqueued.fetch_add(1, std::memory_order_relaxed);
@@ -127,6 +142,16 @@ std::future<ServeResult> ServerRuntime::Enqueue(
   const AdmitOutcome outcome = queue_.Enqueue(std::move(request), &bounced);
   metrics_.queue_depth.store(static_cast<long>(queue_.size()),
                              std::memory_order_relaxed);
+  if (trace.sampled) {
+    RecordRequestInstant(obs::Phase::kEnqueue, trace, static_cast<int>(cls),
+                         request_options.tenant_id,
+                         static_cast<int>(outcome));
+    if (outcome == AdmitOutcome::kRejectedQuota) {
+      RecordRequestInstant(obs::Phase::kQuotaReject, trace,
+                           static_cast<int>(cls), request_options.tenant_id,
+                           0);
+    }
+  }
   switch (outcome) {
     case AdmitOutcome::kAccepted:
       // Anything bounced is a shed victim displaced by this request.
@@ -148,6 +173,20 @@ std::future<ServeResult> ServerRuntime::Enqueue(
       break;
   }
   return future;
+}
+
+void ServerRuntime::RecordRequestInstant(obs::Phase phase,
+                                         const obs::TraceContext& trace,
+                                         int a0, int a1, int a2) {
+  if (admission_lane_ == nullptr || !tracer_->enabled()) return;
+  obs::TraceEvent event;
+  event.id = trace.id;
+  event.ts_s = clock_->NowSeconds();
+  event.phase = static_cast<uint8_t>(phase);
+  event.a0 = a0;
+  event.a1 = a1;
+  event.a2 = a2;
+  admission_lane_->Record(event);
 }
 
 void ServerRuntime::ResolveBounced(QueuedRequest&& request,
@@ -196,6 +235,15 @@ void ServerRuntime::WorkerLoop(int worker_index) {
   using Stepper = core::LabelingService::ItemStepper;
   const std::unique_ptr<Stepper> stepper =
       session_->NewItemStepper(worker_index);
+  // This worker's trace lane: a single-producer ring the stepper's
+  // tick/forward spans and this loop's queue-wait/exec spans share. All of
+  // it stays null (and every site a single branch) when tracing is off.
+  obs::TraceBuffer* lane = nullptr;
+  if (tracer_ != nullptr) {
+    lane = tracer_->EnsureLane(static_cast<uint16_t>(options_.shard_id),
+                               static_cast<uint16_t>(worker_index));
+    stepper->AttachTracer(tracer_, lane, clock_);
+  }
   // Tracked requests keyed by stepper ticket. A flat swap-pop slab instead
   // of a map: the resident set is tens of items, so a linear scan beats
   // hashing and — on the serving hot path — spares a node allocation per
@@ -240,6 +288,21 @@ void ServerRuntime::WorkerLoop(int worker_index) {
           tracked.deadline_s = request.deadline_s;
           tracked.enqueue_time_s = request.enqueue_time_s;
           tracked.admit_time_s = now;
+          tracked.trace = request.trace;
+          if (lane != nullptr && request.trace.sampled &&
+              tracer_->enabled()) {
+            // The queue-wait span is written retroactively at pop time —
+            // its start is the (possibly remote-shard) enqueue stamp, so a
+            // migrated request's wait covers the whole cross-shard journey.
+            obs::TraceEvent event;
+            event.id = request.trace.id;
+            event.ts_s = request.enqueue_time_s;
+            event.dur_s = now - request.enqueue_time_s;
+            event.phase = static_cast<uint8_t>(obs::Phase::kQueueWait);
+            event.a0 = static_cast<int32_t>(request.priority_class);
+            event.a1 = request.tenant_id;
+            lane->Record(event);
+          }
           metrics_.queue_delay.Record(now - request.enqueue_time_s);
           metrics_.for_class(request.priority_class)
               .queue_delay.Record(now - request.enqueue_time_s);
@@ -256,6 +319,18 @@ void ServerRuntime::WorkerLoop(int worker_index) {
     // resident item, then each kernel advances past one finish event.
     done.clear();
     stepper->Tick(&done);
+    {
+      // Fold the stepper's phase timings into the metrics registry (traced
+      // ticks only — untraced runs never touch the phase section). Atomic
+      // bumps and histogram buckets only: the zero-allocation tick holds.
+      const Stepper::TickStats& stats = stepper->last_tick_stats();
+      if (stats.traced) {
+        metrics_.RecordTick(stats.tick_s, stats.arena_used);
+        if (stats.forward_rows > 0) {
+          metrics_.RecordForward(stats.forward_s, stats.forward_rows);
+        }
+      }
+    }
     if (done.empty()) continue;
     const double now = clock_->NowSeconds();
     for (Stepper::Completion& completion : done) {
@@ -293,6 +368,19 @@ void ServerRuntime::WorkerLoop(int worker_index) {
         tenant_metrics.deadline_misses.fetch_add(1, std::memory_order_relaxed);
       }
       metrics_.in_flight.fetch_sub(1, std::memory_order_relaxed);
+      if (lane != nullptr && tracked.trace.sampled && tracer_->enabled()) {
+        // Exec span, admit -> completion, closed retroactively like the
+        // queue wait (the resident set multiplexes, so no RAII scope brackets
+        // a single request's execution).
+        obs::TraceEvent event;
+        event.id = tracked.trace.id;
+        event.ts_s = tracked.admit_time_s;
+        event.dur_s = now - tracked.admit_time_s;
+        event.phase = static_cast<uint8_t>(obs::Phase::kExec);
+        event.a0 = static_cast<int32_t>(tracked.priority_class);
+        event.a1 = result.deadline_met() ? 0 : 1;
+        lane->Record(event);
+      }
       tracked.promise.set_value(std::move(result));
       // Free the tenant's in-flight quota slot (no-op without quotas).
       queue_.TenantFinished(tracked.tenant_id);

@@ -63,6 +63,17 @@ struct ServeOptions {
   /// deadlines, latencies, metrics uptime); null = Clock::Monotonic().
   /// Tests inject a ManualClock here for deterministic timing assertions.
   const Clock* clock = nullptr;
+  /// Tracing seam: when set (and enabled), the runtime records lifecycle
+  /// spans — enqueue/quota instants, queue-wait, exec, per-tick stepper and
+  /// forward spans — into per-worker obs::TraceBuffer lanes, and the phase
+  /// section of Metrics populates. Null (the default) keeps every
+  /// instrumentation site at a single pointer test; a disabled tracer costs
+  /// one extra relaxed load. Must outlive the runtime. A sharded router
+  /// passes one shared tracer to every shard.
+  obs::Tracer* tracer = nullptr;
+  /// This runtime's shard index in a sharded deployment (trace lane keying
+  /// and cluster-unique trace ids); 0 standalone.
+  int shard_id = 0;
 };
 
 /// The asynchronous serving runtime over a labeling session: admission in
@@ -184,11 +195,17 @@ class ServerRuntime {
     double deadline_s = std::numeric_limits<double>::infinity();
     double enqueue_time_s = 0.0;
     double admit_time_s = 0.0;
+    /// Carried from the QueuedRequest so completion can close the exec span.
+    obs::TraceContext trace;
   };
 
   static AdmissionConfig AdmissionConfigFrom(const ServeOptions& options);
 
   void WorkerLoop(int worker_index);
+  /// Records an instant event for a sampled request on the admission lane
+  /// (no-op when tracing is off/disabled).
+  void RecordRequestInstant(obs::Phase phase, const obs::TraceContext& trace,
+                            int a0, int a1, int a2);
   /// Resolves a bounced (rejected / shed / post-shutdown) request.
   void ResolveBounced(QueuedRequest&& request, ServeStatus status);
   /// Completed-work accounting shared by every resolution path.
@@ -208,6 +225,12 @@ class ServerRuntime {
   /// class orders kEdf (no density is computed — the PR-4 enqueue path).
   const ValueEstimator* estimator_ = nullptr;
   AdmissionQueue queue_;
+  /// Tracing (options.tracer): `admission_lane_` takes the enqueue-side
+  /// instants (enqueue/quota/migration events race from many caller
+  /// threads; the ring's fetch_add ticketing makes that safe); each worker
+  /// caches its own lane in WorkerLoop. Both null when tracing is off.
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceBuffer* admission_lane_ = nullptr;
   std::vector<std::thread> workers_;
 
   std::atomic<uint64_t> sequence_{0};

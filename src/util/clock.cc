@@ -1,10 +1,10 @@
-#include "serve/clock.h"
+#include "util/clock.h"
 
 #include <chrono>
 
 #include "util/check.h"
 
-namespace ams::serve {
+namespace ams::util {
 
 namespace {
 
@@ -50,4 +50,4 @@ void ManualClock::Set(double seconds) {
   }
 }
 
-}  // namespace ams::serve
+}  // namespace ams::util

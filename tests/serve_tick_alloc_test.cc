@@ -23,7 +23,9 @@
 #include "data/dataset_profile.h"
 #include "data/oracle.h"
 #include "nn/net.h"
+#include "obs/trace.h"
 #include "rl/agent.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
@@ -250,6 +252,69 @@ TEST_F(TickAllocTest, SteadyStateLeanStepperTicksAreAllocationFree) {
   // The contract is about steady-state work, so the workload must actually
   // tick a few times (admission skips would trivially pass).
   EXPECT_GE(measured_ticks, 3);
+}
+
+TEST_F(TickAllocTest, TracedSteadyStateTicksAreStillAllocationFree) {
+  AMS_SKIP_WITHOUT_ALLOC_HOOKS();
+  // The obs:: contract: with a tracer attached and enabled, every tick
+  // records kTick/kForward spans into the preallocated ring — and the
+  // steady-state tick still never touches the heap. ScopedSpan lives on the
+  // stack, Record() writes a claimed ring slot, and TickStats is plain
+  // member assignment; nothing else is allowed in the instrumented path.
+  std::unique_ptr<rl::Agent> agent = MakeAgent(
+      zoo_->labels().total_labels(), zoo_->num_models() + 1, nn::NetKind::kMlp,
+      7);
+  core::ScheduleConstraints constraints;
+  constraints.time_budget_s = 1.0;
+  constraints.memory_budget_mb = 8000.0;
+  core::LabelingService session =
+      core::LabelingServiceBuilder(zoo_)
+          .WithOracle(oracle_)
+          .WithPredictor(agent.get())
+          .WithMode(core::ExecutionMode::kParallel)
+          .WithConstraints(constraints)
+          .WithKernelMode(core::KernelMode::kLean)
+          .WithWorkers(1)
+          .Build();
+  std::unique_ptr<core::LabelingService::ItemStepper> stepper =
+      session.NewItemStepper(0);
+
+  obs::Tracer tracer;
+  obs::TraceBuffer* lane = tracer.EnsureLane(0, 0);
+  stepper->AttachTracer(&tracer, lane, &util::Clock::Monotonic());
+
+  constexpr int kItems = 8;
+  constexpr int kTickBound = 10000;
+  std::vector<core::LabelingService::ItemStepper::Completion> completed;
+  completed.reserve(kItems * 2);
+
+  for (int i = 0; i < kItems; ++i) {
+    stepper->Admit(core::WorkItem::Stored(i), static_cast<uint64_t>(i));
+  }
+  for (int t = 0; !stepper->idle(); ++t) {
+    ASSERT_LT(t, kTickBound) << "warm-up did not converge";
+    stepper->Tick(&completed);
+  }
+  ASSERT_EQ(completed.size(), static_cast<size_t>(kItems));
+  completed.clear();
+  const uint64_t warmup_events = lane->recorded();
+  EXPECT_GT(warmup_events, 0u) << "tracing was attached but recorded nothing";
+
+  for (int i = 0; i < kItems; ++i) {
+    stepper->Admit(core::WorkItem::Stored(i), static_cast<uint64_t>(i));
+  }
+  int measured_ticks = 0;
+  for (int t = 0; !stepper->idle(); ++t) {
+    ASSERT_LT(t, kTickBound) << "measured pass did not converge";
+    const size_t allocs = CountAllocations([&] { stepper->Tick(&completed); });
+    EXPECT_EQ(allocs, 0u) << "traced tick " << t << " touched the heap";
+    ++measured_ticks;
+  }
+  EXPECT_EQ(completed.size(), static_cast<size_t>(kItems));
+  EXPECT_GE(measured_ticks, 3);
+  // The measured ticks were actually traced, not silently skipped.
+  EXPECT_GT(lane->recorded(), warmup_events);
+  EXPECT_TRUE(stepper->last_tick_stats().traced);
 }
 
 }  // namespace

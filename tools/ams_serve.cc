@@ -12,7 +12,7 @@
 //             [--shards N] [--placement hash|least|p2c] [--rebalance S]
 //             [--live] [--quantized]
 //             [--deadline S] [--memory GB] [--hidden N] [--seed N]
-//             [--json PATH]
+//             [--json PATH] [--trace PATH] [--trace-sample N]
 //
 // `--rate` is the open-loop arrival rate in requests/second (Poisson, seeded
 // by --seed); 0 enqueues everything at once (closed burst). `--slack` grants
@@ -58,12 +58,24 @@
 //   ams_serve --tenants 4 --quota queued=32,rate=500,burst=50 --rate 4000
 //   ams_serve --shards 4 --placement p2c --rebalance 0.05 --rate 8000
 //   ams_serve --live --rate 2000 --slack 0.1
+//   ams_serve --shards 4 --rebalance 0.02 --trace trace.json --trace-sample 4
+//
+// `--trace PATH` turns on the obs:: tracing layer and, after the run
+// drains, writes every retained span (admission, queue wait, stepper ticks,
+// batched Q-forwards, execution, migration hops) as Chrome trace-event JSON
+// to PATH — load it in Perfetto or chrome://tracing, or summarize it with
+// tools/trace_summary.py. `--trace-sample N` records the per-request
+// lifecycle spans of every Nth request only (default 1 = all); tick and
+// forward spans are always per-tick. Tracing off (no --trace) leaves the
+// serving hot path exactly as fast as before — every instrumentation site
+// reduces to one branch.
 
 #include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
@@ -73,6 +85,7 @@
 #include <vector>
 
 #include "core/labeling_service.h"
+#include "obs/trace.h"
 #include "data/dataset.h"
 #include "data/dataset_profile.h"
 #include "data/oracle.h"
@@ -116,6 +129,8 @@ struct Options {
   int hidden = 256;
   uint64_t seed = 7;
   std::string json_path;
+  std::string trace_path;   // empty = tracing off
+  int trace_sample = 1;     // record every Nth request's lifecycle spans
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -129,7 +144,8 @@ struct Options {
       "          [--quota queued=N,inflight=N,rate=R,burst=B]\n"
       "          [--shards N] [--placement hash|least|p2c] [--rebalance S]\n"
       "          [--live] [--quantized] [--deadline S] [--memory GB]\n"
-      "          [--hidden N] [--seed N] [--json PATH]\n",
+      "          [--hidden N] [--seed N] [--json PATH]\n"
+      "          [--trace PATH] [--trace-sample N]\n",
       argv0);
   std::exit(2);
 }
@@ -189,9 +205,17 @@ Options Parse(int argc, char** argv) {
       opts.seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (!std::strcmp(argv[i], "--json")) {
       opts.json_path = next();
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      opts.trace_path = next();
+    } else if (!std::strcmp(argv[i], "--trace-sample")) {
+      opts.trace_sample = std::atoi(next());
     } else {
       Usage(argv[0]);
     }
+  }
+  if (opts.trace_sample < 1) {
+    std::fprintf(stderr, "--trace-sample must be >= 1\n");
+    Usage(argv[0]);
   }
   if (opts.overload != "block" && opts.overload != "reject" &&
       opts.overload != "shed") {
@@ -376,6 +400,16 @@ int main(int argc, char** argv) {
     serve_options.tenant_quotas.default_quota = QuotaFromSpec(opts.quota);
   }
   if (opts.slack_s > 0.0) serve_options.default_slack_s = opts.slack_s;
+
+  // One tracer for the whole process: every shard runtime registers its
+  // lanes in it, so the post-run dump is a single merged timeline.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!opts.trace_path.empty()) {
+    obs::Tracer::Options trace_options;
+    trace_options.sample_every = opts.trace_sample;
+    tracer = std::make_unique<obs::Tracer>(trace_options);
+    serve_options.tracer = tracer.get();
+  }
 
   std::unique_ptr<route::Placement> placement;
   std::unique_ptr<serve::ServerRuntime> runtime;
@@ -594,6 +628,22 @@ int main(int argc, char** argv) {
     std::printf("metrics snapshot written to %s\n", opts.json_path.c_str());
   } else {
     std::printf("%s\n", snapshot.c_str());
+  }
+  if (tracer != nullptr) {
+    std::ofstream trace_out(opts.trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot write %s\n", opts.trace_path.c_str());
+      return 1;
+    }
+    const std::vector<obs::TraceEvent> events = tracer->Collect();
+    if (router != nullptr) {
+      router->DumpTrace(trace_out);
+    } else {
+      obs::ChromeTraceSink().Write(events, trace_out);
+    }
+    std::printf("trace written to %s (%zu events, %zu dropped)\n",
+                opts.trace_path.c_str(), events.size(),
+                tracer->TotalDropped());
   }
   if (router != nullptr) {
     router->Shutdown();

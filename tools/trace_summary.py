@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate and summarize an ams_serve Chrome-trace export.
+
+Usage:
+    trace_summary.py TRACE.json [--metrics METRICS.json] [--tolerance R]
+
+Reads the Chrome trace-event JSON written by `ams_serve --trace` (or
+`route::ShardRouter::DumpTrace` / `obs::ChromeTraceSink`), checks that it is
+structurally well-formed, and prints a per-phase latency table: count and
+p50/p95/p99/mean/max over the span durations of each duration phase
+(queue_wait, exec, tick, forward), plus counts for the instant phases
+(enqueue, quota_reject, placement, migrate_out, migrate_in).
+
+Validation failures (missing keys, unknown `ph` types, negative durations,
+unbalanced migrate_out/migrate_in) exit non-zero, so CI can gate on the
+exporter staying Perfetto-loadable.
+
+With `--metrics`, cross-checks the trace against the MetricsJson snapshot of
+the same run: queue_wait percentiles recomputed exactly from the trace must
+agree with the `latency.queue_delay` histogram percentiles within one
+histogram bucket (sqrt(2)-spaced buckets with in-bucket interpolation →
+default tolerance ratio 1.5, plus a small absolute floor for
+microsecond-scale values). Only meaningful when the trace was recorded with
+`--trace-sample 1` — a sampled trace holds a subset of the requests the
+histogram saw.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Phases emitted with a duration ("ph": "X") vs. as instants ("ph": "i").
+SPAN_PHASES = ("queue_wait", "exec", "tick", "forward")
+INSTANT_PHASES = ("enqueue", "quota_reject", "placement", "migrate_out",
+                  "migrate_in")
+KNOWN_PHASES = set(SPAN_PHASES) | set(INSTANT_PHASES)
+
+
+class TraceError(Exception):
+    """A structural problem that makes the trace untrustworthy."""
+
+
+def load_events(path):
+    """Returns the event list from a Chrome trace file (object or array form)."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    if isinstance(doc, dict):
+        if "traceEvents" not in doc:
+            raise TraceError("top-level object has no 'traceEvents' key")
+        events = doc["traceEvents"]
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        raise TraceError("trace is neither an object nor an array")
+    if not isinstance(events, list):
+        raise TraceError("'traceEvents' is not a list")
+    return events
+
+
+def validate(events):
+    """Checks structural well-formedness; raises TraceError on violations."""
+    counts = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise TraceError(f"event {i} is not an object")
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                raise TraceError(f"event {i} missing '{key}'")
+        ph = ev["ph"]
+        if ph == "M":
+            continue  # process_name / thread_name metadata
+        if ph not in ("X", "i"):
+            raise TraceError(f"event {i} has unknown ph {ph!r}")
+        name = ev["name"]
+        if name not in KNOWN_PHASES:
+            raise TraceError(f"event {i} has unknown phase {name!r}")
+        for key in ("ts", "tid"):
+            if key not in ev:
+                raise TraceError(f"event {i} ({name}) missing '{key}'")
+        if ph == "X":
+            if name not in SPAN_PHASES:
+                raise TraceError(f"event {i}: instant phase {name!r} has ph X")
+            if ev.get("dur", -1.0) < 0.0:
+                raise TraceError(f"event {i} ({name}) has negative/missing dur")
+        else:
+            if name not in INSTANT_PHASES:
+                raise TraceError(f"event {i}: span phase {name!r} has ph i")
+            if ev.get("s") != "t":
+                raise TraceError(f"event {i} ({name}) instant missing s=t scope")
+        counts[name] = counts.get(name, 0) + 1
+    # Span conservation at the trace level: every migration departure must
+    # land somewhere (the router records the bounce-back as a migrate_in on
+    # the source shard, so equality holds even when requeue fails).
+    if counts.get("migrate_out", 0) != counts.get("migrate_in", 0):
+        raise TraceError(
+            "unbalanced migration: {} migrate_out vs {} migrate_in".format(
+                counts.get("migrate_out", 0), counts.get("migrate_in", 0)))
+    return counts
+
+
+def percentile(sorted_values, p):
+    """Nearest-rank percentile over an ascending list; 0.0 when empty."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, min(len(sorted_values),
+                      math.ceil(p / 100.0 * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+def durations_by_phase(events):
+    """Maps span-phase name -> sorted list of durations in seconds."""
+    durs = {name: [] for name in SPAN_PHASES}
+    for ev in events:
+        if ev.get("ph") == "X" and ev["name"] in durs:
+            durs[ev["name"]].append(ev["dur"] * 1e-6)  # trace dur is in us
+    for values in durs.values():
+        values.sort()
+    return durs
+
+
+def summarize(events, out=sys.stdout):
+    """Prints the per-phase latency table; returns the duration map."""
+    durs = durations_by_phase(events)
+    counts = {}
+    for ev in events:
+        if ev.get("ph") in ("X", "i"):
+            counts[ev["name"]] = counts.get(ev["name"], 0) + 1
+
+    header = f"{'phase':<14}{'count':>8}{'p50 ms':>12}{'p95 ms':>12}" \
+             f"{'p99 ms':>12}{'mean ms':>12}{'max ms':>12}"
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for name in SPAN_PHASES:
+        values = durs[name]
+        if not values:
+            continue
+        mean = sum(values) / len(values)
+        print(f"{name:<14}{len(values):>8}"
+              f"{percentile(values, 50) * 1e3:>12.3f}"
+              f"{percentile(values, 95) * 1e3:>12.3f}"
+              f"{percentile(values, 99) * 1e3:>12.3f}"
+              f"{mean * 1e3:>12.3f}"
+              f"{values[-1] * 1e3:>12.3f}", file=out)
+    for name in INSTANT_PHASES:
+        if counts.get(name):
+            print(f"{name:<14}{counts[name]:>8}{'(instant)':>12}", file=out)
+    return durs
+
+
+def check_metrics(durs, metrics_path, tolerance, out=sys.stdout):
+    """Cross-checks trace queue_wait percentiles against MetricsJson.
+
+    Returns a list of mismatch strings (empty = pass). `tolerance` is the
+    allowed ratio between the exact trace percentile and the bucketed
+    histogram percentile; values under 50 us on both sides always pass (one
+    bucket down there is wider than anything we care to gate on).
+    """
+    with open(metrics_path) as handle:
+        doc = json.load(handle)
+    # Router snapshots nest the cluster view under "aggregate".
+    agg = doc.get("aggregate", doc)
+    hist = agg.get("latency", {}).get("queue_delay")
+    if hist is None:
+        return ["metrics JSON has no latency.queue_delay histogram"]
+    waits = durs["queue_wait"]
+    mismatches = []
+    if hist.get("count") != len(waits):
+        mismatches.append(
+            "queue_wait count mismatch: trace has {} spans, histogram "
+            "recorded {}".format(len(waits), hist.get("count")))
+    for p, key in ((50, "p50_s"), (95, "p95_s"), (99, "p99_s")):
+        trace_p = percentile(waits, p)
+        hist_p = hist.get(key, 0.0)
+        if trace_p < 50e-6 and hist_p < 50e-6:
+            continue
+        lo, hi = sorted((trace_p, hist_p))
+        if lo <= 0.0 or hi / lo > tolerance:
+            mismatches.append(
+                f"queue delay p{p}: trace {trace_p * 1e3:.3f} ms vs "
+                f"histogram {hist_p * 1e3:.3f} ms (tolerance x{tolerance})")
+        else:
+            print(f"queue delay p{p}: trace {trace_p * 1e3:.3f} ms ~ "
+                  f"histogram {hist_p * 1e3:.3f} ms  ok", file=out)
+    return mismatches
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Validate and summarize an ams_serve Chrome trace.")
+    parser.add_argument("trace", help="Chrome trace JSON from ams_serve --trace")
+    parser.add_argument("--metrics", default=None,
+                        help="MetricsJson snapshot from the same run "
+                             "(cross-checks queue-delay percentiles)")
+    parser.add_argument("--tolerance", type=float, default=1.5,
+                        help="allowed trace/histogram percentile ratio "
+                             "(default 1.5 = one sqrt(2) bucket plus slack)")
+    args = parser.parse_args(argv)
+
+    try:
+        events = load_events(args.trace)
+        counts = validate(events)
+    except (TraceError, json.JSONDecodeError, OSError) as err:
+        print(f"trace invalid: {err}", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: {sum(counts.values())} events, "
+          f"{len(counts)} phases — structurally valid")
+    durs = summarize(events)
+
+    if args.metrics:
+        try:
+            mismatches = check_metrics(durs, args.metrics, args.tolerance)
+        except (json.JSONDecodeError, OSError) as err:
+            print(f"metrics cross-check failed: {err}", file=sys.stderr)
+            return 1
+        if mismatches:
+            for line in mismatches:
+                print(f"metrics cross-check FAILED: {line}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

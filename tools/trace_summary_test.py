@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Unit tests for trace_summary.py against the committed fixture.
+
+Run from anywhere: the fixture paths resolve relative to this file. Wired
+into CTest as `trace_summary_py` (skipped when python3 is unavailable).
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import trace_summary  # noqa: E402
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TRACE = os.path.join(REPO, "tests", "fixtures", "trace_small.json")
+METRICS = os.path.join(REPO, "tests", "fixtures", "metrics_small.json")
+
+
+def write_temp(doc):
+    handle = tempfile.NamedTemporaryFile(
+        mode="w", suffix=".json", delete=False)
+    json.dump(doc, handle)
+    handle.close()
+    return handle.name
+
+
+class FixtureTest(unittest.TestCase):
+    """The committed ams_serve --trace fixture is valid and self-consistent."""
+
+    def test_fixture_validates(self):
+        events = trace_summary.load_events(TRACE)
+        counts = trace_summary.validate(events)
+        # One lifecycle per request: every sampled admission produced exactly
+        # one queue_wait and one exec span.
+        self.assertEqual(counts["enqueue"], counts["queue_wait"])
+        self.assertEqual(counts["enqueue"], counts["exec"])
+        self.assertGreater(counts.get("tick", 0), 0)
+        self.assertGreater(counts.get("forward", 0), 0)
+
+    def test_main_with_metrics_cross_check(self):
+        self.assertEqual(
+            trace_summary.main([TRACE, "--metrics", METRICS]), 0)
+
+    def test_summarize_reports_every_recorded_phase(self):
+        events = trace_summary.load_events(TRACE)
+        out = io.StringIO()
+        trace_summary.summarize(events, out=out)
+        text = out.getvalue()
+        for name in ("queue_wait", "exec", "tick", "forward", "enqueue",
+                     "placement"):
+            self.assertIn(name, text)
+
+    def test_queue_wait_matches_histogram_percentiles(self):
+        events = trace_summary.load_events(TRACE)
+        durs = trace_summary.durations_by_phase(events)
+        mismatches = trace_summary.check_metrics(
+            durs, METRICS, tolerance=1.5, out=io.StringIO())
+        self.assertEqual(mismatches, [])
+
+
+class ValidationTest(unittest.TestCase):
+    """Malformed traces are rejected, not summarized."""
+
+    def run_main(self, doc):
+        path = write_temp(doc)
+        try:
+            return trace_summary.main([path])
+        finally:
+            os.unlink(path)
+
+    def test_missing_trace_events_key(self):
+        self.assertEqual(self.run_main({"events": []}), 1)
+
+    def test_unknown_ph(self):
+        self.assertEqual(self.run_main({"traceEvents": [
+            {"name": "tick", "ph": "B", "ts": 0, "pid": 0, "tid": 0}]}), 1)
+
+    def test_unknown_phase_name(self):
+        self.assertEqual(self.run_main({"traceEvents": [
+            {"name": "mystery", "ph": "i", "s": "t", "ts": 0, "pid": 0,
+             "tid": 0}]}), 1)
+
+    def test_negative_duration(self):
+        self.assertEqual(self.run_main({"traceEvents": [
+            {"name": "tick", "ph": "X", "ts": 0, "dur": -1, "pid": 0,
+             "tid": 0}]}), 1)
+
+    def test_unbalanced_migration(self):
+        self.assertEqual(self.run_main({"traceEvents": [
+            {"name": "migrate_out", "ph": "i", "s": "t", "ts": 0, "pid": 0,
+             "tid": 65535, "args": {}}]}), 1)
+
+    def test_empty_trace_is_valid(self):
+        self.assertEqual(self.run_main({"traceEvents": []}), 0)
+
+    def test_metadata_events_are_ignored(self):
+        self.assertEqual(self.run_main({"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 0,
+             "args": {"name": "shard 0"}}]}), 0)
+
+
+class PercentileTest(unittest.TestCase):
+    def test_empty_is_zero(self):
+        self.assertEqual(trace_summary.percentile([], 50), 0.0)
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        self.assertEqual(trace_summary.percentile(values, 50), 5.0)
+        self.assertEqual(trace_summary.percentile(values, 99), 10.0)
+        self.assertEqual(trace_summary.percentile(values, 0), 1.0)
+
+
+if __name__ == "__main__":
+    unittest.main()
