@@ -56,6 +56,37 @@ void DecisionPlane::ReleaseSlot(Slot* slot) {
   free_slots_.push_back(slot);
 }
 
+size_t DecisionPlane::GatherStale(const std::vector<SlotView>& views,
+                                  std::vector<PendingRequest>* out) {
+  AMS_CHECK(out != nullptr);
+  size_t appended = 0;
+  for (const SlotView& view : views) {
+    AMS_CHECK(view.first != nullptr && view.second != nullptr);
+    if (view.first->Fresh(*view.second)) continue;
+    if (ServeFromMemo(view.first, *view.second)) continue;
+    out->push_back(PendingRequest{view.first, view.second});
+    ++appended;
+  }
+  return appended;
+}
+
+void DecisionPlane::CommitRow(const PendingRequest& request, const double* row,
+                              size_t stride) {
+  AMS_CHECK(request.slot != nullptr && request.state != nullptr &&
+            row != nullptr);
+  AMS_CHECK(stride == static_cast<size_t>(predictor_->num_actions()),
+            "committed row stride does not match this plane's predictor");
+  request.slot->q_.assign(row, row + stride);
+  request.slot->labels_at_ = request.state->num_labels_set();
+  MemoizeRow(request.state->SetIndices(), row, stride);
+}
+
+void DecisionPlane::NoteExternalRound(long refreshed_rows) {
+  if (refreshed_rows <= 0) return;
+  ++batched_predictions_;
+  batched_rows_ += refreshed_rows;
+}
+
 void DecisionPlane::PrefetchArena(const std::vector<SlotView>& views) {
   // Parallel arrays instead of a SlotView array: std::pair is not
   // trivially copyable, which Arena::AllocArray requires.

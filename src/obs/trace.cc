@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
+#include <type_traits>
 
 #include "util/check.h"
 
@@ -13,6 +15,7 @@ namespace {
 constexpr std::array<const char*, kNumPhases> kPhaseNames = {
     "enqueue",     "quota_reject", "placement", "queue_wait", "exec",
     "tick",        "forward",      "migrate_out", "migrate_in",
+    "coalesced_forward",
 };
 
 /// Per-phase names for args a0..a3 in exported JSON. nullptr = arg unused.
@@ -26,6 +29,7 @@ constexpr std::array<std::array<const char*, 4>, kNumPhases> kPhaseArgNames = {{
     {"rows", "memo_hits", "simd_tier", "int8"},     // forward
     {"from_shard", "to_shard", nullptr, nullptr},   // migrate_out
     {"from_shard", "to_shard", nullptr, nullptr},   // migrate_in
+    {"members", "gathered_rows", "rows", "shards"}, // coalesced_forward
 }};
 
 std::size_t RoundUpPow2(std::size_t n) {
@@ -42,37 +46,62 @@ const char* PhaseName(Phase phase) {
   return kPhaseNames[i];
 }
 
+static_assert(std::is_trivially_copyable<TraceEvent>::value,
+              "TraceEvent is memcpy'd through the ring's payload words");
+
 TraceBuffer::TraceBuffer(std::size_t capacity, std::uint16_t shard,
                          std::uint16_t lane)
-    : slots_(RoundUpPow2(capacity)),
-      mask_(slots_.size() - 1),
+    : slots_(new Slot[RoundUpPow2(capacity)]),
+      capacity_(RoundUpPow2(capacity)),
+      mask_(capacity_ - 1),
       shard_(shard),
       lane_(lane) {}
 
 void TraceBuffer::Record(TraceEvent event) {
   event.shard = shard_;
   event.lane = lane_;
+  std::uint64_t words[kPayloadWords] = {0};
+  std::memcpy(words, &event, sizeof(event));
   const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
-  slots_[static_cast<std::size_t>(ticket) & mask_] = event;
+  Slot& slot = slots_[static_cast<std::size_t>(ticket) & mask_];
+  // Seqlock writer: mark the slot in-progress before touching the payload
+  // (the release fence keeps the odd mark visible to any reader that sees a
+  // payload word from this write), then publish with a release store so a
+  // reader that accepts the even sequence also sees the full payload.
+  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < kPayloadWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
 }
 
 std::uint64_t TraceBuffer::dropped() const {
   const std::uint64_t n = recorded();
-  return n > slots_.size() ? n - slots_.size() : 0;
+  return n > capacity_ ? n - capacity_ : 0;
 }
 
 std::vector<TraceEvent> TraceBuffer::Snapshot() const {
   const std::uint64_t n = next_.load(std::memory_order_acquire);
+  const std::uint64_t first = n > capacity_ ? n - capacity_ : 0;
   std::vector<TraceEvent> out;
-  if (n <= slots_.size()) {
-    out.assign(slots_.begin(),
-               slots_.begin() + static_cast<std::ptrdiff_t>(n));
-    return out;
-  }
-  // Wrapped: oldest retained event sits at the next write position.
-  out.reserve(slots_.size());
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    out.push_back(slots_[static_cast<std::size_t>(n + i) & mask_]);
+  out.reserve(static_cast<std::size_t>(n - first));
+  for (std::uint64_t ticket = first; ticket < n; ++ticket) {
+    const Slot& slot = slots_[static_cast<std::size_t>(ticket) & mask_];
+    const std::uint64_t want = 2 * ticket + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    std::uint64_t words[kPayloadWords];
+    for (std::size_t i = 0; i < kPayloadWords; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    // Re-validate after the copy (the acquire fence orders the payload loads
+    // before the re-read): any concurrent writer that touched a copied word
+    // has already made its odd mark visible, so a torn copy is rejected.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) continue;
+    TraceEvent event;
+    std::memcpy(&event, words, sizeof(event));
+    out.push_back(event);
   }
   return out;
 }
@@ -206,9 +235,11 @@ void ChromeTraceSink::Write(const std::vector<TraceEvent>& events,
     for (const auto& [lane, unused] : lanes) {
       (void)unused;
       out << ",\n";
-      const std::string lane_name = lane == kAdmissionLane
-                                        ? "admission"
-                                        : "worker " + std::to_string(lane);
+      const std::string lane_name =
+          lane == kAdmissionLane
+              ? "admission"
+              : lane == kCoalescerLane ? "coalescer"
+                                       : "worker " + std::to_string(lane);
       WriteNameMetadata("thread_name", shard, lane, lane_name,
                         /*is_process=*/false, out);
     }

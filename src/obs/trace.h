@@ -30,6 +30,9 @@ namespace ams::obs {
 ///                                              a2=simd_tier a3=int8
 ///   kMigrateOut  instant  StealBatch handoff   a0=from_shard a1=to_shard
 ///   kMigrateIn   instant  Requeue arrival      a0=from_shard a1=to_shard
+///   kCoalescedForward span one cluster-coalesced forward round
+///                                              a0=members a1=gathered_rows
+///                                              a2=rows a3=shards
 enum class Phase : std::uint8_t {
   kEnqueue = 0,
   kQuotaReject,
@@ -40,8 +43,9 @@ enum class Phase : std::uint8_t {
   kForward,
   kMigrateOut,
   kMigrateIn,
+  kCoalescedForward,
 };
-inline constexpr int kNumPhases = 9;
+inline constexpr int kNumPhases = 10;
 
 /// Stable lowercase name used in trace JSON and summaries.
 const char* PhaseName(Phase phase);
@@ -69,16 +73,25 @@ struct TraceEvent {
 /// this lane "admission" instead of "worker 65535".
 inline constexpr std::uint16_t kAdmissionLane = 0xFFFF;
 
+/// The lane coalesced-forward round spans are recorded under (one span per
+/// cluster round, stamped by whichever worker led the round). Exported
+/// traces name this lane "coalescer".
+inline constexpr std::uint16_t kCoalescerLane = 0xFFFE;
+
 /// Bounded drop-oldest ring of TraceEvents. All slots are allocated at
 /// construction; Record() claims a slot with one relaxed fetch_add and
 /// overwrites whatever was there, so the hot path never allocates, never
 /// locks, and never blocks on a slow reader — old events simply fall off.
 ///
 /// Concurrency contract: multiple producers may Record() concurrently
-/// (distinct fetch_add tickets write distinct slots). A producer lapping the
-/// ring while Snapshot() copies it can tear individual slots; snapshots are
-/// an operational debugging view, not a transactional log. Deterministic
-/// tests drive a single thread and see exact contents.
+/// (distinct fetch_add tickets write distinct slots). Each slot carries a
+/// publish sequence (seqlock): a writer marks the slot in-progress, stores
+/// the payload as relaxed atomic words, then publishes with a release store
+/// of the slot's ticket. Snapshot() validates the sequence before and after
+/// copying and silently drops slots whose writer is still in flight (or that
+/// were lapped mid-copy), so a concurrent wrap can lose a few events from
+/// the snapshot but can never export a torn one. Deterministic tests drive
+/// a single thread and see exact contents.
 class TraceBuffer {
  public:
   /// `capacity` is rounded up to a power of two (minimum 8).
@@ -92,7 +105,7 @@ class TraceBuffer {
 
   std::uint16_t shard() const { return shard_; }
   std::uint16_t lane() const { return lane_; }
-  std::size_t capacity() const { return slots_.size(); }
+  std::size_t capacity() const { return capacity_; }
   /// Total events ever recorded (including since-overwritten ones).
   std::uint64_t recorded() const {
     return next_.load(std::memory_order_relaxed);
@@ -101,11 +114,25 @@ class TraceBuffer {
   std::uint64_t dropped() const;
 
   /// Copies the retained events out, oldest first. Safe against concurrent
-  /// Record() with the tearing caveat above.
+  /// Record(); in-flight or lapped slots are dropped, never emitted torn.
   std::vector<TraceEvent> Snapshot() const;
 
  private:
-  std::vector<TraceEvent> slots_;
+  static constexpr std::size_t kPayloadWords =
+      (sizeof(TraceEvent) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
+
+  /// One ring slot. `seq` holds 2*ticket+1 while the writer owns the slot
+  /// and 2*ticket+2 once published, so a reader expecting ticket T accepts
+  /// the payload only when it observes exactly 2*T+2 on both sides of the
+  /// copy. The payload lives in relaxed atomic words (not a TraceEvent) so
+  /// concurrent overwrite is well-defined and TSan-clean by construction.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> words[kPayloadWords] = {};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t capacity_;
   std::size_t mask_;
   const std::uint16_t shard_;
   const std::uint16_t lane_;

@@ -1,0 +1,236 @@
+#include "serve/forward_coalescer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace ams::serve {
+
+ForwardCoalescer::ForwardCoalescer() : ForwardCoalescer(Options()) {}
+
+ForwardCoalescer::ForwardCoalescer(Options options)
+    : tracer_(options.tracer),
+      clock_(options.clock != nullptr ? options.clock
+                                      : &util::Clock::Monotonic()) {}
+
+ForwardCoalescer::Handle::Handle(ForwardCoalescer* owner, Metrics* metrics,
+                                 int shard_id)
+    : owner_(owner), metrics_(metrics), shard_id_(shard_id) {}
+
+ForwardCoalescer::Handle* ForwardCoalescer::NewHandle(Metrics* metrics,
+                                                      int shard_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handles_.emplace_back(new Handle(this, metrics, shard_id));
+  Handle* handle = handles_.back().get();
+  if (tracer_ != nullptr) {
+    handle->span_lane_ = tracer_->EnsureLane(
+        static_cast<std::uint16_t>(shard_id), obs::kCoalescerLane);
+  }
+  return handle;
+}
+
+void ForwardCoalescer::Handle::Activate() {
+  std::lock_guard<std::mutex> lock(owner_->mu_);
+  if (active_) return;
+  active_ = true;
+  ++owner_->active_;
+}
+
+void ForwardCoalescer::Handle::Deactivate() {
+  std::lock_guard<std::mutex> lock(owner_->mu_);
+  if (!active_) return;
+  AMS_CHECK(!arrived_, "a handle must not deactivate mid-round");
+  active_ = false;
+  --owner_->active_;
+  // This worker may have been the arrival the rest of the membership was
+  // waiting on; complete their round on the way out.
+  if (owner_->active_ > 0 && owner_->arrived_ == owner_->active_) {
+    owner_->RunRoundLocked(this);
+  }
+}
+
+core::ForwardRoundExecutor::RoundStats ForwardCoalescer::Handle::ExecuteRound(
+    core::DecisionPlane* plane,
+    const std::vector<core::DecisionPlane::SlotView>& views) {
+  AMS_CHECK(plane != nullptr);
+  core::ForwardRoundExecutor::RoundStats my;
+  // Gather outside the lock: pending_ belongs to this worker until it
+  // arrives (the leader only reads arrived members' requests).
+  pending_.clear();
+  const long memo_before = plane->memo_hits();
+  plane->GatherStale(views, &pending_);
+  my.gathered = static_cast<int>(pending_.size());
+  my.memo_hits = static_cast<int>(plane->memo_hits() - memo_before);
+
+  std::unique_lock<std::mutex> lock(owner_->mu_);
+  AMS_CHECK(active_, "ExecuteRound on an inactive coalescer handle");
+  AMS_CHECK(!arrived_, "a handle arrived twice in one round");
+  plane_ = plane;
+  stats_ = core::ForwardRoundExecutor::RoundStats();
+  arrived_ = true;
+  ++owner_->arrived_;
+  if (owner_->arrived_ == owner_->active_) {
+    owner_->RunRoundLocked(this);
+  } else {
+    const std::uint64_t gen = owner_->generation_;
+    owner_->cv_.wait(lock, [&] { return owner_->generation_ != gen; });
+  }
+  my.cluster_rows = stats_.cluster_rows;
+  return my;
+}
+
+void ForwardCoalescer::RunRoundLocked(Handle* leader) {
+  members_.clear();
+  std::size_t total = 0;
+  for (const std::unique_ptr<Handle>& handle : handles_) {
+    if (!handle->arrived_) continue;
+    members_.push_back(handle.get());
+    total += handle->pending_.size();
+  }
+
+  if (total > 0) {
+    // Flatten every member's requests into arena-backed parallel arrays,
+    // then dedup identical states across ALL participants — the cross-item
+    // sharing DecisionPlane::Prefetch exploits within one stepper, widened
+    // to the whole cluster (every item starts all-zero, so cold bursts
+    // across shards collapse especially hard).
+    arena_.Reset();
+    core::DecisionPlane::PendingRequest* requests =
+        arena_.AllocArray<core::DecisionPlane::PendingRequest>(total);
+    core::DecisionPlane** request_plane =
+        arena_.AllocArray<core::DecisionPlane*>(total);
+    std::size_t k = 0;
+    core::ModelValuePredictor* predictor = nullptr;
+    for (Handle* member : members_) {
+      for (const core::DecisionPlane::PendingRequest& request :
+           member->pending_) {
+        requests[k] = request;
+        request_plane[k] = member->plane_;
+        ++k;
+      }
+      if (predictor == nullptr && !member->pending_.empty()) {
+        predictor = member->plane_->predictor();
+      }
+    }
+    const std::size_t stride =
+        static_cast<std::size_t>(predictor->num_actions());
+    for (Handle* member : members_) {
+      if (member->pending_.empty()) continue;
+      AMS_CHECK(static_cast<std::size_t>(
+                    member->plane_->predictor()->num_actions()) == stride,
+                "coalesced planes must serve clones of the same predictor");
+    }
+
+    const std::vector<float>** features =
+        arena_.AllocArray<const std::vector<float>*>(total);
+    const std::vector<int>** indices =
+        arena_.AllocArray<const std::vector<int>*>(total);
+    std::size_t* row_of = arena_.AllocArray<std::size_t>(total);
+    std::size_t n_rows = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+      const std::vector<int>& idx = requests[i].state->SetIndices();
+      std::size_t row = n_rows;
+      for (std::size_t u = 0; u < n_rows; ++u) {
+        if (indices[u]->size() == idx.size() &&
+            std::equal(idx.begin(), idx.end(), indices[u]->begin())) {
+          row = u;
+          break;
+        }
+      }
+      if (row == n_rows) {
+        features[n_rows] = &requests[i].state->Features();
+        indices[n_rows] = &idx;
+        ++n_rows;
+      }
+      row_of[i] = row;
+    }
+
+    const bool traced = tracer_ != nullptr && tracer_->enabled() &&
+                        leader->span_lane_ != nullptr;
+    const double start_s = traced ? clock_->NowSeconds() : 0.0;
+
+    // ONE forward for the whole cluster round. Any member's predictor works
+    // — they are frozen clones — and every owner is parked at the
+    // rendezvous, so borrowing the first requester's is race-free.
+    double* flat_q = arena_.AllocArray<double>(n_rows * stride);
+    predictor->PredictValuesBatchTo(features, indices, n_rows, flat_q);
+
+    for (std::size_t i = 0; i < total; ++i) {
+      request_plane[i]->CommitRow(requests[i], flat_q + row_of[i] * stride,
+                                  stride);
+    }
+    int shards = 0;
+    for (std::size_t m = 0; m < members_.size(); ++m) {
+      Handle* member = members_[m];
+      member->plane_->NoteExternalRound(
+          static_cast<long>(member->pending_.size()));
+      member->stats_.cluster_rows = static_cast<int>(n_rows);
+      bool seen = false;
+      for (std::size_t p = 0; p < m; ++p) {
+        if (members_[p]->shard_id_ == member->shard_id_) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) ++shards;
+    }
+
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+    gathered_rows_.fetch_add(static_cast<long>(total),
+                             std::memory_order_relaxed);
+    unique_rows_.fetch_add(static_cast<long>(n_rows),
+                           std::memory_order_relaxed);
+    long prev = max_batch_rows_.load(std::memory_order_relaxed);
+    while (prev < static_cast<long>(n_rows) &&
+           !max_batch_rows_.compare_exchange_weak(
+               prev, static_cast<long>(n_rows), std::memory_order_relaxed)) {
+    }
+
+    Metrics* metrics = leader->metrics_;
+    if (metrics == nullptr) {
+      for (Handle* member : members_) {
+        if (member->metrics_ != nullptr) {
+          metrics = member->metrics_;
+          break;
+        }
+      }
+    }
+    if (metrics != nullptr) {
+      metrics->RecordCoalescedRound(static_cast<int>(total),
+                                    static_cast<int>(n_rows));
+    }
+
+    if (traced) {
+      obs::TraceEvent event;
+      event.ts_s = start_s;
+      event.dur_s = clock_->NowSeconds() - start_s;
+      event.phase = static_cast<std::uint8_t>(obs::Phase::kCoalescedForward);
+      event.a0 = static_cast<std::int32_t>(members_.size());
+      event.a1 = static_cast<std::int32_t>(total);
+      event.a2 = static_cast<std::int32_t>(n_rows);
+      event.a3 = shards;
+      leader->span_lane_->Record(event);
+    }
+  } else {
+    for (Handle* member : members_) member->stats_.cluster_rows = 0;
+  }
+
+  for (Handle* member : members_) {
+    member->arrived_ = false;
+    member->plane_ = nullptr;
+  }
+  arrived_ = 0;
+  ++generation_;
+  cv_.notify_all();
+}
+
+bool CoalesceForwardsFromEnv() {
+  const char* env = std::getenv("AMS_COALESCE");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+         std::strcmp(env, "true") == 0;
+}
+
+}  // namespace ams::serve

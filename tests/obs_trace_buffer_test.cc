@@ -1,0 +1,160 @@
+// TraceBuffer seqlock regression: Snapshot() concurrent with producers that
+// wrap the ring repeatedly must never emit a torn event — one whose words
+// mix two different Record() calls. The old implementation copied raw
+// TraceEvent slots with no publish protocol, so a reader could interleave
+// with a lapping writer and stitch half of event A onto half of event B;
+// the per-slot sequence now makes every such slot detectably in-flight and
+// the snapshot drops it instead.
+//
+// Torn events are made self-evident: every producer writes events whose
+// args are pure functions of the id (a0 = id low bits, a1 = ~a0, a2 = a0 ^
+// kTag), so ANY cross-event mixture breaks the invariant and the assertion
+// catches it. Run under TSan (CI wires this test into the tsan job) the
+// seqlock is also proven data-race-free, not just torn-read-free: every
+// payload access is a relaxed atomic word, so TSan sees no racing plain
+// accesses at all.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ams::obs {
+namespace {
+
+constexpr std::int32_t kTag = 0x5A5A5A5A;
+
+/// Event whose payload is a pure function of `id` — any torn mixture of
+/// two distinct ids violates at least one of the relations checked below.
+TraceEvent SelfConsistentEvent(std::uint64_t id) {
+  TraceEvent event;
+  event.id = id;
+  event.ts_s = static_cast<double>(id);
+  event.dur_s = static_cast<double>(id) * 0.5;
+  event.phase = static_cast<std::uint8_t>(Phase::kTick);
+  event.a0 = static_cast<std::int32_t>(id & 0x7FFFFFFF);
+  event.a1 = ~event.a0;
+  event.a2 = event.a0 ^ kTag;
+  event.a3 = event.a0 + 7;
+  return event;
+}
+
+void ExpectSelfConsistent(const TraceEvent& event) {
+  const std::int32_t a0 = static_cast<std::int32_t>(event.id & 0x7FFFFFFF);
+  ASSERT_EQ(event.a0, a0) << "id/a0 mix — torn event escaped the snapshot";
+  ASSERT_EQ(event.a1, ~a0) << "a0/a1 mix — torn event escaped the snapshot";
+  ASSERT_EQ(event.a2, a0 ^ kTag) << "a0/a2 mix — torn event";
+  ASSERT_EQ(event.a3, a0 + 7) << "a0/a3 mix — torn event";
+  ASSERT_EQ(event.ts_s, static_cast<double>(event.id)) << "id/ts mix";
+  ASSERT_EQ(event.dur_s, static_cast<double>(event.id) * 0.5) << "id/dur mix";
+}
+
+TEST(TraceBufferSeqlockTest, SingleThreadSnapshotIsExact) {
+  // The deterministic contract is unchanged: one thread, no concurrency —
+  // Snapshot returns exactly the retained suffix, oldest first.
+  TraceBuffer buffer(/*capacity=*/16, /*shard=*/2, /*lane=*/3);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    buffer.Record(SelfConsistentEvent(i));
+  }
+  EXPECT_EQ(buffer.recorded(), 40u);
+  EXPECT_EQ(buffer.dropped(), 40u - buffer.capacity());
+  const std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), buffer.capacity());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, 40u - buffer.capacity() + i);
+    EXPECT_EQ(events[i].shard, 2u);
+    EXPECT_EQ(events[i].lane, 3u);
+    ExpectSelfConsistent(events[i]);
+  }
+}
+
+TEST(TraceBufferSeqlockTest, SnapshotUnderWrappingProducersNeverTears) {
+  // Producers that wrap the ring dozens of times while the main thread
+  // snapshots in a loop — the regime where the unprotected copy used to
+  // tear. The ring is big enough that a snapshot pass overlaps live
+  // writers without being fully lapped (a fully lapped slot is dropped,
+  // which is correct but would make the test vacuous); every event that
+  // makes it out must be internally consistent.
+  constexpr std::size_t kCapacity = 1024;
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20000;
+  TraceBuffer buffer(kCapacity, /*shard=*/0, /*lane=*/1);
+
+  std::atomic<bool> start{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&buffer, &start, p] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      // Disjoint id ranges per producer: any cross-producer mixture is
+      // also a cross-id mixture, so the self-consistency check covers it.
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(p + 1) * 10'000'000ULL;
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        buffer.Record(SelfConsistentEvent(base + i));
+        // On a single-core machine an unthrottled producer burns its whole
+        // timeslice before the snapshotting thread ever runs — the burst
+        // would complete inside one scheduler gap and every snapshot would
+        // be vacuously empty. Yielding now and then interleaves the reader
+        // on any core count; on multicore it is a near-noop and the
+        // producers still hammer concurrently.
+        if ((i & 0xFF) == 0xFF) std::this_thread::yield();
+      }
+    });
+  }
+
+  start.store(true, std::memory_order_release);
+  std::uint64_t snapshots = 0;
+  std::uint64_t events_seen = 0;
+  while (buffer.recorded() <
+         static_cast<std::uint64_t>(kProducers) * kPerProducer) {
+    const std::vector<TraceEvent> events = buffer.Snapshot();
+    ASSERT_LE(events.size(), kCapacity);
+    for (const TraceEvent& event : events) {
+      ExpectSelfConsistent(event);
+    }
+    events_seen += events.size();
+    ++snapshots;
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  // Quiescent snapshot: full and exact again.
+  const std::vector<TraceEvent> final_events = buffer.Snapshot();
+  ASSERT_EQ(final_events.size(), kCapacity);
+  for (const TraceEvent& event : final_events) {
+    ExpectSelfConsistent(event);
+  }
+  EXPECT_EQ(buffer.recorded(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  // The race was actually exercised: the reader overlapped live writers
+  // many times (trivially true given the workload sizes — this guards
+  // against the loop degenerating if constants change).
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_GT(events_seen, 0u);
+}
+
+TEST(TraceBufferSeqlockTest, InFlightSlotsAreDroppedNotEmittedStale) {
+  // After heavy wrapping, a fresh snapshot at quiescence contains only the
+  // newest `capacity` events — drop-oldest still holds with the seqlock in
+  // place (the sequence doubles as the lap detector).
+  constexpr std::size_t kCapacity = 32;
+  TraceBuffer buffer(kCapacity, 0, 0);
+  constexpr std::uint64_t kTotal = 10 * kCapacity;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    buffer.Record(SelfConsistentEvent(i));
+  }
+  const std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, kTotal - kCapacity + i);
+  }
+  EXPECT_EQ(buffer.dropped(), kTotal - kCapacity);
+}
+
+}  // namespace
+}  // namespace ams::obs

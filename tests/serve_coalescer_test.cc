@@ -1,0 +1,368 @@
+// Tests of serve::ForwardCoalescer — the cross-worker / cross-shard
+// Q-forward rendezvous. The load-bearing property throughout is parity:
+// coalescing only changes WHO issues the forward, never what lands in any
+// DecisionPlane slot, so every outcome must match the per-stepper path
+// exactly (Q rows are a pure function of the state and every participant
+// serves a frozen clone of the same predictor). Covered here:
+//   - a single-handle round is exactly DecisionPlane::Prefetch (lockstep
+//     stepper pair, outcomes compared field-for-field),
+//   - two steppers holding identical states dedup across the rendezvous
+//     (gathered == 2 x unique, completions still exact),
+//   - a coalescing ServerRuntime and a 4-shard coalescing ShardRouter serve
+//     the same results as their non-coalescing twins under a ManualClock,
+//     while the round accounting (metrics + router JSON) reports the
+//     amortization,
+//   - AMS_COALESCE environment parsing.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/labeling_service.h"
+#include "data/dataset.h"
+#include "data/dataset_profile.h"
+#include "data/oracle.h"
+#include "nn/net.h"
+#include "rl/agent.h"
+#include "route/shard_router.h"
+#include "serve/forward_coalescer.h"
+#include "serve/metrics.h"
+#include "serve/server_runtime.h"
+
+namespace ams::serve {
+namespace {
+
+using Stepper = core::LabelingService::ItemStepper;
+
+std::unique_ptr<rl::Agent> MakeAgent(const zoo::ModelZoo& zoo, uint64_t seed) {
+  nn::MlpConfig config;
+  config.input_dim = zoo.labels().total_labels();
+  config.hidden_dims = {32};
+  config.output_dim = zoo.num_models() + 1;
+  return std::make_unique<rl::Agent>(std::make_unique<nn::Mlp>(config, seed),
+                                     nn::NetKind::kMlp);
+}
+
+/// Field-for-field equality of two label outcomes. Exact double comparison
+/// is the point: coalescing promises bitwise-identical Q rows, hence
+/// identical action choices, hence identical schedules.
+void ExpectSameOutcome(const core::LabelOutcome& a, const core::LabelOutcome& b,
+                       int item) {
+  EXPECT_EQ(a.recall, b.recall) << "item " << item;
+  EXPECT_EQ(a.schedule.value, b.schedule.value) << "item " << item;
+  EXPECT_EQ(a.schedule.num_executions, b.schedule.num_executions)
+      << "item " << item;
+  EXPECT_EQ(a.schedule.makespan_s, b.schedule.makespan_s) << "item " << item;
+}
+
+class ForwardCoalescerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // These tests compare coalescing ON against coalescing OFF explicitly;
+    // an ambient AMS_COALESCE=1 (the CI two-pass run) would silently flip
+    // the "off" twins on. Pin it off for the suite, restore after.
+    const char* env = std::getenv("AMS_COALESCE");
+    saved_env_ = env != nullptr ? new std::string(env) : nullptr;
+    unsetenv("AMS_COALESCE");
+    zoo_ = new zoo::ModelZoo(zoo::ModelZoo::CreateDefault());
+    dataset_ = new data::Dataset(data::Dataset::Generate(
+        data::DatasetProfile::MirFlickr25(), zoo_->labels(), 48, 31));
+    oracle_ = new data::Oracle(zoo_, dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete dataset_;
+    delete zoo_;
+    if (saved_env_ != nullptr) {
+      setenv("AMS_COALESCE", saved_env_->c_str(), 1);
+      delete saved_env_;
+      saved_env_ = nullptr;
+    }
+  }
+
+  static core::LabelingService BuildSession(rl::Agent* agent, int workers) {
+    core::ScheduleConstraints constraints;
+    constraints.time_budget_s = 1.0;
+    constraints.memory_budget_mb = 8000.0;
+    return core::LabelingServiceBuilder(zoo_)
+        .WithOracle(oracle_)
+        .WithPredictor(agent)
+        .WithMode(core::ExecutionMode::kParallel)
+        .WithConstraints(constraints)
+        .WithWorkers(workers)
+        .Build();
+  }
+
+  static zoo::ModelZoo* zoo_;
+  static data::Dataset* dataset_;
+  static data::Oracle* oracle_;
+  static std::string* saved_env_;
+};
+
+zoo::ModelZoo* ForwardCoalescerTest::zoo_ = nullptr;
+data::Dataset* ForwardCoalescerTest::dataset_ = nullptr;
+data::Oracle* ForwardCoalescerTest::oracle_ = nullptr;
+std::string* ForwardCoalescerTest::saved_env_ = nullptr;
+
+TEST_F(ForwardCoalescerTest, SingleHandleRoundMatchesPrefetchExactly) {
+  // Two steppers over the same session, same items, ticked in lockstep on
+  // one thread: one forwards through a solo coalescer round (active
+  // membership of 1, so ExecuteRound never blocks), the other through the
+  // plain Prefetch path. Every completion must be identical.
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 7);
+  core::LabelingService session = BuildSession(agent.get(), 2);
+  std::unique_ptr<Stepper> coalesced = session.NewItemStepper(0);
+  std::unique_ptr<Stepper> plain = session.NewItemStepper(1);
+
+  ForwardCoalescer coalescer;
+  Metrics metrics;
+  ForwardCoalescer::Handle* handle = coalescer.NewHandle(&metrics, 0);
+  coalesced->AttachForwardExecutor(handle);
+  handle->Activate();
+
+  constexpr int kItems = 10;
+  std::vector<Stepper::Completion> done_coalesced;
+  std::vector<Stepper::Completion> done_plain;
+  for (int i = 0; i < kItems; ++i) {
+    coalesced->Admit(core::WorkItem::Stored(i), static_cast<uint64_t>(i));
+    plain->Admit(core::WorkItem::Stored(i), static_cast<uint64_t>(i));
+  }
+  constexpr int kTickBound = 10000;
+  for (int t = 0; !coalesced->idle() || !plain->idle(); ++t) {
+    ASSERT_LT(t, kTickBound) << "steppers did not converge";
+    if (!coalesced->idle()) coalesced->Tick(&done_coalesced);
+    if (!plain->idle()) plain->Tick(&done_plain);
+  }
+  handle->Deactivate();
+
+  ASSERT_EQ(done_coalesced.size(), static_cast<size_t>(kItems));
+  ASSERT_EQ(done_plain.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    // Both steppers admit items in the same order, and completion order is
+    // deterministic for identical Q rows.
+    EXPECT_EQ(done_coalesced[static_cast<size_t>(i)].ticket,
+              done_plain[static_cast<size_t>(i)].ticket);
+    ExpectSameOutcome(done_coalesced[static_cast<size_t>(i)].outcome,
+                      done_plain[static_cast<size_t>(i)].outcome, i);
+  }
+  // The solo membership still runs real rounds with real accounting. Even
+  // one participant dedups: distinct resident items sharing a label state
+  // (every item starts all-zero) collapse to one row, exactly as the plain
+  // Prefetch path collapses them.
+  EXPECT_GT(coalescer.rounds(), 0);
+  EXPECT_GE(coalescer.gathered_rows(), coalescer.unique_rows());
+  EXPECT_GT(coalescer.unique_rows(), 0);
+  EXPECT_EQ(metrics.coalesced_rounds.load(), coalescer.rounds());
+}
+
+TEST_F(ForwardCoalescerTest, TwoSteppersDedupIdenticalStatesAcrossRendezvous) {
+  // Two steppers on two threads, each holding the SAME stored item: their
+  // label states advance in lockstep through identical Q rows, so every
+  // non-empty round gathers two identical states and forwards ONE row —
+  // the cross-participant dedup the coalescer exists for.
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 11);
+  core::LabelingService session = BuildSession(agent.get(), 2);
+  std::unique_ptr<Stepper> first = session.NewItemStepper(0);
+  std::unique_ptr<Stepper> second = session.NewItemStepper(1);
+
+  ForwardCoalescer coalescer;
+  ForwardCoalescer::Handle* handle_first = coalescer.NewHandle(nullptr, 0);
+  ForwardCoalescer::Handle* handle_second = coalescer.NewHandle(nullptr, 0);
+  first->AttachForwardExecutor(handle_first);
+  second->AttachForwardExecutor(handle_second);
+
+  // Reference outcome from an untouched third stepper.
+  core::LabelingService reference_session = BuildSession(agent.get(), 1);
+  std::unique_ptr<Stepper> reference = reference_session.NewItemStepper(0);
+  std::vector<Stepper::Completion> reference_done;
+  reference->Admit(core::WorkItem::Stored(3), 3);
+  int reference_ticks = 0;
+  while (!reference->idle()) {
+    reference->Tick(&reference_done);
+    ++reference_ticks;
+  }
+  ASSERT_EQ(reference_done.size(), 1u);
+  ASSERT_GE(reference_ticks, 2) << "item too trivial to exercise rounds";
+
+  // Both threads tick exactly the same number of times (the item completes
+  // on the same tick index on both — identical state machines), so every
+  // rendezvous pairs tick k of one with tick k of the other and neither
+  // can strand the barrier.
+  const int kTicks = reference_ticks + 2;  // a couple of idle (empty) rounds
+  std::vector<Stepper::Completion> done_first;
+  std::vector<Stepper::Completion> done_second;
+  first->Admit(core::WorkItem::Stored(3), 3);
+  second->Admit(core::WorkItem::Stored(3), 3);
+  // Both handles join BEFORE either thread ticks: otherwise the first
+  // thread could run solo rounds until the second activates, skewing which
+  // tick pairs with which and breaking the exact-dedup arithmetic below.
+  handle_first->Activate();
+  handle_second->Activate();
+  const auto drive = [kTicks](Stepper* stepper,
+                              ForwardCoalescer::Handle* handle,
+                              std::vector<Stepper::Completion>* done) {
+    for (int t = 0; t < kTicks; ++t) stepper->Tick(done);
+    handle->Deactivate();
+  };
+  std::thread other(drive, second.get(), handle_second, &done_second);
+  drive(first.get(), handle_first, &done_first);
+  other.join();
+
+  ASSERT_EQ(done_first.size(), 1u);
+  ASSERT_EQ(done_second.size(), 1u);
+  ExpectSameOutcome(done_first[0].outcome, reference_done[0].outcome, 3);
+  ExpectSameOutcome(done_second[0].outcome, reference_done[0].outcome, 3);
+
+  EXPECT_GT(coalescer.rounds(), 0);
+  EXPECT_GT(coalescer.unique_rows(), 0);
+  // Every non-empty round pooled two copies of one state: the dedup must
+  // have halved the forwarded rows exactly.
+  EXPECT_EQ(coalescer.gathered_rows(), 2 * coalescer.unique_rows());
+  EXPECT_GE(coalescer.max_batch_rows(), 1);
+}
+
+TEST_F(ForwardCoalescerTest, CoalescedRuntimeServesIdenticalResults) {
+  // End to end through ServerRuntime: the coalesce_forwards=true twin must
+  // produce exactly the results of the default runtime, while its metrics
+  // registry picks up the round accounting.
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 13);
+  constexpr int kItems = 24;
+
+  const auto serve_all = [&](bool coalesce, Metrics* metrics_out) {
+    core::LabelingService session = BuildSession(agent.get(), 2);
+    ServeOptions options;
+    options.workers = 2;
+    options.coalesce_forwards = coalesce;
+    ServerRuntime runtime(&session, options);
+    std::vector<std::future<ServeResult>> futures;
+    for (int i = 0; i < kItems; ++i) {
+      futures.push_back(runtime.Enqueue(core::WorkItem::Stored(i)));
+    }
+    std::vector<core::LabelOutcome> outcomes;
+    for (std::future<ServeResult>& future : futures) {
+      ServeResult result = future.get();
+      EXPECT_EQ(result.status, ServeStatus::kOk);
+      outcomes.push_back(std::move(result.outcome));
+    }
+    runtime.Drain();
+    if (metrics_out != nullptr) metrics_out->MergeFrom(runtime.metrics());
+    runtime.Shutdown();
+    return outcomes;
+  };
+
+  const std::vector<core::LabelOutcome> plain = serve_all(false, nullptr);
+  Metrics coalesced_metrics;
+  const std::vector<core::LabelOutcome> coalesced =
+      serve_all(true, &coalesced_metrics);
+  ASSERT_EQ(plain.size(), coalesced.size());
+  for (int i = 0; i < kItems; ++i) {
+    ExpectSameOutcome(coalesced[static_cast<size_t>(i)],
+                      plain[static_cast<size_t>(i)], i);
+  }
+  EXPECT_GT(coalesced_metrics.coalesced_rounds.load(), 0);
+  EXPECT_GE(coalesced_metrics.coalesced_gathered_rows.load(),
+            coalesced_metrics.coalesced_rows.load());
+  EXPECT_GT(coalesced_metrics.coalesced_rows.load(), 0);
+  EXPECT_GE(coalesced_metrics.coalesced_rows_max.load(), 1);
+}
+
+TEST_F(ForwardCoalescerTest, FourShardRouterCoalescedParityAndAccounting) {
+  // The cross-shard path: four shard runtimes joined to ONE router-owned
+  // coalescer, under a ManualClock for deterministic stamps. Results must
+  // match the non-coalescing router exactly; the aggregate metrics and the
+  // router JSON must surface the cluster round accounting.
+  std::unique_ptr<rl::Agent> agent = MakeAgent(*zoo_, 17);
+  constexpr int kShards = 4;
+  constexpr int kItems = 32;
+
+  const auto route_all = [&](bool coalesce, std::string* json_out) {
+    ManualClock clock(100.0);
+    std::vector<core::LabelingService> sessions;
+    sessions.reserve(kShards);
+    for (int s = 0; s < kShards; ++s) {
+      sessions.push_back(BuildSession(agent.get(), 1));
+    }
+    std::vector<core::LabelingService*> session_ptrs;
+    for (core::LabelingService& session : sessions) {
+      session_ptrs.push_back(&session);
+    }
+    route::RouterOptions options;
+    options.serve.workers = 1;
+    options.serve.clock = &clock;
+    options.serve.coalesce_forwards = coalesce;
+    route::ShardRouter router(session_ptrs, options);
+    std::vector<std::future<ServeResult>> futures;
+    for (int i = 0; i < kItems; ++i) {
+      futures.push_back(router.Enqueue(core::WorkItem::Stored(i)));
+    }
+    std::vector<core::LabelOutcome> outcomes;
+    for (std::future<ServeResult>& future : futures) {
+      ServeResult result = future.get();
+      EXPECT_EQ(result.status, ServeStatus::kOk);
+      outcomes.push_back(std::move(result.outcome));
+    }
+    router.Drain();
+    Metrics merged;
+    for (int s = 0; s < kShards; ++s) {
+      merged.MergeFrom(router.shard(s).metrics());
+    }
+    if (coalesce) {
+      // Each round is recorded once, by its leader shard: the cross-shard
+      // sum is the cluster total, never a multiple of it.
+      EXPECT_GT(merged.coalesced_rounds.load(), 0);
+      EXPECT_GE(merged.coalesced_gathered_rows.load(),
+                merged.coalesced_rows.load());
+      EXPECT_GT(merged.coalesced_rows.load(), 0);
+    } else {
+      EXPECT_EQ(merged.coalesced_rounds.load(), 0);
+    }
+    if (json_out != nullptr) *json_out = router.MetricsJson();
+    router.Shutdown();
+    return outcomes;
+  };
+
+  const std::vector<core::LabelOutcome> plain = route_all(false, nullptr);
+  std::string json;
+  const std::vector<core::LabelOutcome> coalesced = route_all(true, &json);
+  ASSERT_EQ(plain.size(), coalesced.size());
+  for (int i = 0; i < kItems; ++i) {
+    // Placement is deterministic (consistent hash over (tenant, item)), so
+    // item i lands on the same shard in both runs and the outcomes must be
+    // exactly equal — coalescing across shards changes nothing observable.
+    ExpectSameOutcome(coalesced[static_cast<size_t>(i)],
+                      plain[static_cast<size_t>(i)], i);
+  }
+  EXPECT_NE(json.find("\"coalescer\""), std::string::npos)
+      << "router JSON must carry the cluster coalescer block";
+  EXPECT_NE(json.find("\"rounds\""), std::string::npos);
+}
+
+TEST(CoalesceEnvTest, ParsesAmsCoalesceValues) {
+  const char* saved = std::getenv("AMS_COALESCE");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  unsetenv("AMS_COALESCE");
+  EXPECT_FALSE(CoalesceForwardsFromEnv());
+  setenv("AMS_COALESCE", "1", 1);
+  EXPECT_TRUE(CoalesceForwardsFromEnv());
+  setenv("AMS_COALESCE", "on", 1);
+  EXPECT_TRUE(CoalesceForwardsFromEnv());
+  setenv("AMS_COALESCE", "true", 1);
+  EXPECT_TRUE(CoalesceForwardsFromEnv());
+  setenv("AMS_COALESCE", "0", 1);
+  EXPECT_FALSE(CoalesceForwardsFromEnv());
+  setenv("AMS_COALESCE", "off", 1);
+  EXPECT_FALSE(CoalesceForwardsFromEnv());
+  if (saved != nullptr) {
+    setenv("AMS_COALESCE", saved_value.c_str(), 1);
+  } else {
+    unsetenv("AMS_COALESCE");
+  }
+}
+
+}  // namespace
+}  // namespace ams::serve

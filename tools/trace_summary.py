@@ -8,8 +8,11 @@ Reads the Chrome trace-event JSON written by `ams_serve --trace` (or
 `route::ShardRouter::DumpTrace` / `obs::ChromeTraceSink`), checks that it is
 structurally well-formed, and prints a per-phase latency table: count and
 p50/p95/p99/mean/max over the span durations of each duration phase
-(queue_wait, exec, tick, forward), plus counts for the instant phases
-(enqueue, quota_reject, placement, migrate_out, migrate_in).
+(queue_wait, exec, tick, forward, coalesced_forward), plus counts for the
+instant phases (enqueue, quota_reject, placement, migrate_out, migrate_in).
+Span phases nothing recorded land in the table as an explicit "no samples"
+row — a run with coalescing off (or no forwards at all) summarizes cleanly
+rather than hiding the phase.
 
 Validation failures (missing keys, unknown `ph` types, negative durations,
 unbalanced migrate_out/migrate_in) exit non-zero, so CI can gate on the
@@ -31,7 +34,7 @@ import math
 import sys
 
 # Phases emitted with a duration ("ph": "X") vs. as instants ("ph": "i").
-SPAN_PHASES = ("queue_wait", "exec", "tick", "forward")
+SPAN_PHASES = ("queue_wait", "exec", "tick", "forward", "coalesced_forward")
 INSTANT_PHASES = ("enqueue", "quota_reject", "placement", "migrate_out",
                   "migrate_in")
 KNOWN_PHASES = set(SPAN_PHASES) | set(INSTANT_PHASES)
@@ -127,16 +130,20 @@ def summarize(events, out=sys.stdout):
         if ev.get("ph") in ("X", "i"):
             counts[ev["name"]] = counts.get(ev["name"], 0) + 1
 
-    header = f"{'phase':<14}{'count':>8}{'p50 ms':>12}{'p95 ms':>12}" \
+    header = f"{'phase':<18}{'count':>8}{'p50 ms':>12}{'p95 ms':>12}" \
              f"{'p99 ms':>12}{'mean ms':>12}{'max ms':>12}"
     print(header, file=out)
     print("-" * len(header), file=out)
     for name in SPAN_PHASES:
         values = durs[name]
         if not values:
+            # An empty phase is normal (coalescing off, no forwards, no
+            # sampled requests): say so explicitly instead of dividing by a
+            # zero count or silently dropping the row.
+            print(f"{name:<18}{0:>8}{'(no samples)':>12}", file=out)
             continue
         mean = sum(values) / len(values)
-        print(f"{name:<14}{len(values):>8}"
+        print(f"{name:<18}{len(values):>8}"
               f"{percentile(values, 50) * 1e3:>12.3f}"
               f"{percentile(values, 95) * 1e3:>12.3f}"
               f"{percentile(values, 99) * 1e3:>12.3f}"
@@ -144,7 +151,7 @@ def summarize(events, out=sys.stdout):
               f"{values[-1] * 1e3:>12.3f}", file=out)
     for name in INSTANT_PHASES:
         if counts.get(name):
-            print(f"{name:<14}{counts[name]:>8}{'(instant)':>12}", file=out)
+            print(f"{name:<18}{counts[name]:>8}{'(instant)':>12}", file=out)
     return durs
 
 
